@@ -1,0 +1,20 @@
+"""A1 — ablation: bernoulli vs capped hierarchy sampling (DESIGN.md §2.5)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_a1
+
+
+def test_abl1_sampling_strategy(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_a1(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    rows = {row["sampling"]: row for row in result.rows}
+    assert set(rows) == {"bernoulli", "capped"}
+    for row in result.rows:
+        # Whatever the sampling, the compiled schemes stayed within 4k−5.
+        assert row["max_stretch_worst"] <= 7.0 + 1e-9, row

@@ -1,0 +1,24 @@
+"""A2 — ablation: consistent pivots on/off (DESIGN.md §3).
+
+Demonstrates *why* pivot consistency is load-bearing: with naive
+nearest-witness pivots, label construction fails on graphs with distance
+ties (a vertex ends up outside its own pivot's cluster).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_a2
+
+
+def test_abl2_pivot_consistency(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_a2(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    consistent = [r for r in result.rows if r["consistent_pivots"]]
+    naive = [r for r in result.rows if not r["consistent_pivots"]]
+    assert all(r["label_construction_failures"] == 0 for r in consistent)
+    assert sum(r["label_construction_failures"] for r in naive) > 0

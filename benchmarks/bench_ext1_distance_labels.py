@@ -1,0 +1,27 @@
+"""X1 — extension: distance labels (the distributed oracle corollary)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_x1
+
+
+def test_ext1_distance_labels(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_x1(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    by_graph = {}
+    for row in result.rows:
+        assert row["violations"] == 0, row
+        assert row["max_ratio"] <= row["bound_2k-1"] + 1e-9, row
+        assert row["avg_query_steps"] <= row["k"] - 1 + 1e-9, row
+        by_graph.setdefault(row["graph"], []).append(row)
+
+    # Labels shrink as k grows — the n^{1/k} tradeoff.
+    for gname, rows in by_graph.items():
+        rows.sort(key=lambda r: r["k"])
+        for a, b in zip(rows, rows[1:]):
+            assert b["avg_label_bits"] <= a["avg_label_bits"] * 1.15, (gname, a, b)

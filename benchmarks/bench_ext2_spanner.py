@@ -1,0 +1,26 @@
+"""X2 — extension: (2k−1)-spanners from the cluster trees."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_x2
+
+
+def test_ext2_spanner(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_x2(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    by_graph = {}
+    for row in result.rows:
+        assert row["measured_stretch"] <= row["bound_2k-1"] + 1e-9, row
+        assert row["spanner_edges"] <= 4 * row["kn^(1+1/k)_ref"], row
+        by_graph.setdefault(row["graph"], []).append(row)
+
+    # Spanners get sparser as k grows.
+    for gname, rows in by_graph.items():
+        rows.sort(key=lambda r: r["k"])
+        for a, b in zip(rows, rows[1:]):
+            assert b["spanner_edges"] <= a["spanner_edges"] * 1.1, (gname, a, b)

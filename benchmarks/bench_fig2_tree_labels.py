@@ -1,0 +1,44 @@
+"""F2 — tree routing (Theorem 2.1): label/table bits across tree families.
+
+The designer-port labels must track c·log₂n bits with a small constant
+(the (1+o(1))·log n shape), fixed-port labels may grow toward log²n, and
+TZ local records stay O(1) words while interval-routing tables grow with
+the degree.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_f2
+
+
+def test_fig2_tree_labels(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_f2(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    for row in result.rows:
+        n = row["n"]
+        logn = math.log2(max(2, n))
+        # (1+o(1))·log n shape: small multiple of log n, every family.
+        assert row["designer_max_label"] <= 4 * logn + 16, row
+        # Fixed-port labels stay within the O(log² n) regime.
+        assert row["fixed_max_label"] <= 4 * logn * logn + 32, row
+        # O(1)-word records: bounded by a few machine words.
+        assert row["tz_max_record"] <= 6 * logn + 4 * 16, row
+
+    # The designer constant trends down with n (the o(1) part): compare
+    # label-bits/log2(n) at the smallest and largest size per family.
+    by_family = {}
+    for row in result.rows:
+        by_family.setdefault(row["family"], []).append(row)
+    for family, rows in by_family.items():
+        rows.sort(key=lambda r: r["n"])
+        first, last = rows[0], rows[-1]
+        ratio_first = first["designer_avg_label"] / math.log2(max(2, first["n"]))
+        ratio_last = last["designer_avg_label"] / math.log2(max(2, last["n"]))
+        assert ratio_last <= ratio_first * 1.25, (family, ratio_first, ratio_last)

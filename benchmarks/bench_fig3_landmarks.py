@@ -1,0 +1,21 @@
+"""F3 — the center algorithm (Theorem 3.1): |A| and the 4n/s cap."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_f3
+
+
+def test_fig3_center_guarantees(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_f3(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    for row in result.rows:
+        # The hard guarantee: every non-landmark cluster within 4n/s.
+        assert row["cap_ok"] is True, row
+        # |A| within a constant factor of the O(s·log n) expectation.
+        assert row["|A|"] <= 4 * row["E|A|_ref"] + 8, row
+        assert row["|A|"] >= 1

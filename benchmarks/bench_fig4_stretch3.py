@@ -1,0 +1,39 @@
+"""F4 — the §3 stretch-3 scheme: exact bound, Õ(√n) table scaling."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_f4
+
+
+def test_fig4_stretch3_scaling(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_f4(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    for row in result.rows:
+        assert row["violations"] == 0, row
+        assert row["max_stretch"] <= 3.0 + 1e-9, row
+
+    # Table scaling shape: log-log slope of avg table bits vs n should be
+    # ~0.5 plus polylog drift. At the small scale the n-range spans only
+    # 3x and the log²n factor inflates the apparent slope, so the strict
+    # sublinearity check applies to the full-scale regeneration.
+    slope_cap = 0.95 if bench_scale == "full" else 1.45
+    by_graph = {}
+    for row in result.rows:
+        by_graph.setdefault(row["graph"], []).append(row)
+    for gname, rows in by_graph.items():
+        rows.sort(key=lambda r: r["n"])
+        if len(rows) < 2:
+            continue
+        first, last = rows[0], rows[-1]
+        slope = math.log(last["avg_table_bits"] / first["avg_table_bits"]) / math.log(
+            last["n"] / first["n"]
+        )
+        assert slope < slope_cap, (gname, slope)  # decisively sublinear
+        assert slope > 0.1, (gname, slope)  # but genuinely growing

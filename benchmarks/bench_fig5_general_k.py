@@ -1,0 +1,27 @@
+"""F5 — the general scheme (Theorem 4.1): stretch ≤ 4k−5, n^{1/k} space."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_f5
+
+
+def test_fig5_general_k(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_f5(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    by_graph = {}
+    for row in result.rows:
+        assert row["violations"] == 0, row
+        assert row["max_stretch"] <= row["bound_4k-5"] + 1e-9, row
+        by_graph.setdefault(row["graph"], []).append(row)
+
+    # The tradeoff direction: larger k must not *increase* table size
+    # meaningfully (monotone within noise) while the stretch bound grows.
+    for gname, rows in by_graph.items():
+        rows.sort(key=lambda r: r["k"])
+        for a, b in zip(rows, rows[1:]):
+            assert b["max_table_bits"] <= a["max_table_bits"] * 1.35, (gname, a, b)

@@ -1,0 +1,23 @@
+"""F6 — handshaking (Theorem 4.2): 2k−1 beats 4k−5 at identical tables."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_f6
+
+
+def test_fig6_handshake(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_f6(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    for row in result.rows:
+        assert row["hs_violations"] == 0, row
+        assert row["hs_max"] <= row["hs_bound"] + 1e-9, row
+        assert row["hs_bound"] <= row["base_bound"], row
+        # Handshaking routes the same or better on average.
+        assert row["hs_avg"] <= row["base_avg"] * 1.05, row
+        # Alternation depth stays below k.
+        assert row["avg_hs_steps"] <= row["k"] - 1 + 1e-9, row

@@ -1,0 +1,29 @@
+"""F7 — average stretch by topology: the Internet-motivation experiment.
+
+The follow-on literature (Krioukov et al., Infocom'04) measured TZ
+average stretch ≈1.1–1.3 on Internet-like graphs; this bench reproduces
+the contrast between AS-like, G(n,p), and grid topologies.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_f7
+
+
+def test_fig7_internet_like(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_f7(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    rows = {row["graph"]: row for row in result.rows}
+    for row in result.rows:
+        assert row["violations"] == 0, row
+        assert row["max_stretch"] <= 3.0 + 1e-9, row
+    # The headline of the follow-on literature: far-below-worst-case
+    # average stretch on Internet-like topologies.
+    assert rows["as-like"]["avg_stretch"] <= 1.5
+    # And the heavy-tailed family routes no worse than G(n,p) on average.
+    assert rows["as-like"]["avg_stretch"] <= rows["gnp"]["avg_stretch"] * 1.1

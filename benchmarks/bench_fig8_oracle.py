@@ -1,0 +1,20 @@
+"""F8 — the distance-oracle companion: 2k−1 queries, k·n^{1+1/k} space."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_f8
+
+
+def test_fig8_distance_oracle(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_f8(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    for row in result.rows:
+        assert row["violations"] == 0, row
+        assert row["max_query_stretch"] <= row["bound_2k-1"] + 1e-9, row
+        # Space within a small factor of the k·n^{1+1/k} reference.
+        assert row["size_words"] <= 4 * row["kn^(1+1/k)_ref"], row

@@ -1,0 +1,40 @@
+"""F9 — lower-bound context (§1): measured space vs the stretch<3 bar.
+
+Full shortest-path tables must grow Ω(n) bits per vertex (they achieve
+stretch 1 < 3); the TZ stretch-3 tables grow ~√n — the separation the
+Gavoille–Gengler bound says is impossible below stretch 3.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_f9
+
+
+def test_fig9_lower_bound_context(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_f9(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    rows = sorted(result.rows, key=lambda r: r["n"])
+    for row in rows:
+        # SP tables sit above the Ω(n)-bits-per-vertex bar...
+        assert row["sp_table_bits"] >= row["n"] - 1, row
+    if len(rows) >= 2:
+        first, last = rows[0], rows[-1]
+        ratio_n = last["n"] / first["n"]
+        sp_growth = last["sp_table_bits"] / first["sp_table_bits"]
+        tz_growth = last["tz2_avg_table_bits"] / first["tz2_avg_table_bits"]
+        # ...and grow ~linearly, while TZ's *average* table grows
+        # decisively slower (the max is dominated by landmark-count
+        # variance at these sizes; EXPERIMENTS.md reports both). The
+        # absolute-slope check needs the full n-range — polylog factors
+        # dominate the 3x small-scale span.
+        assert sp_growth >= 0.6 * ratio_n
+        assert tz_growth <= sp_growth * 1.1
+        if bench_scale == "full":
+            assert math.log(tz_growth) / math.log(ratio_n) < 0.95

@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the hot primitives (true ops/sec measurements).
+
+Unlike the figure benches (one timed experiment run each), these measure
+the steady-state cost of the operations a deployed router would execute
+per packet or per preprocessing step:
+
+* the O(1) tree-routing forwarding decision,
+* the TZ source commit (cluster lookup + pivot scan),
+* a full simulated route,
+* an oracle distance query,
+* truncated-Dijkstra cluster growth,
+* tree-router compilation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scheme_k import build_tz_scheme
+from repro.core.router import RouteHeader
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.graphs.shortest_paths import truncated_dijkstra
+from repro.oracles.distance_oracle import build_distance_oracle
+from repro.sim.network import Network
+from repro.graphs.shortest_paths import dijkstra
+from repro.graphs.trees import tree_from_parents
+from repro.trees.tz_tree import build_tree_router, decide_from_record
+
+
+def rooted_from_graph(tree_graph, root: int = 0):
+    _, parent = dijkstra(tree_graph, root)
+    pmap = {v: int(parent[v]) for v in range(tree_graph.n)}
+    pmap[root] = -1
+    return tree_from_parents(root, pmap)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    g = gen.gnp(300, 0.03, rng=2024, weights=(1, 12))
+    pg = assign_ports(g, "random", rng=1)
+    scheme = build_tz_scheme(g, pg, k=3, rng=2)
+    return g, pg, scheme
+
+
+def test_tree_decide_op(benchmark):
+    tree_graph = gen.random_tree(1024, rng=3)
+    rooted = rooted_from_graph(tree_graph)
+    pg = assign_ports(tree_graph, "sorted")
+    router = build_tree_router(rooted, pg, port_model="fixed")
+    record = router.records[17]
+    label = router.labels[900]
+
+    benchmark(decide_from_record, record, label)
+
+
+def test_scheme_commit_op(benchmark, instance):
+    g, pg, scheme = instance
+    header = RouteHeader(dest=g.n - 1)
+
+    benchmark(scheme._commit, 0, header)
+
+
+def test_full_route_op(benchmark, instance):
+    g, pg, scheme = instance
+    net = Network(pg, scheme)
+    pairs = [(int(a), int(b)) for a, b in np.random.default_rng(5).integers(0, g.n, (64, 2)) if a != b]
+
+    def route_batch():
+        for s, t in pairs:
+            net.route(s, t, strict=True)
+
+    benchmark(route_batch)
+
+
+def test_oracle_query_op(benchmark, instance):
+    g, _, _ = instance
+    oracle = build_distance_oracle(g, 3, rng=7)
+
+    benchmark(oracle.query, 0, g.n - 1)
+
+
+def test_truncated_dijkstra_op(benchmark, instance):
+    g, _, _ = instance
+    from repro.graphs.shortest_paths import multi_source_dijkstra
+
+    rng = np.random.default_rng(9)
+    A = rng.choice(g.n, size=18, replace=False)
+    thr, _ = multi_source_dijkstra(g, A)
+
+    benchmark(truncated_dijkstra, g, 5, thr)
+
+
+def test_tree_router_build_op(benchmark):
+    tree_graph = gen.random_tree(2048, rng=11)
+    rooted = rooted_from_graph(tree_graph)
+    pg = assign_ports(tree_graph, "sorted")
+
+    benchmark(build_tree_router, rooted, pg, port_model="fixed")

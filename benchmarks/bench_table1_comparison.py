@@ -1,0 +1,38 @@
+"""T1 — the paper's comparison table: prior art vs TZ, stretch vs space.
+
+Regenerates the introduction table of TZ SPAA'01 with measured columns:
+shortest-path routing (stretch 1), single-tree routing (O(1) space),
+Cowen stretch-3, TZ stretch-3, TZ general-k with and without handshake.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_t1
+
+
+def test_table1_scheme_comparison(benchmark, show, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, lambda: exp_t1(scale=bench_scale, seed=bench_seed)
+    )
+    show(result)
+
+    # Acceptance: no scheme ever violates its proven stretch bound.
+    for row in result.rows:
+        assert row["violations"] == 0, row
+
+    # The winners match the paper's table on every reference graph:
+    by_graph = {}
+    for row in result.rows:
+        by_graph.setdefault(row["graph"], {})[row["scheme"]] = row
+    for gname, schemes in by_graph.items():
+        sp = schemes["shortest-path"]
+        tz2 = schemes["tz-stretch3"]
+        tree = schemes["single-tree"]
+        assert sp["max_stretch"] <= 1.0 + 1e-9
+        assert tz2["max_stretch"] <= 3.0 + 1e-9
+        # Single-tree has the smallest table, SP the exact routes,
+        # compact schemes sit in between on both axes.
+        assert tree["max_table_bits"] < tz2["max_table_bits"]
+        assert tree["avg_stretch"] >= tz2["avg_stretch"] * 0.99

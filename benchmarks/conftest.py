@@ -1,0 +1,50 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` file regenerates one artifact of DESIGN.md §4 (tables
+T1, figures F2–F9, ablations A1–A2) through pytest-benchmark, printing
+the same rows EXPERIMENTS.md records and asserting the acceptance
+criteria.  Scale defaults to ``small`` so the suite stays minutes-scale;
+set ``REPRO_BENCH_SCALE=full`` to regenerate the EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.reporting import render_table
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an experiment result table past pytest's capture."""
+
+    def _show(result) -> None:
+        with capsys.disabled():
+            print()
+            print(render_table(result.rows, title=result.title))
+            if result.notes:
+                print(f"note: {result.notes}")
+
+    return _show
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiments are seconds-scale preprocessing+measurement pipelines;
+    one timed round is the meaningful unit (pytest-benchmark still
+    records the wall time for regression tracking).
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The stretch/space tradeoff: sweep k with and without handshaking.
+
+Regenerates the paper's central tradeoff on one graph: as k grows,
+tables shrink toward Õ(n^{1/k}) while the stretch guarantee loosens from
+3 to 4k−5 (2k−1 with handshaking).
+
+Run:  python examples/stretch_vs_space_sweep.py
+"""
+
+from repro import (
+    HandshakeRoutingScheme,
+    assign_ports,
+    build_tz_scheme,
+    space_stats,
+)
+from repro.analysis.reporting import render_table
+from repro.graphs import generators as gen
+from repro.graphs.shortest_paths import all_pairs_shortest_paths
+from repro.rng import make_rng, sample_pairs
+from repro.sim.runner import run_pairs
+
+
+def main() -> None:
+    graph = gen.gnp(600, 0.012, rng=21, weights=(1, 16))
+    ported = assign_ports(graph, "random", rng=22)
+    D = all_pairs_shortest_paths(graph)
+    pairs = sample_pairs(make_rng(23), graph.n, 1200)
+    print(f"graph: n={graph.n}, m={graph.m}\n")
+
+    rows = []
+    for k in (1, 2, 3, 4):
+        base = build_tz_scheme(graph, ported, k=k, rng=100 + k)
+        _, st_base = run_pairs(ported, base, pairs, true_dist=D)
+        hs = HandshakeRoutingScheme(base)
+        _, st_hs = run_pairs(ported, hs, pairs, true_dist=D)
+        sp = space_stats(base)
+        rows.append(
+            {
+                "k": k,
+                "bound(4k-5)": base.stretch_bound(),
+                "measured_max": round(max(st_base), 3),
+                "measured_avg": round(sum(st_base) / len(st_base), 3),
+                "hs_bound(2k-1)": hs.stretch_bound(),
+                "hs_max": round(max(st_hs), 3),
+                "avg_table_bits": round(sp.avg_table_bits),
+                "max_label_bits": sp.max_label_bits,
+            }
+        )
+    print(render_table(rows, title="stretch vs space (one graph, k sweep)"))
+    print(
+        "\nreading: tables shrink with k, guarantees loosen — the paper's "
+        "tradeoff;\nhandshaking halves the bound at identical tables."
+    )
+
+
+if __name__ == "__main__":
+    main()

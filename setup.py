@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so
+that ``python setup.py develop`` works on offline machines where pip's
+PEP-517 editable path is unavailable (it needs the ``wheel`` package);
+``pip install -e .`` uses ``pyproject.toml`` directly when it can.
+"""
+
+from setuptools import setup
+
+setup()

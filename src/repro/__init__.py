@@ -1,0 +1,122 @@
+"""repro — a reproduction of Thorup & Zwick, *Compact routing schemes*
+(SPAA 2001).
+
+Public API tour
+---------------
+Graphs and ports::
+
+    from repro import Graph, assign_ports
+    from repro.graphs import generators
+
+Tree routing (§2)::
+
+    from repro import build_tree_router, designer_ports_for_tree
+
+Compact routing (§3–§4)::
+
+    from repro import build_stretch3_scheme, build_tz_scheme
+    from repro import HandshakeRoutingScheme
+
+Simulation and measurement::
+
+    from repro import Network, measure_scheme, space_stats
+
+Baselines, the distance oracle, and the experiment suite live in
+``repro.baselines``, ``repro.oracles``, and ``repro.analysis``.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record; ``python -m repro all`` regenerates the latter.
+"""
+
+from ._version import __version__
+from .errors import (
+    DeliveryError,
+    DisconnectedGraphError,
+    EncodingError,
+    GraphError,
+    LabelError,
+    PortError,
+    PreprocessingError,
+    ReproError,
+    RoutingError,
+)
+from .graphs.graph import Graph, GraphBuilder
+from .graphs.ports import PortedGraph, assign_ports, designer_ports_for_tree
+from .graphs.trees import RootedTree, tree_from_parents, tree_from_predecessors
+from .trees.tz_tree import TreeRouter, build_tree_router
+from .trees.interval import IntervalRoutingScheme
+from .core.router import RouteHeader, RoutingScheme
+from .core.scheme_k import TZRoutingScheme, build_tz_scheme
+from .core.scheme_k2 import build_stretch3_scheme
+from .core.handshake import HandshakeRoutingScheme
+from .core.landmarks import center, build_hierarchy, sample_hierarchy
+from .baselines.shortest_path_routing import build_shortest_path_scheme
+from .baselines.tree_spanner import build_single_tree_scheme
+from .baselines.cowen import build_cowen_scheme
+from .oracles.distance_oracle import DistanceOracle, build_distance_oracle
+from .oracles.distance_labels import (
+    DistanceLabel,
+    DistanceLabeling,
+    build_distance_labels,
+    query_labels,
+)
+from .oracles.spanner import build_spanner
+from .sim.network import Network, RouteResult
+from .sim.runner import measure_scheme, run_pairs
+from .sim.stats import space_stats, stretch_stats
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GraphError",
+    "DisconnectedGraphError",
+    "PortError",
+    "RoutingError",
+    "DeliveryError",
+    "LabelError",
+    "PreprocessingError",
+    "EncodingError",
+    # graphs
+    "Graph",
+    "GraphBuilder",
+    "PortedGraph",
+    "assign_ports",
+    "designer_ports_for_tree",
+    "RootedTree",
+    "tree_from_parents",
+    "tree_from_predecessors",
+    # tree routing
+    "TreeRouter",
+    "build_tree_router",
+    "IntervalRoutingScheme",
+    # core schemes
+    "RouteHeader",
+    "RoutingScheme",
+    "TZRoutingScheme",
+    "build_tz_scheme",
+    "build_stretch3_scheme",
+    "HandshakeRoutingScheme",
+    "center",
+    "build_hierarchy",
+    "sample_hierarchy",
+    # baselines
+    "build_shortest_path_scheme",
+    "build_single_tree_scheme",
+    "build_cowen_scheme",
+    # oracle & companions
+    "DistanceOracle",
+    "build_distance_oracle",
+    "DistanceLabel",
+    "DistanceLabeling",
+    "build_distance_labels",
+    "query_labels",
+    "build_spanner",
+    # simulation
+    "Network",
+    "RouteResult",
+    "measure_scheme",
+    "run_pairs",
+    "space_stats",
+    "stretch_stats",
+]

@@ -1,0 +1,34 @@
+"""Theory-vs-measured analysis: bound calculators, scaling fits,
+experiment runners (one per paper table/figure), and report rendering."""
+
+from .bounds import (
+    cluster_cap,
+    expected_landmarks,
+    girth_conjecture_space,
+    handshake_stretch_bound,
+    stretch3_space_lower_bound,
+    tz_stretch_bound,
+    tz_table_bound_bits,
+)
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from .reporting import render_markdown_table, render_table
+from .scaling import PowerLawFit, doubling_ratio, fit_power_law, polylog_corrected_fit
+
+__all__ = [
+    "tz_stretch_bound",
+    "handshake_stretch_bound",
+    "cluster_cap",
+    "expected_landmarks",
+    "stretch3_space_lower_bound",
+    "girth_conjecture_space",
+    "tz_table_bound_bits",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "render_table",
+    "render_markdown_table",
+    "PowerLawFit",
+    "fit_power_law",
+    "polylog_corrected_fit",
+    "doubling_ratio",
+]

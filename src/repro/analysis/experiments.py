@@ -1,0 +1,727 @@
+"""The experiment suite: one function per paper table/figure.
+
+Each ``exp_*`` function regenerates the rows for one artifact of
+DESIGN.md §4 (T1, F2–F9, A1–A2) at a chosen ``scale``:
+
+* ``"small"`` — seconds-scale instances used by the test-suite and the
+  pytest benchmarks;
+* ``"full"``  — the instances recorded in EXPERIMENTS.md.
+
+Everything is deterministic in ``seed`` (see :mod:`repro.rng`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.cowen import build_cowen_scheme
+from ..baselines.shortest_path_routing import build_shortest_path_scheme
+from ..baselines.tree_spanner import build_single_tree_scheme
+from ..core.handshake import HandshakeRoutingScheme
+from ..core.landmarks import center
+from ..core.scheme_k import build_tz_scheme
+from ..core.scheme_k2 import build_stretch3_scheme, default_s
+from ..errors import PreprocessingError
+from ..graphs import generators as gen
+from ..graphs.graph import Graph
+from ..graphs.ports import PortedGraph, assign_ports, designer_ports_for_tree
+from ..graphs.shortest_paths import all_pairs_shortest_paths, dijkstra
+from ..graphs.trees import tree_from_parents
+from ..oracles.distance_oracle import build_distance_oracle
+from ..rng import derive, sample_pairs
+from ..sim.runner import measure_scheme
+from ..sim.stats import space_stats
+from ..trees.interval import IntervalRoutingScheme
+from ..trees.tz_tree import build_tree_router
+from . import bounds
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus metadata for one experiment."""
+
+    exp_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def columns(self) -> List[str]:
+        return list(self.rows[0].keys()) if self.rows else []
+
+
+# ----------------------------------------------------------------------
+# Shared workload builders
+# ----------------------------------------------------------------------
+def _scale_params(scale: str) -> Dict[str, object]:
+    if scale == "small":
+        return {
+            "n_ref": 256,
+            "n_sweep": [128, 256, 384],
+            "tree_sizes": [64, 256, 1024],
+            "k_values": [2, 3],
+            "pairs": 300,
+            "seeds": 2,
+        }
+    if scale == "full":
+        return {
+            "n_ref": 1024,
+            "n_sweep": [256, 512, 1024, 2048],
+            "tree_sizes": [64, 256, 1024, 4096, 16384],
+            "k_values": [2, 3, 4, 5],
+            "pairs": 2000,
+            "seeds": 3,
+        }
+    raise ValueError(f"unknown scale {scale!r}; use 'small' or 'full'")
+
+
+def reference_graph(name: str, n: int, seed) -> Graph:
+    """The named workload graphs used across experiments."""
+    rng = derive(seed, "graph", name, n)
+    if name == "gnp":
+        p = min(1.0, 8.0 / max(1, n - 1))  # average degree ~8
+        return gen.gnp(n, p, rng=rng, weights=(1, 16))
+    if name == "ba":
+        return gen.barabasi_albert(n, 4, rng=rng, weights=(1, 16))
+    if name == "as-like":
+        return gen.internet_as_like(n, rng=rng)
+    if name == "grid":
+        side = max(2, int(math.sqrt(n)))
+        return gen.grid2d(side, side, rng=rng)
+    if name == "geometric":
+        r = math.sqrt(10.0 / max(1, n))
+        return gen.random_geometric(n, r, rng=rng, weights=(1, 16))
+    raise ValueError(f"unknown reference graph {name!r}")
+
+
+def _measured_row(
+    graph: Graph,
+    ported: PortedGraph,
+    scheme,
+    D: np.ndarray,
+    pairs: np.ndarray,
+) -> Dict[str, object]:
+    st = measure_scheme(ported, scheme, pairs=pairs, true_dist=D)
+    sp = space_stats(scheme)
+    return {
+        "scheme": scheme.name,
+        "stretch_bound": scheme.stretch_bound(),
+        "max_stretch": round(st.max, 3),
+        "avg_stretch": round(st.mean, 3),
+        "violations": st.violations,
+        "max_table_bits": sp.max_table_bits,
+        "avg_table_bits": round(sp.avg_table_bits, 0),
+        "max_label_bits": sp.max_label_bits,
+    }
+
+
+# ----------------------------------------------------------------------
+# T1 — the paper's comparison table
+# ----------------------------------------------------------------------
+def exp_t1(scale: str = "small", seed=0) -> ExperimentResult:
+    """Prior art vs TZ: measured stretch/space on the reference graphs.
+
+    Reproduces the shape of the paper's introduction table: full tables
+    (stretch 1, huge), single tree (tiny, unbounded stretch), Cowen
+    stretch-3 (Õ(n^{2/3})), TZ stretch-3 (Õ(n^{1/2})), TZ general k,
+    and the handshaking variants.
+    """
+    p = _scale_params(scale)
+    n = int(p["n_ref"])
+    result = ExperimentResult(
+        "t1",
+        "T1: scheme comparison (stretch vs space), "
+        f"reference graphs at n={n}",
+        notes="Space ordering should be SP >> Cowen >> TZ-k2 >> TZ-k3..., "
+        "stretch ordering reversed — same winners as the paper's table.",
+    )
+    for gname in ("gnp", "ba"):
+        graph = reference_graph(gname, n, seed)
+        ported = assign_ports(graph, "random", rng=derive(seed, "ports", gname))
+        D = all_pairs_shortest_paths(graph)
+        pairs = sample_pairs(derive(seed, "pairs", gname), graph.n, int(p["pairs"]))
+        schemes = [
+            build_shortest_path_scheme(graph, ported),
+            build_single_tree_scheme(graph, ported),
+            build_cowen_scheme(graph, ported, rng=derive(seed, "cowen", gname)),
+            build_stretch3_scheme(graph, ported, rng=derive(seed, "tz2", gname)),
+        ]
+        for k in p["k_values"]:
+            if k == 2:
+                continue
+            base = build_tz_scheme(
+                graph, ported, k=k, rng=derive(seed, "tzk", gname, k)
+            )
+            schemes.append(base)
+            schemes.append(HandshakeRoutingScheme(base))
+        for scheme in schemes:
+            row = {"graph": gname, "n": graph.n}
+            row.update(_measured_row(graph, ported, scheme, D, pairs))
+            result.rows.append(row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# F2 — tree routing (Theorem 2.1)
+# ----------------------------------------------------------------------
+def exp_f2(scale: str = "small", seed=0) -> ExperimentResult:
+    """Tree-routing label and table sizes across tree families.
+
+    Designer-port labels should track c·log₂n bits with a small constant
+    (the (1+o(1))·log n shape); fixed-port labels grow like log²n on deep
+    trees; TZ records stay O(1) words while the interval-routing baseline
+    grows with the degree.
+    """
+    p = _scale_params(scale)
+    result = ExperimentResult(
+        "f2",
+        "F2: tree routing — label/table bits vs n (Thm 2.1)",
+        notes="designer ports ~= c*log2(n) bits, fixed ports up to "
+        "O(log^2 n); TZ records O(1) words vs interval tables O(deg).",
+    )
+    for family, make in gen.TREE_FAMILIES.items():
+        for n in p["tree_sizes"]:
+            rng = derive(seed, "f2", family, n)
+            tree_graph = make(n, rng)
+            n_actual = tree_graph.n
+            _, parent = dijkstra(tree_graph, 0)
+            pmap = {v: int(parent[v]) for v in range(n_actual)}
+            pmap[0] = -1
+            rooted = tree_from_parents(0, pmap)
+            designer = designer_ports_for_tree(tree_graph, rooted)
+            fixed = assign_ports(tree_graph, "random", rng=rng)
+            r_designer = build_tree_router(rooted, designer, port_model="designer")
+            r_fixed = build_tree_router(rooted, fixed, port_model="fixed")
+            interval = IntervalRoutingScheme(rooted, fixed)
+            max_port = int(tree_graph.degrees().max())
+            label_bits_d = [r_designer.label_bits(v) for v in range(n_actual)]
+            label_bits_f = [r_fixed.label_bits(v) for v in range(n_actual)]
+            result.rows.append(
+                {
+                    "family": family,
+                    "n": n_actual,
+                    "log2n": bounds.log2n_bits(n_actual),
+                    "designer_max_label": max(label_bits_d),
+                    "designer_avg_label": round(float(np.mean(label_bits_d)), 1),
+                    "fixed_max_label": max(label_bits_f),
+                    "tz_max_record": max(
+                        r_fixed.record_bits(v, max_port) for v in range(n_actual)
+                    ),
+                    "interval_max_table": interval.max_record_bits(max_port),
+                    "light_depth": rooted.max_light_depth(),
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# F3 — the center algorithm (Theorem 3.1)
+# ----------------------------------------------------------------------
+def exp_f3(scale: str = "small", seed=0) -> ExperimentResult:
+    """|A| vs the O(s·log n) prediction and max cluster vs the 4n/s cap."""
+    p = _scale_params(scale)
+    result = ExperimentResult(
+        "f3",
+        "F3: center(G, s) guarantees (Thm 3.1)",
+        notes="cap_ok must be 'yes' on every row (hard guarantee); |A| "
+        "should track ~2*s*ln(n) (expectation).",
+    )
+    from ..core.clusters import compute_all_clusters
+
+    for gname in ("gnp", "ba"):
+        for n in p["n_sweep"]:
+            graph = reference_graph(gname, n, seed)
+            D = all_pairs_shortest_paths(graph)
+            for s_mul in (0.5, 1.0, 2.0):
+                s = max(2.0, s_mul * default_s(graph.n))
+                A = center(
+                    graph, s, derive(seed, "f3", gname, n, int(s_mul * 10)),
+                    dist_matrix=D,
+                )
+                dA = D[A].min(axis=0)
+                non_landmarks = [w for w in range(graph.n) if w not in set(A.tolist())]
+                sizes = (D[non_landmarks] < dA[None, :]).sum(axis=1)
+                cap = bounds.cluster_cap(graph.n, s)
+                result.rows.append(
+                    {
+                        "graph": gname,
+                        "n": graph.n,
+                        "s": round(s, 1),
+                        "|A|": int(A.size),
+                        "E|A|_ref": round(bounds.expected_landmarks(graph.n, s), 0),
+                        "max_cluster": int(sizes.max()) if len(sizes) else 0,
+                        "cap_4n/s": round(cap, 1),
+                        "cap_ok": bool(sizes.size == 0 or sizes.max() <= cap),
+                    }
+                )
+    return result
+
+
+# ----------------------------------------------------------------------
+# F4 — stretch-3 scheme scaling (§3)
+# ----------------------------------------------------------------------
+def exp_f4(scale: str = "small", seed=0) -> ExperimentResult:
+    """Max stretch ≤ 3 on every run; table bits vs the √n·polylog curve."""
+    p = _scale_params(scale)
+    result = ExperimentResult(
+        "f4",
+        "F4: stretch-3 scheme — stretch and table scaling (§3)",
+        notes="max_stretch <= 3.0 exactly; max_table_bits should grow "
+        "~sqrt(n)*polylog (compare 'sqrtn_ref' column ratios).",
+    )
+    for gname in ("gnp", "ba"):
+        for n in p["n_sweep"]:
+            graph = reference_graph(gname, n, seed)
+            ported = assign_ports(graph, "random", rng=derive(seed, "f4p", gname, n))
+            D = all_pairs_shortest_paths(graph)
+            pairs = sample_pairs(
+                derive(seed, "f4", gname, n), graph.n, int(p["pairs"])
+            )
+            scheme = build_stretch3_scheme(
+                graph, ported, rng=derive(seed, "f4s", gname, n)
+            )
+            st = measure_scheme(ported, scheme, pairs=pairs, true_dist=D)
+            sp = space_stats(scheme)
+            result.rows.append(
+                {
+                    "graph": gname,
+                    "n": graph.n,
+                    "landmarks": scheme.landmark_count(),
+                    "max_stretch": round(st.max, 3),
+                    "avg_stretch": round(st.mean, 3),
+                    "violations": st.violations,
+                    "max_table_bits": sp.max_table_bits,
+                    "avg_table_bits": round(sp.avg_table_bits, 0),
+                    "sqrtn_ref": round(bounds.tz_table_bound_bits(graph.n, 2), 0),
+                    "max_label_bits": sp.max_label_bits,
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# F5 — the general scheme (Theorem 4.1)
+# ----------------------------------------------------------------------
+def exp_f5(scale: str = "small", seed=0) -> ExperimentResult:
+    """k sweep: measured stretch vs 4k−5, tables vs n^{1/k}·polylog."""
+    p = _scale_params(scale)
+    n = int(p["n_ref"])
+    result = ExperimentResult(
+        "f5",
+        f"F5: general scheme, k sweep at n={n} (Thm 4.1)",
+        notes="max_stretch <= 4k-5 on every row; table bits shrink with "
+        "k toward the n^{1/k} curve while stretch grows — the tradeoff.",
+    )
+    for gname in ("gnp", "ba"):
+        graph = reference_graph(gname, n, seed)
+        ported = assign_ports(graph, "random", rng=derive(seed, "f5p", gname))
+        D = all_pairs_shortest_paths(graph)
+        pairs = sample_pairs(derive(seed, "f5", gname), graph.n, int(p["pairs"]))
+        for k in p["k_values"]:
+            scheme = build_tz_scheme(
+                graph, ported, k=k, rng=derive(seed, "f5s", gname, k)
+            )
+            st = measure_scheme(ported, scheme, pairs=pairs, true_dist=D)
+            sp = space_stats(scheme)
+            result.rows.append(
+                {
+                    "graph": gname,
+                    "n": graph.n,
+                    "k": k,
+                    "bound_4k-5": bounds.tz_stretch_bound(k),
+                    "max_stretch": round(st.max, 3),
+                    "avg_stretch": round(st.mean, 3),
+                    "violations": st.violations,
+                    "max_table_bits": sp.max_table_bits,
+                    "n^(1/k)_ref": round(bounds.tz_table_bound_bits(graph.n, k), 0),
+                    "max_label_bits": sp.max_label_bits,
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# F6 — handshaking (Theorem 4.2)
+# ----------------------------------------------------------------------
+def exp_f6(scale: str = "small", seed=0) -> ExperimentResult:
+    """Handshake on/off at each k: 2k−1 vs 4k−5, same tables."""
+    p = _scale_params(scale)
+    n = int(p["n_ref"])
+    result = ExperimentResult(
+        "f6",
+        f"F6: handshaking — 2k−1 vs 4k−5 at n={n} (Thm 4.2)",
+        notes="handshake max <= 2k-1 < 4k-5; handshake avg <= base avg.",
+    )
+    for gname in ("gnp", "ba"):
+        graph = reference_graph(gname, n, seed)
+        ported = assign_ports(graph, "random", rng=derive(seed, "f6p", gname))
+        D = all_pairs_shortest_paths(graph)
+        pairs = sample_pairs(derive(seed, "f6", gname), graph.n, int(p["pairs"]))
+        for k in p["k_values"]:
+            base = build_tz_scheme(
+                graph, ported, k=k, rng=derive(seed, "f6s", gname, k)
+            )
+            hs = HandshakeRoutingScheme(base)
+            st_base = measure_scheme(ported, base, pairs=pairs, true_dist=D)
+            st_hs = measure_scheme(ported, hs, pairs=pairs, true_dist=D)
+            hops = [
+                hs.handshake_hops(int(s), int(t)) for s, t in pairs[: min(200, len(pairs))]
+            ]
+            result.rows.append(
+                {
+                    "graph": gname,
+                    "k": k,
+                    "base_bound": bounds.tz_stretch_bound(k),
+                    "base_max": round(st_base.max, 3),
+                    "base_avg": round(st_base.mean, 3),
+                    "hs_bound": bounds.handshake_stretch_bound(k),
+                    "hs_max": round(st_hs.max, 3),
+                    "hs_avg": round(st_hs.mean, 3),
+                    "hs_violations": st_hs.violations,
+                    "avg_hs_steps": round(float(np.mean(hops)), 2),
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# F7 — Internet-like workloads (the paper's motivation)
+# ----------------------------------------------------------------------
+def exp_f7(scale: str = "small", seed=0) -> ExperimentResult:
+    """TZ stretch-3 average stretch across topology families.
+
+    The follow-on literature (Krioukov et al.) found TZ average stretch
+    ≈1.1–1.3 on Internet-like graphs — far below the worst case; this
+    experiment reproduces that contrast against grids and G(n,p).
+    """
+    p = _scale_params(scale)
+    n = int(p["n_ref"])
+    result = ExperimentResult(
+        "f7",
+        f"F7: average stretch by topology at n≈{n} (motivation)",
+        notes="as-like avg_stretch should be the smallest of the three "
+        "families (heavy-tailed degrees make landmarks excellent hubs).",
+    )
+    for gname in ("as-like", "gnp", "grid"):
+        graph = reference_graph(gname, n, seed)
+        ported = assign_ports(graph, "random", rng=derive(seed, "f7p", gname))
+        D = all_pairs_shortest_paths(graph)
+        pairs = sample_pairs(derive(seed, "f7", gname), graph.n, int(p["pairs"]))
+        scheme = build_stretch3_scheme(
+            graph, ported, rng=derive(seed, "f7s", gname)
+        )
+        st = measure_scheme(ported, scheme, pairs=pairs, true_dist=D)
+        sp = space_stats(scheme)
+        result.rows.append(
+            {
+                "graph": gname,
+                "n": graph.n,
+                "m": graph.m,
+                "avg_stretch": round(st.mean, 3),
+                "p95_stretch": round(st.p95, 3),
+                "max_stretch": round(st.max, 3),
+                "violations": st.violations,
+                "avg_table_bits": round(sp.avg_table_bits, 0),
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# F8 — distance oracle companion
+# ----------------------------------------------------------------------
+def exp_f8(scale: str = "small", seed=0) -> ExperimentResult:
+    """Oracle query stretch ≤ 2k−1 and size scaling ~ k·n^{1+1/k}."""
+    p = _scale_params(scale)
+    n = int(p["n_ref"])
+    result = ExperimentResult(
+        "f8",
+        f"F8: distance oracle at n={n} (STOC'01 companion)",
+        notes="max_query_stretch <= 2k-1; size_words ~ k*n^{1+1/k}.",
+    )
+    for gname in ("gnp", "ba"):
+        graph = reference_graph(gname, n, seed)
+        D = all_pairs_shortest_paths(graph)
+        pairs = sample_pairs(derive(seed, "f8", gname), graph.n, int(p["pairs"]))
+        for k in p["k_values"]:
+            oracle = build_distance_oracle(
+                graph, k, rng=derive(seed, "f8s", gname, k)
+            )
+            ratios = []
+            for s, t in pairs:
+                est = oracle.query(int(s), int(t))
+                d = float(D[int(s), int(t)])
+                ratios.append(est / d if d > 0 else 1.0)
+                if est + 1e-9 < d:
+                    raise PreprocessingError(
+                        f"oracle under-estimated d({s},{t}): {est} < {d}"
+                    )
+            arr = np.asarray(ratios)
+            result.rows.append(
+                {
+                    "graph": gname,
+                    "k": k,
+                    "bound_2k-1": oracle.stretch_bound(),
+                    "max_query_stretch": round(float(arr.max()), 3),
+                    "avg_query_stretch": round(float(arr.mean()), 3),
+                    "violations": int((arr > oracle.stretch_bound() + 1e-9).sum()),
+                    "size_words": oracle.size_words(),
+                    "kn^(1+1/k)_ref": round(k * graph.n ** (1 + 1.0 / k), 0),
+                    "max_bunch": oracle.max_bunch_size(),
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# F9 — lower-bound context (§1)
+# ----------------------------------------------------------------------
+def exp_f9(scale: str = "small", seed=0) -> ExperimentResult:
+    """TZ space vs the stretch<3 and girth-conjecture lower bounds.
+
+    Shows the measured TZ-k2 per-vertex tables falling *under* the Ω(n)
+    per-vertex bar that any stretch<3 scheme must exceed — i.e. stretch 3
+    buys an asymptotic separation, exactly the paper's optimality story.
+    """
+    p = _scale_params(scale)
+    result = ExperimentResult(
+        "f9",
+        "F9: measured space vs stretch<3 lower bound (§1)",
+        notes="sp_table_bits grows ~n (it must); tz2_table_bits grows "
+        "~sqrt(n) — the separation the lower bound says is unavoidable "
+        "only below stretch 3.",
+    )
+    for n in p["n_sweep"]:
+        graph = reference_graph("gnp", n, seed)
+        ported = assign_ports(graph, "random", rng=derive(seed, "f9p", n))
+        sp_scheme = build_shortest_path_scheme(graph, ported)
+        tz2 = build_stretch3_scheme(graph, ported, rng=derive(seed, "f9s", n))
+        result.rows.append(
+            {
+                "n": graph.n,
+                "sp_table_bits": sp_scheme.max_table_bits(),
+                "tz2_avg_table_bits": round(tz2.avg_table_bits(), 0),
+                "tz2_max_table_bits": tz2.max_table_bits(),
+                "lb_stretch<3_per_vertex": round(graph.n / 32.0 * 32, 0),
+                "lb_total_stretch<3": round(
+                    bounds.stretch3_space_lower_bound(graph.n), 0
+                ),
+                "girth_total_k2": round(bounds.girth_conjecture_space(graph.n, 2), 0),
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# A1 — ablation: sampling strategy
+# ----------------------------------------------------------------------
+def exp_a1(scale: str = "small", seed=0) -> ExperimentResult:
+    """bernoulli vs capped hierarchy sampling at k=3 (DESIGN.md §2.5)."""
+    p = _scale_params(scale)
+    n = int(p["n_ref"])
+    result = ExperimentResult(
+        "a1",
+        f"A1 (ablation): hierarchy sampling strategy, k=3, n={n}",
+        notes="capped sampling should reduce max_table_bits spread across "
+        "seeds without hurting stretch.",
+    )
+    graph = reference_graph("gnp", n, seed)
+    ported = assign_ports(graph, "random", rng=derive(seed, "a1p"))
+    D = all_pairs_shortest_paths(graph)
+    pairs = sample_pairs(derive(seed, "a1pairs"), graph.n, int(p["pairs"]))
+    for sampling in ("bernoulli", "capped"):
+        maxima, stretches = [], []
+        for trial in range(int(p["seeds"])):
+            scheme = build_tz_scheme(
+                graph,
+                ported,
+                k=3,
+                rng=derive(seed, "a1", sampling, trial),
+                sampling=sampling,
+            )
+            sp = space_stats(scheme)
+            st = measure_scheme(ported, scheme, pairs=pairs, true_dist=D)
+            maxima.append(sp.max_table_bits)
+            stretches.append(st.max)
+        result.rows.append(
+            {
+                "sampling": sampling,
+                "trials": int(p["seeds"]),
+                "max_table_bits_worst": int(max(maxima)),
+                "max_table_bits_mean": int(np.mean(maxima)),
+                "max_stretch_worst": round(max(stretches), 3),
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# A2 — ablation: pivot consistency off
+# ----------------------------------------------------------------------
+def exp_a2(scale: str = "small", seed=0) -> ExperimentResult:
+    """Switch consistent pivots off and count construction failures.
+
+    With naive nearest-witness pivots, a vertex whose level-i and
+    level-(i+1) landmark distances tie may fall outside its own pivot's
+    cluster — its label cannot even be built.  This quantifies how often
+    that fires (it needs distance ties, so unweighted graphs are the
+    stress case) and demonstrates *why* DESIGN.md §3 mandates consistency.
+    """
+    p = _scale_params(scale)
+    result = ExperimentResult(
+        "a2",
+        "A2 (ablation): consistent vs naive pivots",
+        notes="consistent pivots never fail; naive pivots fail on graphs "
+        "with distance ties (unweighted grids are full of them).",
+    )
+    for gname, trials in (("grid", int(p["seeds"])), ("gnp", int(p["seeds"]))):
+        n = min(400, int(p["n_ref"]))
+        graph = reference_graph(gname, n, seed)
+        if gname == "gnp":
+            # strip weights -> force plenty of equal-length paths
+            graph = Graph(graph.n, graph.edges, None)
+        for consistent in (True, False):
+            failures = 0
+            for trial in range(trials):
+                try:
+                    build_tz_scheme(
+                        graph,
+                        k=3,
+                        rng=derive(seed, "a2", gname, consistent, trial),
+                        consistent_pivots=consistent,
+                    )
+                except PreprocessingError:
+                    failures += 1
+            result.rows.append(
+                {
+                    "graph": gname + " (unit weights)",
+                    "consistent_pivots": consistent,
+                    "trials": trials,
+                    "label_construction_failures": failures,
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# X1 — extension: distance labels (STOC'01 corollary)
+# ----------------------------------------------------------------------
+def exp_x1(scale: str = "small", seed=0) -> ExperimentResult:
+    """Distance labels: 2k−1 estimates from two labels alone; label size
+    vs the Õ(n^{1/k}) prediction."""
+    from ..oracles.distance_labels import build_distance_labels, query_steps
+
+    p = _scale_params(scale)
+    n = int(p["n_ref"])
+    result = ExperimentResult(
+        "x1",
+        f"X1 (extension): distance labels at n={n}",
+        notes="max_ratio <= 2k-1; avg_label_bits shrinks with k toward "
+        "the n^{1/k} curve — the fully distributed oracle.",
+    )
+    for gname in ("gnp", "ba"):
+        graph = reference_graph(gname, n, seed)
+        D = all_pairs_shortest_paths(graph)
+        pairs = sample_pairs(derive(seed, "x1", gname), graph.n, int(p["pairs"]))
+        for k in p["k_values"]:
+            labeling = build_distance_labels(
+                graph, k, rng=derive(seed, "x1s", gname, k)
+            )
+            ratios, steps = [], []
+            for s, t in pairs:
+                d = float(D[int(s), int(t)])
+                est = labeling.query(int(s), int(t))
+                if est + 1e-9 < d:
+                    raise PreprocessingError(
+                        f"label query under-estimated d({s},{t})"
+                    )
+                ratios.append(est / d if d > 0 else 1.0)
+                steps.append(
+                    query_steps(labeling.labels[int(s)], labeling.labels[int(t)])
+                )
+            arr = np.asarray(ratios)
+            result.rows.append(
+                {
+                    "graph": gname,
+                    "k": k,
+                    "bound_2k-1": labeling.stretch_bound(),
+                    "max_ratio": round(float(arr.max()), 3),
+                    "avg_ratio": round(float(arr.mean()), 3),
+                    "violations": int(
+                        (arr > labeling.stretch_bound() + 1e-9).sum()
+                    ),
+                    "avg_label_bits": round(labeling.avg_label_bits(), 0),
+                    "max_label_bits": labeling.max_label_bits(),
+                    "avg_query_steps": round(float(np.mean(steps)), 2),
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# X2 — extension: (2k−1)-spanners from the cluster trees
+# ----------------------------------------------------------------------
+def exp_x2(scale: str = "small", seed=0) -> ExperimentResult:
+    """Spanner H = ∪ E(T_w): size vs k·n^{1+1/k}, stretch ≤ 2k−1."""
+    from ..oracles.spanner import build_spanner, spanner_size_bound
+
+    p = _scale_params(scale)
+    n = min(int(p["n_ref"]), 1024)  # spanner check needs a second APSP
+    result = ExperimentResult(
+        "x2",
+        f"X2 (extension): (2k−1)-spanners at n={n}",
+        notes="measured_stretch <= 2k-1; spanner edges <= ~k*n^{1+1/k} "
+        "and shrink as k grows.",
+    )
+    for gname in ("gnp", "ba"):
+        graph = reference_graph(gname, n, seed)
+        D = all_pairs_shortest_paths(graph)
+        for k in p["k_values"]:
+            spanner = build_spanner(graph, k, rng=derive(seed, "x2s", gname, k))
+            Ds = all_pairs_shortest_paths(spanner)
+            with np.errstate(invalid="ignore"):
+                ratio = np.where(D > 0, Ds / np.maximum(D, 1e-12), 1.0)
+            worst = float(np.nanmax(ratio))
+            result.rows.append(
+                {
+                    "graph": gname,
+                    "k": k,
+                    "bound_2k-1": 1.0 if k == 1 else float(2 * k - 1),
+                    "measured_stretch": round(worst, 3),
+                    "graph_edges": graph.m,
+                    "spanner_edges": spanner.m,
+                    "kn^(1+1/k)_ref": round(spanner_size_bound(graph.n, k), 0),
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "t1": exp_t1,
+    "f2": exp_f2,
+    "f3": exp_f3,
+    "f4": exp_f4,
+    "f5": exp_f5,
+    "f6": exp_f6,
+    "f7": exp_f7,
+    "f8": exp_f8,
+    "f9": exp_f9,
+    "a1": exp_a1,
+    "a2": exp_a2,
+    "x1": exp_x1,
+    "x2": exp_x2,
+}
+
+
+def run_experiment(exp_id: str, scale: str = "small", seed=0) -> ExperimentResult:
+    """Dispatch by experiment id (see DESIGN.md §4)."""
+    key = exp_id.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key](scale=scale, seed=seed)

@@ -1,0 +1,63 @@
+"""Render experiment rows as aligned text / markdown tables.
+
+Benchmarks print through these functions so that what lands in the bench
+log is byte-identical in structure to the rows recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Dict[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Aligned plain-text table from a list of dict rows."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    rows: Sequence[Dict[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """GitHub-flavored markdown table from a list of dict rows."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    out = ["| " + " | ".join(cols) + " |", "|" + "|".join("---" for _ in cols) + "|"]
+    for r in rows:
+        out.append("| " + " | ".join(_fmt(r.get(c, "")) for c in cols) + " |")
+    return "\n".join(out)

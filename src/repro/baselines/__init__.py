@@ -1,0 +1,17 @@
+"""Baseline routing schemes the paper compares against: full
+shortest-path tables (stretch 1, linear space), single-tree routing
+(constant space, unbounded stretch), and Cowen's stretch-3 scheme (the
+prior art TZ §3 improves on)."""
+
+from .shortest_path_routing import ShortestPathRoutingScheme, build_shortest_path_scheme
+from .tree_spanner import SingleTreeRoutingScheme, build_single_tree_scheme
+from .cowen import build_cowen_scheme, cowen_landmark_set
+
+__all__ = [
+    "ShortestPathRoutingScheme",
+    "build_shortest_path_scheme",
+    "SingleTreeRoutingScheme",
+    "build_single_tree_scheme",
+    "build_cowen_scheme",
+    "cowen_landmark_set",
+]

@@ -1,0 +1,88 @@
+"""Command-line entry point: ``python -m repro`` / ``repro``.
+
+Regenerates any experiment of DESIGN.md §4 from the terminal::
+
+    repro list
+    repro run f4 --scale small --seed 0
+    repro all --scale full --markdown
+
+``all --markdown`` emits the exact tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .analysis.experiments import EXPERIMENTS, run_experiment
+from .analysis.reporting import render_markdown_table, render_table
+
+
+def _cmd_list(_args) -> int:
+    print("experiment ids (DESIGN.md §4):")
+    for exp_id in EXPERIMENTS:
+        doc = (EXPERIMENTS[exp_id].__doc__ or "").strip().splitlines()[0]
+        print(f"  {exp_id:4s} {doc}")
+    return 0
+
+
+def _print_result(result, markdown: bool) -> None:
+    print()
+    if markdown:
+        print(f"### {result.title}\n")
+        print(render_markdown_table(result.rows))
+        if result.notes:
+            print(f"\n*{result.notes}*")
+    else:
+        print(render_table(result.rows, title=result.title))
+        if result.notes:
+            print(f"note: {result.notes}")
+
+
+def _cmd_run(args) -> int:
+    t0 = time.time()
+    result = run_experiment(args.exp_id, scale=args.scale, seed=args.seed)
+    _print_result(result, args.markdown)
+    print(f"\n[{args.exp_id} finished in {time.time() - t0:.1f}s]")
+    return 0
+
+
+def _cmd_all(args) -> int:
+    for exp_id in EXPERIMENTS:
+        t0 = time.time()
+        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        _print_result(result, args.markdown)
+        print(f"\n[{exp_id} finished in {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thorup-Zwick 'Compact routing schemes' reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("exp_id", choices=sorted(EXPERIMENTS))
+    p_run.add_argument("--scale", default="small", choices=["small", "full"])
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--markdown", action="store_true")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--scale", default="small", choices=["small", "full"])
+    p_all.add_argument("--seed", type=int, default=0)
+    p_all.add_argument("--markdown", action="store_true")
+    p_all.set_defaults(func=_cmd_all)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: landmark hierarchies, clusters, and
+the compact routing schemes of TZ SPAA'01 §3–§4."""
+
+from .clusters import Cluster, compute_cluster, compute_all_clusters, bunches
+from .landmarks import (
+    Hierarchy,
+    center,
+    sample_hierarchy,
+    compute_pivots,
+)
+from .router import RouteHeader, RoutingScheme
+from .scheme_k import TZRoutingScheme, build_tz_scheme
+from .scheme_k2 import build_stretch3_scheme
+from .handshake import HandshakeRoutingScheme
+
+__all__ = [
+    "Cluster",
+    "compute_cluster",
+    "compute_all_clusters",
+    "bunches",
+    "Hierarchy",
+    "center",
+    "sample_hierarchy",
+    "compute_pivots",
+    "RouteHeader",
+    "RoutingScheme",
+    "TZRoutingScheme",
+    "build_tz_scheme",
+    "build_stretch3_scheme",
+    "HandshakeRoutingScheme",
+]

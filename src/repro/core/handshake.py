@@ -1,0 +1,113 @@
+"""The handshaking variant (TZ SPAA'01 §4, Theorem 4.2): stretch 2k−1.
+
+Without handshaking the source commits to a tree using only the
+destination's *label*; the one-sided pivot chain costs stretch 4k−5.
+With a **handshake** — one control round trip before the data flows —
+source and destination jointly run the distance-oracle pivot alternation:
+
+::
+
+    w ← u;  i ← 0;  (x, y) ← (u, v)
+    while w ∉ B(y):                     # i.e. y has no record for T_w
+        i ← i + 1;  (x, y) ← (y, x);  w ← p_i(x)
+
+The loop terminates by level ``k−1`` (top-level clusters span the graph)
+and the exit ``w`` satisfies ``d(u,w) + d(w,v) ≤ (2k−1)·d(u,v)`` — the
+classic alternation argument: each swap increases ``d(w, x)`` by at most
+``d(u, v)``, so ``d(w, x) ≤ i·Δ`` and the final ``i ≤ k−1``.  Both
+endpoints lie in ``C(w)`` (``x`` by pivot consistency, ``y`` by the exit
+condition), so the data message tree-routes inside ``T_w`` at cost at
+most ``d(u,w) + d(w,v)``.
+
+During the handshake the destination returns ``(w, μ(T_w, v))`` — at most
+``O(log n) + |μ|`` bits, within the paper's o(k·log² n) header budget.
+The handshake itself travels over the base 4k−5 scheme; experiments
+report the data-path stretch (the paper's measure) and, separately, the
+total including the handshake round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import RoutingError
+from .router import RouteHeader, RoutingScheme
+from .scheme_k import TZRoutingScheme
+
+
+class HandshakeRoutingScheme(RoutingScheme):
+    """Wraps a compiled :class:`TZRoutingScheme` with the §4 handshake."""
+
+    def __init__(self, base: TZRoutingScheme) -> None:
+        self.base = base
+        self.n = base.n
+        self.k = base.k
+        self.name = f"tz-k{base.k}-handshake"
+
+    # ------------------------------------------------------------------
+    def handshake_tree(self, source: int, dest: int) -> int:
+        """Run the pivot alternation; returns the agreed tree root ``w``.
+
+        Uses the tables of both endpoints — exactly the information the
+        physical handshake exchange makes available.
+        """
+        x, y = source, dest
+        w = x  # p_0(x) = x
+        i = 0
+        while w not in self.base.tables[y].trees:
+            i += 1
+            if i >= self.base.k:
+                raise RoutingError(
+                    f"handshake between {source} and {dest} did not "
+                    f"converge: top-level cluster does not span the graph"
+                )
+            x, y = y, x
+            w = int(self.base.hierarchy.pivot[i, x])
+        return w
+
+    def initial_header(self, source: int, dest: int) -> RouteHeader:
+        if source == dest:
+            return RouteHeader(dest=dest)
+        w = self.handshake_tree(source, dest)
+        # The destination returns μ(T_w, dest) from its own table's
+        # per-tree own_labels — strictly local information.
+        mu = self.base.tables[dest].own_labels.get(w)
+        if mu is None:
+            raise RoutingError(
+                f"handshake chose tree {w} that does not contain {dest}"
+            )
+        return RouteHeader(dest=dest, tree=w, tree_label=mu)
+
+    def decide(
+        self, u: int, header: RouteHeader
+    ) -> Tuple[Optional[int], RouteHeader]:
+        # After the handshake the header always pins a tree; forwarding is
+        # pure §2 tree routing via the base tables.
+        return self.base.decide(u, header)
+
+    # ------------------------------------------------------------------
+    def table_bits(self, u: int) -> int:
+        return self.base.table_bits(u)
+
+    def label_bits(self, v: int) -> int:
+        return self.base.label_bits(v)
+
+    def header_bits(self, header: RouteHeader) -> int:
+        return self.base.header_bits(header)
+
+    def stretch_bound(self) -> float:
+        if self.k == 1:
+            return 1.0
+        return float(2 * self.k - 1)
+
+    def handshake_hops(self, source: int, dest: int) -> int:
+        """Number of alternation steps (≤ k−1); a proxy for handshake
+        control complexity reported by experiment F6."""
+        x, y = source, dest
+        w = x
+        i = 0
+        while w not in self.base.tables[y].trees:
+            i += 1
+            x, y = y, x
+            w = int(self.base.hierarchy.pivot[i, x])
+        return i

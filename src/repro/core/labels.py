@@ -1,0 +1,122 @@
+"""Vertex labels of the general TZ scheme.
+
+The label of ``v`` (§4 of the paper) is::
+
+    L(v) = ( v,
+             (p_1(v), μ(T_{p_1(v)}, v)),
+             ...,
+             (p_{k-1}(v), μ(T_{p_{k-1}(v)}, v)) )
+
+where ``μ(T, v)`` is ``v``'s tree-routing label inside ``T`` (§2).  The
+level-0 entry ``(v, μ(T_v, v))`` is omitted: ``v`` is the root of its own
+tree, so its label there is the trivial ``TreeLabel(0, ())``.
+
+Consistent pivots (see :mod:`repro.core.landmarks`) guarantee
+``v ∈ C(p_i(v))`` for every ``i``, i.e. every ``μ`` in the label exists.
+When consecutive pivots coincide (``p_i(v) = p_{i+1}(v)``), the entry is
+stored once with a repeat flag — the bit accounting reflects that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..bitio import BitReader, BitWriter
+from ..errors import LabelError
+from ..trees.label_codec import (
+    TreeLabel,
+    decode_tree_label,
+    encode_tree_label,
+    tree_label_bits,
+)
+
+
+@dataclass(frozen=True)
+class LabelEntry:
+    """One per-level label entry: the pivot and v's label in its tree."""
+
+    pivot: int
+    tree_label: TreeLabel
+
+
+@dataclass(frozen=True)
+class TZLabel:
+    """Full routing label of one vertex (entries for levels 1..k-1)."""
+
+    v: int
+    entries: Tuple[LabelEntry, ...]
+
+    @property
+    def k(self) -> int:
+        return len(self.entries) + 1
+
+    def entry(self, i: int) -> LabelEntry:
+        """Entry for level ``i`` (``1 <= i <= k-1``)."""
+        if not 1 <= i <= len(self.entries):
+            raise LabelError(f"no label entry for level {i}")
+        return self.entries[i - 1]
+
+
+def label_size_bits(
+    label: TZLabel,
+    n: int,
+    tree_sizes: Dict[int, int],
+) -> int:
+    """Measured size of ``label`` in bits.
+
+    Layout: vertex id (⌈log n⌉ bits); then per level a repeat flag (1
+    bit); for non-repeated levels the pivot id (⌈log n⌉ bits) and the
+    encoded tree label.  ``tree_sizes[w]`` is ``|C(w)|``, needed for the
+    fixed-width DFS field of each tree label.
+    """
+    id_bits = max(1, (max(n - 1, 1)).bit_length())
+    bits = id_bits
+    prev: LabelEntry = None  # type: ignore[assignment]
+    for e in label.entries:
+        bits += 1  # repeat flag
+        if prev is not None and e.pivot == prev.pivot:
+            prev = e
+            continue
+        bits += id_bits
+        bits += tree_label_bits(e.tree_label, tree_sizes[e.pivot])
+        prev = e
+    return bits
+
+
+def encode_label(label: TZLabel, n: int, tree_sizes: Dict[int, int]) -> BitWriter:
+    """Materialize the label as actual bits (round-trip tested)."""
+    id_bits = max(1, (max(n - 1, 1)).bit_length())
+    w = BitWriter()
+    w.write_uint(label.v, id_bits)
+    prev: LabelEntry = None  # type: ignore[assignment]
+    for e in label.entries:
+        if prev is not None and e.pivot == prev.pivot:
+            w.write_bit(1)
+        else:
+            w.write_bit(0)
+            w.write_uint(e.pivot, id_bits)
+            w.extend(encode_tree_label(e.tree_label, tree_sizes[e.pivot]))
+        prev = e
+    return w
+
+
+def decode_label(
+    reader: BitReader, n: int, k: int, tree_sizes: Dict[int, int]
+) -> TZLabel:
+    """Inverse of :func:`encode_label` (needs the shared ``tree_sizes``)."""
+    id_bits = max(1, (max(n - 1, 1)).bit_length())
+    v = reader.read_uint(id_bits)
+    entries = []
+    prev: LabelEntry = None  # type: ignore[assignment]
+    for _ in range(k - 1):
+        if reader.read_bit() == 1:
+            if prev is None:
+                raise LabelError("repeat flag on the first label entry")
+            entries.append(prev)
+            continue
+        pivot = reader.read_uint(id_bits)
+        tl = decode_tree_label(reader, tree_sizes[pivot])
+        prev = LabelEntry(pivot, tl)
+        entries.append(prev)
+    return TZLabel(v, tuple(entries))

@@ -1,0 +1,96 @@
+"""The runtime interface every routing scheme implements.
+
+A scheme is *compiled* (preprocessing) into per-vertex tables plus
+per-vertex labels; at runtime the network simulator drives it through
+exactly two entry points:
+
+* :meth:`RoutingScheme.initial_header` — executed at the source, builds
+  the message header from the destination's label (and, for handshaking
+  schemes, the handshake exchange);
+* :meth:`RoutingScheme.decide` — executed at *every* vertex the message
+  visits, maps ``(current vertex, header)`` to an output port (or ``None``
+  on arrival) and may rewrite the header.
+
+This mirrors the paper's model: forwarding decisions see only the local
+table and the O(polylog)-bit header, never the global graph.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..trees.label_codec import TreeLabel
+
+
+@dataclass(frozen=True)
+class RouteHeader:
+    """Message header carried hop to hop.
+
+    ``tree == -1`` means the source has not yet committed to a tree (the
+    very first :meth:`RoutingScheme.decide` call resolves it); afterwards
+    the header pins the tree root and the destination's label inside that
+    tree, and intermediate vertices do pure tree routing.
+    """
+
+    dest: int
+    tree: int = -1
+    tree_label: Optional[TreeLabel] = None
+
+    def with_tree(self, tree: int, tree_label: TreeLabel) -> "RouteHeader":
+        return replace(self, tree=tree, tree_label=tree_label)
+
+
+class RoutingScheme(ABC):
+    """Abstract compiled routing scheme (see module docstring)."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "abstract"
+
+    @abstractmethod
+    def initial_header(self, source: int, dest: int) -> RouteHeader:
+        """Header the source attaches to a fresh message."""
+
+    @abstractmethod
+    def decide(
+        self, u: int, header: RouteHeader
+    ) -> Tuple[Optional[int], RouteHeader]:
+        """Forwarding decision at ``u``: ``(port, new_header)``; ``port``
+        is ``None`` exactly when ``u`` is the destination."""
+
+    @abstractmethod
+    def table_bits(self, u: int) -> int:
+        """Measured size in bits of ``u``'s routing table."""
+
+    @abstractmethod
+    def label_bits(self, v: int) -> int:
+        """Measured size in bits of ``v``'s routing label."""
+
+    def header_bits(self, header: RouteHeader) -> int:
+        """Measured header size; default counts the two vertex ids."""
+        return 2 * self._id_bits()
+
+    @abstractmethod
+    def stretch_bound(self) -> float:
+        """The scheme's proven worst-case stretch."""
+
+    # -- helpers -------------------------------------------------------
+    def _id_bits(self) -> int:
+        n = getattr(self, "n", None)
+        if n is None:
+            return 64
+        return max(1, (max(int(n) - 1, 1)).bit_length())
+
+    def max_table_bits(self) -> int:
+        return max(self.table_bits(u) for u in range(int(getattr(self, "n"))))
+
+    def avg_table_bits(self) -> float:
+        n = int(getattr(self, "n"))
+        return sum(self.table_bits(u) for u in range(n)) / max(1, n)
+
+    def total_table_bits(self) -> int:
+        return sum(self.table_bits(u) for u in range(int(getattr(self, "n"))))
+
+    def max_label_bits(self) -> int:
+        return max(self.label_bits(v) for v in range(int(getattr(self, "n"))))

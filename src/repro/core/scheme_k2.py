@@ -1,0 +1,82 @@
+"""The stretch-3 scheme of TZ SPAA'01 §3 (the headline result).
+
+This is the ``k = 2`` instance of the general scheme with one crucial
+refinement: the landmark set ``A`` is *not* a plain Bernoulli sample but
+the output of the ``center`` algorithm (Theorem 3.1), which guarantees
+``|C(w)| ≤ 4n/s`` for every ``w ∉ A`` deterministically (not just in
+expectation).  With ``s = sqrt(n)`` this yields:
+
+* tables of ``Õ(sqrt(n))`` bits per vertex — experiment F4 measures the
+  scaling;
+* labels and headers of ``o(log² n)`` bits;
+* worst-case stretch exactly **3**: either the destination lies in the
+  source's cluster (routed along an exact shortest path), or its nearest
+  landmark ``a_v`` satisfies ``d(v, a_v) ≤ d(u, v)`` and the route
+  through ``T_{a_v}`` costs at most
+  ``d(u, a_v) + d(a_v, v) ≤ d(u,v) + 2·d(v, a_v) ≤ 3·d(u,v)``.
+
+The paper notes stretch 3 is optimal for any scheme with ``o(n)``-bit
+tables (see :mod:`repro.analysis.bounds`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.ports import PortedGraph
+from ..rng import RngLike, make_rng
+from .landmarks import center
+from .scheme_k import TZRoutingScheme, build_tz_scheme
+
+
+def default_s(n: int) -> float:
+    """The balanced choice ``s = sqrt(n)``: both ``|A| ≈ s·log n`` (hence
+    ``|trees|`` entries) and ``|C(u)| ≤ 4n/s`` scale as ``Õ(sqrt n)``."""
+    return math.sqrt(max(1, n))
+
+
+def build_stretch3_scheme(
+    graph: Graph,
+    ported: Optional[PortedGraph] = None,
+    *,
+    s: Optional[float] = None,
+    rng: RngLike = None,
+    landmark_method: str = "center",
+    cluster_method: str = "auto",
+) -> TZRoutingScheme:
+    """Compile the §3 stretch-3 scheme.
+
+    ``landmark_method``:
+
+    * ``"center"`` — Theorem 3.1 selection (default; hard cluster cap).
+    * ``"bernoulli"`` — plain rate-``s/n`` sampling, for the A1 ablation.
+
+    Returns a :class:`~repro.core.scheme_k.TZRoutingScheme` with
+    ``k = 2`` whose ``stretch_bound()`` is 3.
+    """
+    gen = make_rng(rng)
+    n = graph.n
+    s_val = default_s(n) if s is None else float(s)
+    if landmark_method == "center":
+        A = center(graph, s_val, gen)
+    elif landmark_method == "bernoulli":
+        p = min(1.0, s_val / max(1, n))
+        A = np.flatnonzero(gen.random(n) < p)
+        if A.size == 0:
+            A = np.array([int(gen.integers(0, n))], dtype=np.int64)
+    else:
+        raise ValueError(f"unknown landmark method {landmark_method!r}")
+    levels = [np.arange(n, dtype=np.int64), np.asarray(A, dtype=np.int64)]
+    scheme = build_tz_scheme(
+        graph,
+        ported,
+        levels=levels,
+        rng=gen,
+        cluster_method=cluster_method,
+    )
+    scheme.name = "tz-stretch3"
+    return scheme

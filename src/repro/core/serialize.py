@@ -1,0 +1,170 @@
+"""Bit-exact serialization of compiled routing state.
+
+The paper's space claims are about bits, so this package measures bits
+— and this module proves the measurements honest: every
+:class:`~repro.core.tables.VertexTable` and every TZ label can be
+round-tripped through an actual bit stream whose length equals the
+reported ``size_bits`` plus only the self-delimiting length prefixes.
+
+Layout of a serialized table (all fields prefix-free or fixed-width
+against the shared context ``(n, tree_sizes, max_port)``)::
+
+    delta0(#trees)
+      per tree: uint(w, ⌈log n⌉)  record(f, finish, heavy_finish,
+                parent_port, heavy_port, light_depth)  own tree label
+    delta0(#members)
+      per member: uint(v, ⌈log n⌉)  tree label in T_u
+    per pivot level: uint(p_i(u), ⌈log n⌉)
+
+The shared context is preprocessing-wide state (the same for every
+vertex), matching the standard labeled-scheme convention that global
+constants are not charged to individual tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..bitio import BitReader, BitWriter, delta_cost
+from ..errors import EncodingError
+from ..trees.label_codec import TreeLabel, decode_tree_label, encode_tree_label
+from ..trees.tz_tree import TreeLocalRecord
+from .tables import VertexTable
+
+
+def _id_width(n: int) -> int:
+    return max(1, (max(n - 1, 1)).bit_length())
+
+
+def _f_width(tree_size: int) -> int:
+    return max(1, (max(tree_size - 1, 1)).bit_length())
+
+
+def encode_record(
+    w: BitWriter, record: TreeLocalRecord, tree_size: int, max_port: int
+) -> None:
+    fw = _f_width(tree_size)
+    pw = max(1, max_port.bit_length())
+    w.write_uint(record.f, fw)
+    w.write_uint(record.finish, fw)
+    w.write_uint(record.heavy_finish, fw)
+    w.write_uint(record.parent_port, pw)
+    w.write_uint(record.heavy_port, pw)
+    w.write_uint(record.light_depth, fw)
+
+
+def decode_record(
+    r: BitReader, tree_size: int, max_port: int
+) -> TreeLocalRecord:
+    fw = _f_width(tree_size)
+    pw = max(1, max_port.bit_length())
+    return TreeLocalRecord(
+        f=r.read_uint(fw),
+        finish=r.read_uint(fw),
+        heavy_finish=r.read_uint(fw),
+        parent_port=r.read_uint(pw),
+        heavy_port=r.read_uint(pw),
+        light_depth=r.read_uint(fw),
+    )
+
+
+def encode_table(
+    table: VertexTable,
+    n: int,
+    tree_sizes: Dict[int, int],
+    own_tree_size: int,
+    max_port: int,
+) -> BitWriter:
+    """Serialize one vertex table (see module docstring for layout)."""
+    idw = _id_width(n)
+    w = BitWriter()
+    w.write_delta0(len(table.trees))
+    for tree_id in sorted(table.trees):
+        w.write_uint(tree_id, idw)
+        encode_record(w, table.trees[tree_id], tree_sizes[tree_id], max_port)
+        w.extend(
+            encode_tree_label(table.own_labels[tree_id], tree_sizes[tree_id])
+        )
+    w.write_delta0(len(table.members))
+    for v in sorted(table.members):
+        w.write_uint(v, idw)
+        w.extend(encode_tree_label(table.members[v], own_tree_size))
+    for p in table.pivots:
+        w.write_uint(p, idw)
+    return w
+
+
+def decode_table(
+    reader: BitReader,
+    u: int,
+    n: int,
+    k: int,
+    tree_sizes: Dict[int, int],
+    own_tree_size: int,
+    max_port: int,
+) -> VertexTable:
+    """Inverse of :func:`encode_table` under the same shared context."""
+    idw = _id_width(n)
+    trees: Dict[int, TreeLocalRecord] = {}
+    own_labels: Dict[int, TreeLabel] = {}
+    count = reader.read_delta0()
+    for _ in range(count):
+        tree_id = reader.read_uint(idw)
+        if tree_id not in tree_sizes:
+            raise EncodingError(f"serialized table references unknown tree {tree_id}")
+        trees[tree_id] = decode_record(reader, tree_sizes[tree_id], max_port)
+        own_labels[tree_id] = decode_tree_label(reader, tree_sizes[tree_id])
+    members: Dict[int, TreeLabel] = {}
+    count = reader.read_delta0()
+    for _ in range(count):
+        v = reader.read_uint(idw)
+        members[v] = decode_tree_label(reader, own_tree_size)
+    pivots = tuple(reader.read_uint(idw) for _ in range(max(0, k - 1)))
+    return VertexTable(
+        u=u, trees=trees, own_labels=own_labels, members=members, pivots=pivots
+    )
+
+
+def table_prefix_overhead(table: VertexTable) -> int:
+    """Bits the stream spends on the two length prefixes — the only
+    difference between the stream length and ``VertexTable.size_bits``."""
+    return delta_cost(len(table.trees) + 1) + delta_cost(len(table.members) + 1)
+
+
+def serialize_scheme(scheme) -> Dict[int, bytes]:
+    """Serialize every vertex table of a compiled TZ scheme to bytes."""
+    degs = scheme.graph.degrees()
+    max_port = int(degs.max()) if degs.size else 1
+    out: Dict[int, bytes] = {}
+    for u in range(scheme.n):
+        w = encode_table(
+            scheme.tables[u],
+            scheme.n,
+            scheme.tree_sizes,
+            scheme.tree_sizes[u],
+            max_port,
+        )
+        out[u] = w.getvalue()
+    return out
+
+
+def deserialize_scheme_tables(
+    blobs: Dict[int, bytes],
+    scheme,
+) -> Dict[int, VertexTable]:
+    """Decode serialized tables back, given the scheme's shared context
+    (used by tests to prove the byte streams are complete)."""
+    degs = scheme.graph.degrees()
+    max_port = int(degs.max()) if degs.size else 1
+    out: Dict[int, VertexTable] = {}
+    for u, blob in blobs.items():
+        out[u] = decode_table(
+            BitReader(blob),
+            u,
+            scheme.n,
+            scheme.k,
+            scheme.tree_sizes,
+            scheme.tree_sizes[u],
+            max_port,
+        )
+    return out

@@ -1,0 +1,71 @@
+"""Per-vertex routing tables of the general TZ scheme.
+
+The table of a vertex ``u`` (§3–§4 of the paper) contains:
+
+* ``trees`` — for every tree ``T_w`` with ``u ∈ C(w)`` (i.e. every
+  ``w ∈ B(u)``, plus every top-level landmark), ``u``'s O(1)-word tree
+  record.  This is what lets ``u`` *forward* inside those trees.
+* ``own_labels`` — ``u``'s own tree label ``μ(T_w, u)`` for each of
+  those trees: what ``u`` hands back during a handshake so the peer can
+  route to it inside ``T_w``.
+* ``members`` — ``u`` roots its own cluster tree ``T_u``; it stores, for
+  every ``v`` in its **level-0 cluster** ``C_0(u) = {v : d(u,v) < d₁(v)}``,
+  the pair ``(v, μ(T_u, v))``.  This is what lets a *source* answer "is
+  the destination in my (level-0) cluster?" and, if so, route it along
+  an exact shortest path.  The restriction to level 0 is load-bearing:
+  the cluster of a landmark at its own level spans far more (the whole
+  graph at the top level), but the 4k−5 proof only ever uses the
+  level-0 check, and level-0 clusters of landmarks are empty — which is
+  precisely why landmark tables stay small.
+* ``pivots`` — ``u``'s own pivot list ``p_1(u)..p_{k-1}(u)`` (used by the
+  handshaking variant).
+
+Expected sizes (the paper's accounting, validated by experiments F3–F5):
+``|trees| ≤ |B(u)| = O(k·n^{1/k})`` w.h.p. and
+``|members| = |C_0(u)| ≤ 4n/s`` under ``center()`` selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..trees.label_codec import TreeLabel, tree_label_bits
+from ..trees.tz_tree import TreeLocalRecord
+
+
+@dataclass
+class VertexTable:
+    """Compiled routing table of one vertex (see module docstring)."""
+
+    u: int
+    trees: Dict[int, TreeLocalRecord]
+    own_labels: Dict[int, TreeLabel]
+    members: Dict[int, TreeLabel]
+    pivots: Tuple[int, ...]
+
+    def size_bits(
+        self,
+        n: int,
+        tree_sizes: Dict[int, int],
+        own_tree_size: int,
+        max_port: int,
+    ) -> int:
+        """Measured table size in bits.
+
+        Each ``trees`` entry costs an id, the O(1)-word record
+        (fixed-width fields sized for its tree), and ``u``'s own tree
+        label in that tree; each ``members`` entry costs an id plus the
+        member's encoded tree label; pivots cost one id each.
+        """
+        id_bits = max(1, (max(n - 1, 1)).bit_length())
+        bits = 0
+        for w, record in self.trees.items():
+            bits += id_bits
+            bits += record.size_bits(tree_sizes[w], max_port)
+            bits += tree_label_bits(self.own_labels[w], tree_sizes[w])
+        for _v, label in self.members.items():
+            bits += id_bits
+            bits += tree_label_bits(label, own_tree_size)
+        bits += id_bits * len(self.pivots)
+        return bits

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause without swallowing programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation received an invalid graph."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires a connected graph received one that isn't."""
+
+
+class PortError(ReproError):
+    """A port number does not correspond to an edge at the given vertex."""
+
+
+class RoutingError(ReproError):
+    """A routing scheme failed to make a forwarding decision."""
+
+
+class DeliveryError(RoutingError):
+    """A simulated message was not delivered (loop, TTL expiry, dead end)."""
+
+
+class LabelError(ReproError):
+    """A routing label is malformed or cannot be decoded."""
+
+
+class PreprocessingError(ReproError):
+    """Scheme preprocessing failed (e.g. landmark selection cannot satisfy
+    its guarantees within the retry budget)."""
+
+
+class EncodingError(ReproError):
+    """Bit-level encoding or decoding failed."""

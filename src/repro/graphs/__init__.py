@@ -1,0 +1,28 @@
+"""Graph substrate: CSR graphs, generators, shortest paths, rooted trees,
+and the port model routing schemes operate on."""
+
+from .graph import Graph, GraphBuilder
+from .ports import PortedGraph, assign_ports
+from .shortest_paths import (
+    dijkstra,
+    dijkstra_tree,
+    multi_source_dijkstra,
+    truncated_dijkstra,
+    all_pairs_shortest_paths,
+)
+from .trees import RootedTree, tree_from_parents, tree_from_predecessors
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "PortedGraph",
+    "assign_ports",
+    "dijkstra",
+    "dijkstra_tree",
+    "multi_source_dijkstra",
+    "truncated_dijkstra",
+    "all_pairs_shortest_paths",
+    "RootedTree",
+    "tree_from_parents",
+    "tree_from_predecessors",
+]

@@ -1,0 +1,178 @@
+"""The port model of compact routing.
+
+A router does not forward "to vertex v" — it forwards on a *port*, a
+local link number in ``1..deg(u)``.  Thorup–Zwick distinguish two models:
+
+* **fixed-port** — an adversary (or the hardware) fixed the port
+  numbering; the scheme must cope with arbitrary assignments.  This is
+  the model the general-graph schemes (§3–§4) are analyzed in.
+* **designer-port** — the scheme designer chooses the numbering.  The
+  (1+o(1))·log n tree-routing labels (§2) need this freedom: ports to
+  children are assigned in order of decreasing subtree size, making port
+  numbers along root paths multiply to at most ``n``.
+
+:class:`PortedGraph` binds a :class:`~repro.graphs.graph.Graph` to a
+concrete assignment and provides the two operations the simulator needs:
+``step(u, port) -> v`` and ``port(u, v) -> port``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import GraphError, PortError
+from ..rng import RngLike, make_rng
+from .graph import Graph
+from .trees import RootedTree
+
+
+class PortedGraph:
+    """A graph with a concrete port numbering.
+
+    ``port_of_arc[i]`` is the port number (1-based) that the tail of CSR
+    arc ``i`` uses for that arc; ``arc_of_port`` is its inverse laid out
+    so that the arc for ``(u, port)`` sits at ``indptr[u] + port - 1``.
+    """
+
+    __slots__ = ("graph", "port_of_arc", "arc_of_port")
+
+    def __init__(self, graph: Graph, port_of_arc: np.ndarray) -> None:
+        if port_of_arc.shape != (2 * graph.m,):
+            raise GraphError("port_of_arc must have one entry per directed arc")
+        self.graph = graph
+        self.port_of_arc = port_of_arc.astype(np.int64)
+        arc_of_port = np.full(2 * graph.m, -1, dtype=np.int64)
+        indptr = graph.indptr
+        for u in range(graph.n):
+            lo, hi = int(indptr[u]), int(indptr[u + 1])
+            deg = hi - lo
+            seen = np.zeros(deg, dtype=bool)
+            for arc in range(lo, hi):
+                p = int(self.port_of_arc[arc])
+                if not 1 <= p <= deg:
+                    raise PortError(
+                        f"port {p} at vertex {u} outside 1..deg={deg}"
+                    )
+                if seen[p - 1]:
+                    raise PortError(f"duplicate port {p} at vertex {u}")
+                seen[p - 1] = True
+                arc_of_port[lo + p - 1] = arc
+        self.arc_of_port = arc_of_port
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def m(self) -> int:
+        return self.graph.m
+
+    def degree(self, u: int) -> int:
+        return self.graph.degree(u)
+
+    def step(self, u: int, port: int) -> int:
+        """Follow ``port`` out of ``u``; returns the neighbor reached."""
+        deg = self.degree(u)
+        if not 1 <= port <= deg:
+            raise PortError(f"vertex {u} has no port {port} (degree {deg})")
+        arc = self.arc_of_port[self.graph.indptr[u] + port - 1]
+        return int(self.graph.adj[arc])
+
+    def step_weight(self, u: int, port: int) -> float:
+        """Weight of the edge behind ``(u, port)``."""
+        deg = self.degree(u)
+        if not 1 <= port <= deg:
+            raise PortError(f"vertex {u} has no port {port} (degree {deg})")
+        arc = self.arc_of_port[self.graph.indptr[u] + port - 1]
+        return float(self.graph.adj_weights[arc])
+
+    def port(self, u: int, v: int) -> int:
+        """Port number at ``u`` of the edge to neighbor ``v``."""
+        row = self.graph.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        if i >= row.size or row[i] != v:
+            raise PortError(f"no edge between {u} and {v}")
+        return int(self.port_of_arc[self.graph.indptr[u] + i])
+
+    def max_port_bits(self) -> int:
+        """Bits needed for the largest port number (fixed-width model)."""
+        degs = self.graph.degrees()
+        return int(max(1, int(degs.max()) if degs.size else 1).bit_length())
+
+
+def assign_ports(
+    graph: Graph,
+    kind: str = "sorted",
+    rng: RngLike = None,
+) -> PortedGraph:
+    """Create a port assignment of the given ``kind``.
+
+    ``"sorted"``
+        Port ``i`` goes to the ``i``-th smallest neighbor id — the
+        deterministic default.
+    ``"random"``
+        An independent uniformly random permutation per vertex — the
+        fixed-port adversary used in experiments (a scheme must not rely
+        on lucky numbering).
+    ``"reversed"``
+        Port ``i`` goes to the ``i``-th *largest* neighbor id.
+    """
+    n, indptr = graph.n, graph.indptr
+    port_of_arc = np.zeros(2 * graph.m, dtype=np.int64)
+    gen = make_rng(rng) if kind == "random" else None
+    for u in range(n):
+        lo, hi = int(indptr[u]), int(indptr[u + 1])
+        deg = hi - lo
+        if deg == 0:
+            continue
+        if kind == "sorted":
+            ports = np.arange(1, deg + 1)
+        elif kind == "reversed":
+            ports = np.arange(deg, 0, -1)
+        elif kind == "random":
+            ports = gen.permutation(deg) + 1
+        else:
+            raise GraphError(f"unknown port assignment kind {kind!r}")
+        port_of_arc[lo:hi] = ports
+    return PortedGraph(graph, port_of_arc)
+
+
+def designer_ports_for_tree(graph: Graph, tree: RootedTree) -> PortedGraph:
+    """Designer-port assignment optimized for ``tree`` (TZ §2).
+
+    At each tree vertex the ports toward children follow the child rank
+    (heavy child = port 1, rank-``r`` child = port ``r``); the port toward
+    the parent comes right after the children; any non-tree edges fill the
+    remaining port numbers in neighbor-id order.  With this assignment the
+    port taken at a light edge equals the child rank, so port numbers
+    along any root path multiply to at most ``n`` — the fact behind the
+    (1+o(1))·log n label bound.
+    """
+    n, indptr = graph.n, graph.indptr
+    port_of_arc = np.zeros(2 * graph.m, dtype=np.int64)
+    for u in range(n):
+        lo, hi = int(indptr[u]), int(indptr[u + 1])
+        deg = hi - lo
+        if deg == 0:
+            continue
+        neighbors = graph.adj[lo:hi]
+        assigned: Dict[int, int] = {}
+        next_port = 1
+        if u in tree:
+            for child in tree.children.get(u, []):
+                assigned[child] = next_port
+                next_port += 1
+            parent = tree.parent.get(u, -1)
+            if parent != -1:
+                assigned[parent] = next_port
+                next_port += 1
+        for v in neighbors:
+            v = int(v)
+            if v not in assigned:
+                assigned[v] = next_port
+                next_port += 1
+        for i, v in enumerate(neighbors):
+            port_of_arc[lo + i] = assigned[int(v)]
+    return PortedGraph(graph, port_of_arc)

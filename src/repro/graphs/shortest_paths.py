@@ -1,0 +1,238 @@
+"""Shortest-path primitives with deterministic tie-breaking.
+
+Thorup–Zwick correctness rests on *consistency* between several shortest
+path computations (landmark distances, cluster membership thresholds,
+shortest-path trees).  Three design decisions here make the rest of the
+package sound:
+
+1. **Exact arithmetic by default.**  Experiments use integer edge weights
+   (stored in float64, exact up to 2^53), so distance equalities — which
+   decide pivot consistency (DESIGN.md §3) — are exact.
+
+2. **(dist, id) lexicographic tie-breaking.**  When two heap entries carry
+   the same distance, the smaller vertex/witness id wins.  Every run over
+   the same graph yields the same distances, witnesses, and trees.
+
+3. **Truncated Dijkstra** (``truncated_dijkstra``) grows a cluster
+   ``C(w) = {v : d(w, v) < threshold(v)}`` by refusing to settle a vertex
+   whose tentative distance reaches its threshold.  Because every vertex
+   on a shortest path to a cluster member is itself a member (strict
+   inequality; see ``repro.core.clusters``), the truncated run returns
+   exact distances inside the cluster — this is the engine of TZ §3/§4.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+from ..errors import GraphError
+from .graph import Graph
+
+INF = np.inf
+
+
+def dijkstra(
+    graph: Graph,
+    source: int,
+    *,
+    target: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single-source Dijkstra.
+
+    Returns ``(dist, parent)`` arrays of length ``n``; ``parent[source]``
+    is ``-1`` and ``parent[v]`` is ``-1`` for unreachable ``v``.  With
+    ``target`` given, stops as soon as the target settles (distances to
+    other vertices may then be partial).
+    """
+    n = graph.n
+    if not 0 <= source < n:
+        raise GraphError(f"source {source} out of range")
+    dist = np.full(n, INF)
+    parent = np.full(n, -1, dtype=np.int64)
+    done = np.zeros(n, dtype=bool)
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    indptr, adj, wts = graph.indptr, graph.adj, graph.adj_weights
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        if u == target:
+            break
+        for i in range(indptr[u], indptr[u + 1]):
+            v = adj[i]
+            nd = d + wts[i]
+            if nd < dist[v] or (nd == dist[v] and parent[v] > u and not done[v]):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, parent
+
+
+def dijkstra_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Alias of :func:`dijkstra` emphasizing the returned SPT parents."""
+    return dijkstra(graph, source)
+
+
+def multi_source_dijkstra(
+    graph: Graph,
+    sources: Sequence[int],
+    *,
+    witness_priority: Optional[Dict[int, int]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distances to the nearest source, plus the *witness* achieving them.
+
+    Returns ``(dist, witness)``: ``dist[v] = min_{a in sources} d(a, v)``
+    and ``witness[v]`` the source realizing it.  Ties are broken toward
+    the smallest witness id (or smallest ``witness_priority`` value when
+    provided), deterministically: the heap orders entries by
+    ``(dist, priority(witness), witness)`` and witnesses propagate along
+    relaxed edges, so ``witness[v]`` is reachable from ``v`` at distance
+    exactly ``dist[v]``.
+
+    If ``sources`` is empty all distances are ``inf`` and witnesses ``-1``.
+    """
+    n = graph.n
+    dist = np.full(n, INF)
+    witness = np.full(n, -1, dtype=np.int64)
+    done = np.zeros(n, dtype=bool)
+    prio = witness_priority or {}
+    heap: List[Tuple[float, int, int, int]] = []
+    for a in sources:
+        a = int(a)
+        if not 0 <= a < n:
+            raise GraphError(f"source {a} out of range")
+        heapq.heappush(heap, (0.0, prio.get(a, a), a, a))
+        dist[a] = 0.0
+    indptr, adj, wts = graph.indptr, graph.adj, graph.adj_weights
+    while heap:
+        d, _, w, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        dist[u] = d
+        witness[u] = w
+        for i in range(indptr[u], indptr[u + 1]):
+            v = adj[i]
+            if done[v]:
+                continue
+            nd = d + wts[i]
+            if nd <= dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, prio.get(w, w), w, v))
+    return dist, witness
+
+
+def truncated_dijkstra(
+    graph: Graph,
+    source: int,
+    threshold: np.ndarray,
+    *,
+    cap: Optional[int] = None,
+) -> Tuple[Dict[int, float], Dict[int, int], bool]:
+    """Grow the cluster ``C(source) = {v : d(source, v) < threshold[v]}``.
+
+    Runs Dijkstra from ``source`` but *settles* (and relaxes out of) a
+    vertex ``v`` only while ``d(source, v) < threshold[v]``.  The source
+    itself is always settled (TZ define clusters for the scheme such that
+    ``w \\in C(w)``; callers that want the strict definition can drop it).
+
+    Returns ``(dist, parent, capped)`` over cluster members only.  With
+    ``cap`` given, aborts early once more than ``cap`` vertices settled
+    (``capped=True``) — used by the ``center`` algorithm, which only needs
+    to know *whether* a cluster exceeds ``4n/s``.
+    """
+    n = graph.n
+    if not 0 <= source < n:
+        raise GraphError(f"source {source} out of range")
+    if threshold.shape != (n,):
+        raise GraphError(f"threshold must have shape ({n},)")
+    dist: Dict[int, float] = {}
+    parent: Dict[int, int] = {}
+    seen: Dict[int, float] = {source: 0.0}
+    seen_parent: Dict[int, int] = {source: -1}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    indptr, adj, wts = graph.indptr, graph.adj, graph.adj_weights
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in dist:
+            continue
+        if u != source and d >= threshold[u]:
+            continue  # u is outside the cluster: do not settle or relax.
+        dist[u] = d
+        parent[u] = seen_parent[u]
+        if cap is not None and len(dist) > cap:
+            return dist, parent, True
+        for i in range(indptr[u], indptr[u + 1]):
+            v = adj[i]
+            if v in dist:
+                continue
+            nd = d + wts[i]
+            if nd >= threshold[v]:
+                continue  # v cannot be a cluster member via this path.
+            old = seen.get(v)
+            if old is None or nd < old or (nd == old and u < seen_parent[v]):
+                seen[v] = nd
+                seen_parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, parent, False
+
+
+def sssp_from_set(
+    graph: Graph, sources: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized single-source runs from each vertex in ``sources``.
+
+    Returns ``(dist, predecessors, sources_arr)`` where ``dist`` has shape
+    ``(len(sources), n)`` — scipy-backed, used for landmark SPTs where the
+    per-tree tie-breaking need not match the pure-Python runs (any SPT of
+    the full graph is valid; see DESIGN.md §3).
+    """
+    src = np.asarray(sources, dtype=np.int64)
+    if src.size == 0:
+        return (
+            np.zeros((0, graph.n)),
+            np.zeros((0, graph.n), dtype=np.int64),
+            src,
+        )
+    dist, pred = _scipy_dijkstra(
+        graph.to_scipy(), directed=False, indices=src, return_predecessors=True
+    )
+    return np.atleast_2d(dist), np.atleast_2d(pred).astype(np.int64), src
+
+
+def all_pairs_shortest_paths(graph: Graph) -> np.ndarray:
+    """All-pairs distances, ``(n, n)`` float array (scipy-backed)."""
+    if graph.n == 0:
+        return np.zeros((0, 0))
+    return _scipy_dijkstra(graph.to_scipy(), directed=False)
+
+
+def path_from_parents(parent: np.ndarray, source: int, target: int) -> List[int]:
+    """Reconstruct the source→target path from a Dijkstra parent array.
+
+    Raises :class:`GraphError` if ``target`` is unreachable.
+    """
+    if target == source:
+        return [source]
+    if parent[target] < 0:
+        raise GraphError(f"vertex {target} unreachable from {source}")
+    path = [target]
+    v = target
+    while v != source:
+        v = int(parent[v])
+        path.append(v)
+        if len(path) > parent.shape[0]:
+            raise GraphError("parent array contains a cycle")
+    path.reverse()
+    return path
+
+
+def path_weight(graph: Graph, path: Sequence[int]) -> float:
+    """Total weight of a vertex path (consecutive pairs must be edges)."""
+    return sum(graph.edge_weight(path[i], path[i + 1]) for i in range(len(path) - 1))

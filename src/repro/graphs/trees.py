@@ -1,0 +1,257 @@
+"""Rooted trees with the heavy-light machinery of TZ §2.
+
+A :class:`RootedTree` lives on a *subset* of graph vertices (cluster trees
+span only the cluster).  All traversals are iterative — a path graph of a
+few hundred thousand vertices must not hit Python's recursion limit.
+
+The structural facts the routing schemes rely on (all computed here):
+
+* ``size[v]`` — subtree sizes.
+* children ordered by decreasing subtree size (ties toward smaller id);
+  the first child is the *heavy* child.  A child at 1-based rank ``r``
+  has subtree size at most ``size[v] / r``, so ranks multiply to at most
+  ``n`` along any root path — the designer-port label bound.
+* ``dfs[v]`` — DFS entry numbers visiting children heavy-first, so the
+  subtree of ``v`` occupies the contiguous interval
+  ``[dfs[v], dfs[v] + size[v] - 1]`` and the heavy child's interval
+  starts at ``dfs[v] + 1``.
+* ``light_depth[v]`` — number of light edges on the root→``v`` path; it
+  is at most ``log2 n`` because each light step at least halves the
+  remaining subtree size... (strictly: a light subtree has at most half
+  the parent's size since the heavy sibling is no smaller).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+
+
+class RootedTree:
+    """A rooted tree over a subset of graph vertices.
+
+    Construct via :func:`tree_from_parents` or
+    :func:`tree_from_predecessors`; the constructor takes a validated
+    parent map (``root -> -1``).
+    """
+
+    __slots__ = (
+        "root",
+        "parent",
+        "children",
+        "size",
+        "dfs",
+        "finish",
+        "depth",
+        "light_depth",
+        "heavy",
+        "child_rank",
+        "order",
+        "_by_dfs",
+    )
+
+    def __init__(self, root: int, parent: Dict[int, int]) -> None:
+        if parent.get(root, 0) != -1:
+            raise GraphError("parent[root] must be -1")
+        self.root = int(root)
+        self.parent: Dict[int, int] = dict(parent)
+
+        children: Dict[int, List[int]] = {v: [] for v in self.parent}
+        for v, p in self.parent.items():
+            if p == -1:
+                continue
+            if p not in children:
+                raise GraphError(f"parent {p} of {v} is not a tree vertex")
+            children[p].append(v)
+
+        # Subtree sizes via iterative post-order.
+        size: Dict[int, int] = {}
+        order: List[int] = []  # pre-order (arbitrary child order for now)
+        stack = [self.root]
+        seen = set()
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                raise GraphError("parent map contains a cycle")
+            seen.add(v)
+            order.append(v)
+            stack.extend(children[v])
+        if len(seen) != len(self.parent):
+            raise GraphError("parent map is disconnected from the root")
+        for v in reversed(order):
+            size[v] = 1 + sum(size[c] for c in children[v])
+
+        # Order children by decreasing subtree size, ties toward smaller id.
+        for v in children:
+            children[v].sort(key=lambda c: (-size[c], c))
+        heavy: Dict[int, int] = {
+            v: (kids[0] if kids else -1) for v, kids in children.items()
+        }
+        child_rank: Dict[int, int] = {self.root: 0}
+        for v, kids in children.items():
+            for r, c in enumerate(kids, start=1):
+                child_rank[c] = r
+
+        # Heavy-first DFS numbering (children already sorted heavy-first).
+        dfs: Dict[int, int] = {}
+        depth: Dict[int, int] = {self.root: 0}
+        light_depth: Dict[int, int] = {self.root: 0}
+        counter = 0
+        stack = [self.root]
+        dfs_order: List[int] = []
+        while stack:
+            v = stack.pop()
+            dfs[v] = counter
+            counter += 1
+            dfs_order.append(v)
+            if v != self.root:
+                p = self.parent[v]
+                depth[v] = depth[p] + 1
+                light_depth[v] = light_depth[p] + (0 if heavy[p] == v else 1)
+            # Push reversed so the heavy child is processed first.
+            stack.extend(reversed(children[v]))
+
+        self.children = children
+        self.size = size
+        self.dfs = dfs
+        self.finish = {v: dfs[v] + size[v] - 1 for v in dfs}
+        self.depth = depth
+        self.light_depth = light_depth
+        self.heavy = heavy
+        self.child_rank = child_rank
+        self.order = dfs_order
+        self._by_dfs: Optional[Dict[int, int]] = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def __contains__(self, v: int) -> bool:
+        return v in self.parent
+
+    @property
+    def vertices(self) -> Iterable[int]:
+        return self.parent.keys()
+
+    def vertex_by_dfs(self, f: int) -> int:
+        """Inverse of the DFS numbering."""
+        if self._by_dfs is None:
+            self._by_dfs = {f: v for v, f in self.dfs.items()}
+        return self._by_dfs[f]
+
+    def interval(self, v: int) -> Tuple[int, int]:
+        """Closed DFS interval ``[dfs[v], finish[v]]`` of ``v``'s subtree."""
+        return self.dfs[v], self.finish[v]
+
+    def is_ancestor(self, a: int, v: int) -> bool:
+        """True iff ``a`` is an ancestor of ``v`` (inclusive)."""
+        return self.dfs[a] <= self.dfs[v] <= self.finish[a]
+
+    def path_to_root(self, v: int) -> List[int]:
+        path = [v]
+        while path[-1] != self.root:
+            path.append(self.parent[path[-1]])
+            if len(path) > len(self.parent):
+                raise GraphError("parent map contains a cycle")
+        return path
+
+    def path(self, u: int, v: int) -> List[int]:
+        """Tree path from ``u`` to ``v`` (through their LCA)."""
+        up = self.path_to_root(u)
+        vp = self.path_to_root(v)
+        on_u = set(up)
+        lca = next(x for x in vp if x in on_u)
+        head = up[: up.index(lca) + 1]
+        tail = vp[: vp.index(lca)]
+        return head + list(reversed(tail))
+
+    def light_edges_to(self, v: int) -> List[Tuple[int, int]]:
+        """Light edges ``(parent, child)`` on the root→``v`` path, in
+        root-to-leaf order.  ``len(result) == light_depth[v]``."""
+        result: List[Tuple[int, int]] = []
+        for x in reversed(self.path_to_root(v)):
+            if x == self.root:
+                continue
+            p = self.parent[x]
+            if self.heavy[p] != x:
+                result.append((p, x))
+        return result
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All (parent, child) tree edges."""
+        return [(p, v) for v, p in self.parent.items() if p != -1]
+
+    def max_light_depth(self) -> int:
+        return max(self.light_depth.values()) if self.light_depth else 0
+
+    def validate(self) -> None:
+        """Check internal invariants; raises :class:`GraphError` on any
+        violation.  Used by tests and failure-injection experiments."""
+        n = len(self.parent)
+        if sorted(self.dfs.values()) != list(range(n)):
+            raise GraphError("DFS numbers are not a permutation of 0..n-1")
+        if self.size[self.root] != n:
+            raise GraphError("root subtree size mismatch")
+        for v in self.parent:
+            lo, hi = self.interval(v)
+            if hi - lo + 1 != self.size[v]:
+                raise GraphError(f"interval of {v} does not match its size")
+            if v != self.root:
+                plo, phi = self.interval(self.parent[v])
+                if not (plo <= lo and hi <= phi):
+                    raise GraphError(f"interval of {v} not nested in parent's")
+            kids = self.children[v]
+            if kids:
+                if self.heavy[v] != kids[0]:
+                    raise GraphError(f"heavy child of {v} is not its largest")
+                if self.dfs[kids[0]] != self.dfs[v] + 1:
+                    raise GraphError("heavy child must be first in DFS")
+                for a, b in zip(kids, kids[1:]):
+                    if self.size[a] < self.size[b]:
+                        raise GraphError(f"children of {v} not sorted by size")
+            # Rank-r child has subtree size at most size(v)/r.
+            for r, c in enumerate(kids, start=1):
+                if self.size[c] * r > self.size[v]:
+                    raise GraphError(
+                        f"rank-{r} child {c} of {v} violates the size bound"
+                    )
+
+
+def tree_from_parents(root: int, parent: Dict[int, int]) -> RootedTree:
+    """Build a :class:`RootedTree` from a ``vertex -> parent`` map.
+
+    The map must contain ``root`` (mapped to ``-1``) and every other tree
+    vertex mapped to its parent.
+    """
+    p = dict(parent)
+    p[root] = -1
+    return RootedTree(root, p)
+
+
+def tree_from_predecessors(
+    root: int,
+    predecessors: np.ndarray,
+    members: Optional[Sequence[int]] = None,
+) -> RootedTree:
+    """Build a tree from a scipy/Dijkstra predecessor row.
+
+    ``predecessors[v]`` is ``v``'s parent or a negative sentinel for
+    unreachable vertices and the root.  With ``members`` given, only those
+    vertices join the tree (they must be closed under taking parents).
+    """
+    parent: Dict[int, int] = {int(root): -1}
+    verts = range(len(predecessors)) if members is None else members
+    for v in verts:
+        v = int(v)
+        if v == root:
+            continue
+        p = int(predecessors[v])
+        if p < 0:
+            if members is not None:
+                raise GraphError(f"member {v} has no predecessor toward {root}")
+            continue  # unreachable vertex: skip
+        parent[v] = p
+    return RootedTree(int(root), parent)

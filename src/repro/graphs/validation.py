@@ -1,0 +1,65 @@
+"""Cross-checks of graph-substrate invariants.
+
+These are used by the test suite and by the failure-injection ablation
+(A2) to demonstrate *which* invariant each scheme depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .graph import Graph
+from .ports import PortedGraph
+
+
+def check_graph(graph: Graph) -> None:
+    """Validate the CSR structure of ``graph``; raises on any violation."""
+    n, m = graph.n, graph.m
+    if graph.indptr.shape != (n + 1,):
+        raise GraphError("indptr has wrong shape")
+    if graph.indptr[0] != 0 or graph.indptr[-1] != 2 * m:
+        raise GraphError("indptr endpoints are wrong")
+    if np.any(np.diff(graph.indptr) < 0):
+        raise GraphError("indptr must be non-decreasing")
+    if graph.adj.shape != (2 * m,) or graph.adj_weights.shape != (2 * m,):
+        raise GraphError("arc arrays have wrong shape")
+    for u in range(n):
+        row = graph.neighbors(u)
+        if row.size and (np.any(np.diff(row) <= 0)):
+            raise GraphError(f"adjacency row of {u} not strictly increasing")
+        for i, v in enumerate(row):
+            # Symmetry: v's row must contain u with the same weight.
+            back = graph.neighbors(int(v))
+            j = int(np.searchsorted(back, u))
+            if j >= back.size or back[j] != u:
+                raise GraphError(f"edge ({u},{v}) not symmetric")
+            if graph.neighbor_weights(int(v))[j] != graph.neighbor_weights(u)[i]:
+                raise GraphError(f"edge ({u},{v}) weight not symmetric")
+    # Arc -> edge id consistency.
+    for u in range(n):
+        for i in range(int(graph.indptr[u]), int(graph.indptr[u + 1])):
+            eid = int(graph.arc_edge[i])
+            a, b = int(graph.edges[eid, 0]), int(graph.edges[eid, 1])
+            v = int(graph.adj[i])
+            if {a, b} != {u, v}:
+                raise GraphError(f"arc {i} maps to unrelated edge {eid}")
+            if graph.adj_weights[i] != graph.edge_weights[eid]:
+                raise GraphError(f"arc {i} weight disagrees with edge {eid}")
+
+
+def check_ports(pg: PortedGraph) -> None:
+    """Validate that ports at each vertex are a permutation of 1..deg and
+    that ``step``/``port`` are mutually inverse."""
+    g = pg.graph
+    for u in range(g.n):
+        deg = g.degree(u)
+        ports = sorted(
+            int(pg.port_of_arc[i]) for i in range(int(g.indptr[u]), int(g.indptr[u + 1]))
+        )
+        if ports != list(range(1, deg + 1)):
+            raise GraphError(f"ports at {u} are not a permutation of 1..{deg}")
+        for v in g.neighbors(u):
+            v = int(v)
+            if pg.step(u, pg.port(u, v)) != v:
+                raise GraphError(f"step/port mismatch at ({u},{v})")

@@ -1,0 +1,25 @@
+"""Approximate distance oracles, distance labels, and spanners — the
+TZ STOC'01 companion structures sharing the bunch machinery with the
+routing schemes."""
+
+from .distance_oracle import DistanceOracle, build_distance_oracle
+from .distance_labels import (
+    DistanceLabel,
+    DistanceLabeling,
+    build_distance_labels,
+    query_labels,
+    query_steps,
+)
+from .spanner import build_spanner, spanner_size_bound
+
+__all__ = [
+    "DistanceOracle",
+    "build_distance_oracle",
+    "DistanceLabel",
+    "DistanceLabeling",
+    "build_distance_labels",
+    "query_labels",
+    "query_steps",
+    "build_spanner",
+    "spanner_size_bound",
+]

@@ -1,0 +1,158 @@
+"""Approximate distance *labels* — the fully distributed companion.
+
+Where the oracle (:mod:`repro.oracles.distance_oracle`) is a centralized
+structure, distance labels shard it: each vertex carries a label of
+``Õ(n^{1/k})`` bits, and the 2k−1-approximate distance between ``u`` and
+``v`` is computable from **the two labels alone** — no global state, no
+graph access.  This is the TZ STOC'01 distance-labeling corollary, and
+conceptually it is exactly what the routing handshake exchanges.
+
+Label of ``v``::
+
+    L(v) = ( v,
+             [(p_i(v), d_i(v)) for i in 0..k-1],      # pivot column
+             {w: d(w, v) for w in B(v)} )             # bunch hash
+
+Query(L(u), L(v))::
+
+    i ← 0; (x, y) ← (u, v)
+    while p_i(x) not in bunch(y):
+        i ← i+1; (x, y) ← (y, x)
+    return d_i(x) + bunch(y)[p_i(x)]
+
+The alternation terminates because the top-level pivot of either side is
+in *every* bunch (its cluster spans the graph), and the returned value is
+sound (a real path through the pivot) and ≤ (2k−1)·d(u,v) by the same
+argument as the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import LabelError, PreprocessingError
+from ..graphs.graph import Graph
+from ..rng import RngLike, make_rng
+from ..core.clusters import bunches, compute_all_clusters
+from ..core.landmarks import build_hierarchy
+
+
+@dataclass(frozen=True)
+class DistanceLabel:
+    """One vertex's distance label (see module docstring)."""
+
+    v: int
+    pivots: Tuple[Tuple[int, float], ...]  # (p_i(v), d_i(v)) for each level
+    bunch: Dict[int, float]  # w -> d(w, v), for w in B(v) (incl. v: 0)
+
+    @property
+    def k(self) -> int:
+        return len(self.pivots)
+
+    def size_bits(self, n: int, dist_bits: int = 32) -> int:
+        """Measured label size: ids at ⌈log n⌉ bits, distances at
+        ``dist_bits`` (32 covers integer weights up to 2³² here)."""
+        id_bits = max(1, (max(n - 1, 1)).bit_length())
+        entry = id_bits + dist_bits
+        return id_bits + entry * (len(self.pivots) + len(self.bunch))
+
+
+def query_labels(lu: DistanceLabel, lv: DistanceLabel) -> float:
+    """2k−1-approximate distance from two labels alone."""
+    if lu.v == lv.v:
+        return 0.0
+    if lu.k != lv.k:
+        raise LabelError("labels come from different constructions")
+    x, y = lu, lv
+    for i in range(lu.k):
+        w, dw = x.pivots[i]
+        hit = y.bunch.get(w)
+        if hit is not None:
+            return dw + hit
+        x, y = y, x
+    raise LabelError(
+        "label query did not converge: top-level pivot missing from the "
+        "peer bunch (labels are inconsistent)"
+    )
+
+
+def query_steps(lu: DistanceLabel, lv: DistanceLabel) -> int:
+    """Number of alternation steps the query needed (≤ k−1)."""
+    x, y = lu, lv
+    for i in range(lu.k):
+        w, _ = x.pivots[i]
+        if w in y.bunch:
+            return i
+        x, y = y, x
+    raise LabelError("label query did not converge")
+
+
+class DistanceLabeling:
+    """The full labeling of a graph plus convenience accessors."""
+
+    def __init__(self, k: int, n: int, labels: Dict[int, DistanceLabel]) -> None:
+        self.k = k
+        self.n = n
+        self.labels = labels
+
+    def query(self, u: int, v: int) -> float:
+        return query_labels(self.labels[u], self.labels[v])
+
+    def stretch_bound(self) -> float:
+        return 1.0 if self.k == 1 else float(2 * self.k - 1)
+
+    def label_bits(self, v: int, dist_bits: int = 32) -> int:
+        return self.labels[v].size_bits(self.n, dist_bits)
+
+    def max_label_bits(self, dist_bits: int = 32) -> int:
+        return max(self.label_bits(v, dist_bits) for v in range(self.n))
+
+    def avg_label_bits(self, dist_bits: int = 32) -> float:
+        return sum(self.label_bits(v, dist_bits) for v in range(self.n)) / max(
+            1, self.n
+        )
+
+
+def build_distance_labels(
+    graph: Graph,
+    k: int = 2,
+    rng: RngLike = None,
+    *,
+    sampling: str = "bernoulli",
+    cluster_method: str = "auto",
+) -> DistanceLabeling:
+    """Assign every vertex its TZ distance label.
+
+    The crucial consistency requirement: the pivot column stores
+    ``d_i(v) = d(p_i(v), v)`` with *consistent* pivots, so that whenever
+    the query reads ``(w, d_i(x))`` from ``x``'s label, ``w`` really is
+    at distance ``d_i(x)`` from ``x`` — soundness of the estimate.
+    """
+    if not graph.is_connected():
+        raise PreprocessingError("distance labels require a connected graph")
+    gen = make_rng(rng)
+    hierarchy = build_hierarchy(graph, k, gen, sampling=sampling)
+    clusters = {}
+    for i in range(hierarchy.k):
+        centers = [
+            int(w) for w in hierarchy.levels[i] if hierarchy.level_of[w] == i
+        ]
+        if not centers:
+            continue
+        clusters.update(
+            compute_all_clusters(
+                graph, centers, hierarchy.dist[i + 1], method=cluster_method
+            )
+        )
+    bunch_map = bunches(clusters)
+    labels: Dict[int, DistanceLabel] = {}
+    for v in range(graph.n):
+        pivots = tuple(
+            (int(hierarchy.pivot[i, v]), float(hierarchy.dist[i, v]))
+            for i in range(hierarchy.k)
+        )
+        bunch = dict(bunch_map.get(v, {}))
+        bunch[v] = 0.0
+        labels[v] = DistanceLabel(v, pivots, bunch)
+    return DistanceLabeling(k=hierarchy.k, n=graph.n, labels=labels)

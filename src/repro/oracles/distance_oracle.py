@@ -1,0 +1,133 @@
+"""Thorup–Zwick approximate distance oracles (the STOC'01 companion).
+
+The routing paper's handshaking bound (2k−1) *is* the oracle's query
+bound; this module provides the standalone oracle so experiments can
+compare the two directly (F8) and the handshake logic can be validated
+against an independent implementation.
+
+Structure (for stretch parameter ``k``):
+
+* hierarchy ``A_0 ⊇ … ⊇ A_{k-1}`` with consistent pivots ``p_i(v)`` and
+  distances ``d_i(v)``;
+* per-vertex **bunch** ``B(v) = ∪_i {w ∈ A_i\\A_{i+1} : d(w,v) < d_{i+1}(v)}``
+  stored as a hash table ``w → d(w, v)``.
+
+Query(u, v)::
+
+    w ← u; i ← 0
+    while w ∉ B(v):
+        i ← i+1; (u, v) ← (v, u); w ← p_i(u)
+    return d(w, u) + d(w, v)
+
+Both distances are local: ``d(w,u) = d_i(u)`` is stored with the pivots,
+``d(w,v)`` is in ``v``'s bunch.  The alternation argument gives
+``answer ≤ (2k−1)·d(u,v)``; expected space is ``O(k·n^{1+1/k})`` words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import PreprocessingError
+from ..graphs.graph import Graph
+from ..rng import RngLike, make_rng
+from ..core.clusters import bunches, compute_all_clusters
+from ..core.landmarks import Hierarchy, build_hierarchy
+
+
+@dataclass
+class DistanceOracle:
+    """A compiled oracle; see module docstring for the query algorithm."""
+
+    k: int
+    n: int
+    hierarchy: Hierarchy
+    bunch: Dict[int, Dict[int, float]]
+
+    def query(self, u: int, v: int) -> float:
+        """2k−1-approximate distance between ``u`` and ``v``."""
+        if u == v:
+            return 0.0
+        w = u
+        i = 0
+        while w not in self.bunch[v]:
+            i += 1
+            if i >= self.k:
+                raise PreprocessingError(
+                    "oracle query did not converge: top level empty?"
+                )
+            u, v = v, u
+            w = int(self.hierarchy.pivot[i, u])
+        return float(self.hierarchy.dist[_level_index(self, w, i)][u]) + float(
+            self.bunch[v][w]
+        )
+
+    def stretch_bound(self) -> float:
+        return 1.0 if self.k == 1 else float(2 * self.k - 1)
+
+    # -- size accounting ------------------------------------------------
+    def size_words(self) -> int:
+        """Total stored words: bunch entries + pivot/distance rows."""
+        return sum(len(b) for b in self.bunch.values()) + 2 * self.k * self.n
+
+    def size_bits(self, dist_bits: int = 32) -> int:
+        id_bits = max(1, (max(self.n - 1, 1)).bit_length())
+        entry = id_bits + dist_bits
+        return self.size_words() * entry
+
+    def bunch_size(self, v: int) -> int:
+        return len(self.bunch[v])
+
+    def max_bunch_size(self) -> int:
+        return max(len(b) for b in self.bunch.values())
+
+    def avg_bunch_size(self) -> float:
+        return sum(len(b) for b in self.bunch.values()) / max(1, self.n)
+
+
+def _level_index(oracle: DistanceOracle, w: int, i: int) -> int:
+    """Distance row for the pivot used at alternation step ``i``.
+
+    ``d(w, u) = d_i(u)`` holds because ``w = p_i(u)``; for ``i = 0`` the
+    pivot is ``u`` itself and the row is all zeros.
+    """
+    return i
+
+
+def build_distance_oracle(
+    graph: Graph,
+    k: int = 2,
+    rng: RngLike = None,
+    *,
+    sampling: str = "bernoulli",
+    cluster_method: str = "auto",
+) -> DistanceOracle:
+    """Preprocess ``graph`` into a :class:`DistanceOracle`.
+
+    Bunches are obtained by inverting clusters (``w ∈ B(v) ⟺ v ∈ C(w)``),
+    reusing the exact cluster engine the routing schemes are built on —
+    so oracle tests double as cluster-correctness tests.
+    """
+    if not graph.is_connected():
+        raise PreprocessingError("distance oracle requires a connected graph")
+    gen = make_rng(rng)
+    hierarchy = build_hierarchy(graph, k, gen, sampling=sampling)
+    clusters = {}
+    for i in range(hierarchy.k):
+        centers = [
+            int(w) for w in hierarchy.levels[i] if hierarchy.level_of[w] == i
+        ]
+        if not centers:
+            continue
+        clusters.update(
+            compute_all_clusters(
+                graph, centers, hierarchy.dist[i + 1], method=cluster_method
+            )
+        )
+    bunch = bunches(clusters)
+    for v in range(graph.n):
+        bunch.setdefault(v, {})[v] = 0.0
+    return DistanceOracle(k=hierarchy.k, n=graph.n, hierarchy=hierarchy, bunch=bunch)

@@ -1,0 +1,70 @@
+"""(2k−1)-spanners from the TZ cluster machinery.
+
+A *t-spanner* of a weighted graph is a subgraph whose distances are at
+most ``t`` times the originals.  The TZ construction is free once the
+clusters exist: take the union of all cluster shortest-path-tree edges,
+
+.. math:: H = \\bigcup_w E(T_w).
+
+Size: ``Σ_w (|C(w)|−1) = Σ_v |B(v)| − n ≤ k·n^{1+1/k}`` edges in
+expectation.  Stretch ``2k−1``: for any pair ``(u, v)``, the oracle
+alternation yields a pivot ``w`` with ``u, v ∈ C(w)`` and
+``d(u,w) + d(w,v) ≤ (2k−1)·d(u,v)``; both tree paths ``u→w`` and
+``w→v`` live inside ``T_w ⊆ H``.  (Applying the argument edge-by-edge
+along a shortest path gives the same bound for all pairs.)
+
+This is the spanner corollary of TZ STOC'01 — included because the
+routing paper's tree infrastructure *is* the spanner, and because it
+gives the experiments an independent structural check on the clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from ..errors import PreprocessingError
+from ..graphs.graph import Graph
+from ..rng import RngLike, make_rng
+from ..core.clusters import compute_all_clusters
+from ..core.landmarks import build_hierarchy
+
+
+def build_spanner(
+    graph: Graph,
+    k: int = 2,
+    rng: RngLike = None,
+    *,
+    sampling: str = "bernoulli",
+    cluster_method: str = "auto",
+) -> Graph:
+    """Build the (2k−1)-spanner ``H = ∪_w E(T_w)`` of ``graph``.
+
+    Returns a new :class:`Graph` on the same vertex set whose edge set is
+    the union of all cluster-tree edges (with original weights).
+    """
+    if not graph.is_connected():
+        raise PreprocessingError("spanner construction requires a connected graph")
+    gen = make_rng(rng)
+    hierarchy = build_hierarchy(graph, k, gen, sampling=sampling)
+    edges: Set[Tuple[int, int]] = set()
+    for i in range(hierarchy.k):
+        centers = [
+            int(w) for w in hierarchy.levels[i] if hierarchy.level_of[w] == i
+        ]
+        if not centers:
+            continue
+        clusters = compute_all_clusters(
+            graph, centers, hierarchy.dist[i + 1], method=cluster_method
+        )
+        for w, cluster in clusters.items():
+            for v, p in cluster.parent.items():
+                if p != -1:
+                    edges.add((v, p) if v < p else (p, v))
+    edge_list = sorted(edges)
+    weights = [graph.edge_weight(a, b) for a, b in edge_list]
+    return Graph(graph.n, edge_list, weights)
+
+
+def spanner_size_bound(n: int, k: int) -> float:
+    """The expected-size reference curve ``k·n^{1+1/k}`` edges."""
+    return k * n ** (1.0 + 1.0 / k)

@@ -1,0 +1,109 @@
+"""Deterministic randomness helpers.
+
+All randomized algorithms in this package (landmark sampling, graph
+generation, pair sampling for stretch measurements) draw from
+:class:`numpy.random.Generator` objects created here.  Experiments pass a
+single integer seed; independent sub-streams are derived with
+:func:`spawn`, so adding a new consumer of randomness never perturbs the
+streams seen by existing consumers.  This is what makes every number in
+EXPERIMENTS.md exactly re-derivable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+#: Default seed used when callers pass ``None``.  Chosen arbitrarily but
+#: fixed forever so "no seed" still means "reproducible".
+DEFAULT_SEED = 0x5EED_2001
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an ``int``, an existing generator (returned as-is), or
+    ``None`` (uses :data:`DEFAULT_SEED`).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def spawn(rng: np.random.Generator, n: int) -> list:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    The parent generator is advanced; children are independent of each
+    other and of the parent's future output.
+    """
+    return [np.random.Generator(np.random.PCG64(s)) for s in rng.integers(0, 2**63 - 1, size=n)]
+
+
+def derive(seed: RngLike, *tags: Union[int, str]) -> np.random.Generator:
+    """Build a generator deterministically derived from ``seed`` and a tag
+    path.
+
+    Unlike :func:`spawn`, this does not mutate any generator: the same
+    ``(seed, tags)`` always yields the same stream, independent of call
+    order.  Use it to give each named experiment component its own stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Fall back to spawning when handed a live generator.
+        return spawn(seed, 1)[0]
+    if seed is None:
+        seed = DEFAULT_SEED
+    material = [int(seed) & 0xFFFF_FFFF_FFFF_FFFF]
+    for t in tags:
+        if isinstance(t, str):
+            h = 1469598103934665603  # FNV-1a 64-bit offset basis
+            for ch in t.encode("utf-8"):
+                h = ((h ^ ch) * 1099511628211) & 0xFFFF_FFFF_FFFF_FFFF
+            material.append(h)
+        else:
+            material.append(int(t) & 0xFFFF_FFFF_FFFF_FFFF)
+    return np.random.Generator(np.random.PCG64(material))
+
+
+def sample_pairs(
+    rng: np.random.Generator,
+    n: int,
+    count: int,
+    *,
+    distinct: bool = True,
+) -> np.ndarray:
+    """Sample ``count`` (source, target) vertex pairs from ``range(n)``.
+
+    Returns an ``(count, 2)`` int64 array.  With ``distinct=True`` the two
+    endpoints of each pair differ (the usual setting for stretch
+    measurements, where s == t is trivially stretch 1).
+    """
+    if n < 2 and distinct:
+        raise ValueError("need at least two vertices to sample distinct pairs")
+    pairs = rng.integers(0, n, size=(count, 2), dtype=np.int64)
+    if distinct:
+        bad = pairs[:, 0] == pairs[:, 1]
+        while bad.any():
+            pairs[bad, 1] = rng.integers(0, n, size=int(bad.sum()), dtype=np.int64)
+            bad = pairs[:, 0] == pairs[:, 1]
+    return pairs
+
+
+def all_pairs(n: int, limit: Optional[int] = None, rng: RngLike = None) -> np.ndarray:
+    """Return all ordered distinct pairs over ``range(n)``, optionally
+    subsampled to ``limit`` pairs (uniformly, without replacement)."""
+    total = n * (n - 1)
+    if limit is None or limit >= total:
+        src = np.repeat(np.arange(n, dtype=np.int64), n - 1)
+        tgt = np.concatenate([np.delete(np.arange(n, dtype=np.int64), i) for i in range(n)])
+        return np.stack([src, tgt], axis=1)
+    gen = make_rng(rng)
+    idx = gen.choice(total, size=limit, replace=False)
+    src = idx // (n - 1)
+    off = idx % (n - 1)
+    tgt = np.where(off >= src, off + 1, off)
+    return np.stack([src, tgt], axis=1).astype(np.int64)

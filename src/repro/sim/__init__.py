@@ -1,0 +1,41 @@
+"""Message-level network simulation: hop-by-hop forwarding over ports,
+traffic workloads, failure injection, and stretch/space statistics."""
+
+from .network import Network, RouteResult
+from .runner import measure_scheme, run_pairs
+from .stats import SpaceStats, StretchStats, space_stats, stretch_stats
+from .workloads import (
+    adversarial_pairs,
+    all_to_one,
+    gravity_pairs,
+    locality_pairs,
+    uniform_pairs,
+)
+from .failures import (
+    FaultyNetwork,
+    SurvivabilityReport,
+    sample_edge_failures,
+    survivability,
+    surviving_graph,
+)
+
+__all__ = [
+    "Network",
+    "RouteResult",
+    "run_pairs",
+    "measure_scheme",
+    "StretchStats",
+    "SpaceStats",
+    "stretch_stats",
+    "space_stats",
+    "uniform_pairs",
+    "gravity_pairs",
+    "all_to_one",
+    "locality_pairs",
+    "adversarial_pairs",
+    "FaultyNetwork",
+    "SurvivabilityReport",
+    "sample_edge_failures",
+    "survivability",
+    "surviving_graph",
+]

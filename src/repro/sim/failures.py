@@ -1,0 +1,177 @@
+"""Edge-failure injection: what TZ compact routing does *not* survive.
+
+The TZ schemes are static: tables are compiled against a fixed graph,
+and a failed edge silently breaks every route whose committed tree used
+it.  Quantifying that fragility is the standard motivation for the
+fault-tolerant compact-routing line of work that followed the paper
+(e.g. forbidden-set labeling and FT routing schemes), so this module
+makes the limitation measurable:
+
+* :class:`FaultyNetwork` — a simulator whose ``route`` drops messages at
+  dead edges (the packet reaches the endpoint, finds the link down, and
+  the static scheme has no recourse);
+* :func:`survivability` — delivered fraction under ``f`` random edge
+  failures, counted only over pairs that remain connected in ``G∖F``
+  (disconnected pairs are excluded: no scheme could deliver those).
+
+Expected shape (verified by tests): single-tree routing collapses worst
+(every tree edge is a single point of failure for Θ(n²) pairs), the TZ
+schemes degrade in proportion to how many committed trees touch the dead
+edges, and recompiling on the surviving graph restores 100% delivery —
+the "preprocessing is the fault boundary" statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.router import RoutingScheme
+from ..errors import RoutingError
+from ..graphs.graph import Graph
+from ..graphs.ports import PortedGraph
+from ..rng import RngLike, make_rng
+from .network import Network, RouteResult
+
+
+def _canon(u: int, v: int) -> Tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+class FaultyNetwork(Network):
+    """A :class:`~repro.sim.network.Network` with dead edges.
+
+    A message that tries to cross a dead edge is dropped with failure
+    reason ``"dead link"`` — modeling a router that sees the interface
+    down and has no alternate entry in its static table.
+    """
+
+    def __init__(
+        self,
+        ported: PortedGraph,
+        scheme: RoutingScheme,
+        dead_edges: Iterable[Tuple[int, int]],
+    ) -> None:
+        super().__init__(ported, scheme)
+        self.dead: FrozenSet[Tuple[int, int]] = frozenset(
+            _canon(int(a), int(b)) for a, b in dead_edges
+        )
+
+    def route(
+        self,
+        source: int,
+        dest: int,
+        *,
+        ttl: Optional[int] = None,
+        strict: bool = False,
+    ) -> RouteResult:
+        n = self.ported.n
+        if ttl is None:
+            ttl = 4 * n + 16
+        path = [source]
+        weight = 0.0
+        u = source
+        max_header = 0
+        try:
+            header = self.scheme.initial_header(source, dest)
+            max_header = self.scheme.header_bits(header)
+            for _ in range(ttl):
+                port, header = self.scheme.decide(u, header)
+                max_header = max(max_header, self.scheme.header_bits(header))
+                if port is None:
+                    if u != dest:
+                        raise RoutingError(
+                            f"scheme declared delivery at {u}, wanted {dest}"
+                        )
+                    return RouteResult(
+                        source, dest, True, path, weight, None, max_header
+                    )
+                v = self.ported.step(u, port)
+                if _canon(u, v) in self.dead:
+                    raise RoutingError(f"dead link ({u},{v})")
+                weight += self.ported.step_weight(u, port)
+                u = v
+                path.append(u)
+            raise RoutingError(f"TTL of {ttl} hops exhausted")
+        except RoutingError as exc:
+            if strict:
+                raise
+            return RouteResult(
+                source, dest, False, path, weight, str(exc), max_header
+            )
+
+
+@dataclass
+class SurvivabilityReport:
+    """Outcome of a failure experiment."""
+
+    failed_edges: Tuple[Tuple[int, int], ...]
+    attempted: int
+    connected_pairs: int
+    delivered: int
+
+    @property
+    def delivery_rate(self) -> float:
+        """Delivered fraction among still-connected pairs."""
+        if self.connected_pairs == 0:
+            return 1.0
+        return self.delivered / self.connected_pairs
+
+
+def sample_edge_failures(
+    graph: Graph, f: int, rng: RngLike = None
+) -> Tuple[Tuple[int, int], ...]:
+    """``f`` distinct random edges (as canonical endpoint pairs)."""
+    gen = make_rng(rng)
+    if f > graph.m:
+        raise ValueError(f"cannot fail {f} of {graph.m} edges")
+    picks = gen.choice(graph.m, size=f, replace=False)
+    return tuple(
+        (int(graph.edges[e, 0]), int(graph.edges[e, 1])) for e in picks
+    )
+
+
+def surviving_graph(graph: Graph, dead: Iterable[Tuple[int, int]]) -> Graph:
+    """``G ∖ F``: the graph with the dead edges removed."""
+    dead_set = {_canon(int(a), int(b)) for a, b in dead}
+    keep = [
+        eid
+        for eid in range(graph.m)
+        if _canon(int(graph.edges[eid, 0]), int(graph.edges[eid, 1]))
+        not in dead_set
+    ]
+    return Graph(
+        graph.n,
+        graph.edges[keep],
+        graph.edge_weights[keep],
+    )
+
+
+def survivability(
+    ported: PortedGraph,
+    scheme: RoutingScheme,
+    dead: Iterable[Tuple[int, int]],
+    pairs: np.ndarray,
+) -> SurvivabilityReport:
+    """Delivered fraction under failures, over still-connected pairs."""
+    dead = tuple(_canon(int(a), int(b)) for a, b in dead)
+    remaining = surviving_graph(ported.graph, dead)
+    _, labels = remaining.connected_components()
+    net = FaultyNetwork(ported, scheme, dead)
+    connected = 0
+    delivered = 0
+    for s, t in pairs:
+        s, t = int(s), int(t)
+        if labels[s] != labels[t]:
+            continue  # no scheme could deliver; excluded by definition
+        connected += 1
+        if net.route(s, t).delivered:
+            delivered += 1
+    return SurvivabilityReport(
+        failed_edges=dead,
+        attempted=len(pairs),
+        connected_pairs=connected,
+        delivered=delivered,
+    )

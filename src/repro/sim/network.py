@@ -1,0 +1,91 @@
+"""Hop-by-hop message forwarding — the ground truth for every stretch
+number reported in EXPERIMENTS.md.
+
+The simulator is deliberately dumb: at each vertex it hands the scheme
+only the current vertex id and the message header, receives a port,
+physically crosses that port, and accumulates the traversed weight.  A
+scheme cannot cheat — if its tables/labels are inconsistent the message
+loops (caught by TTL) or the scheme raises, and the experiment records a
+delivery failure instead of a stretch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.router import RoutingScheme
+from ..errors import DeliveryError, RoutingError
+from ..graphs.ports import PortedGraph
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one message."""
+
+    source: int
+    dest: int
+    delivered: bool
+    path: List[int]
+    weight: float
+    failure: Optional[str] = None
+    max_header_bits: int = 0
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+
+class Network:
+    """A simulated network: a ported graph plus a compiled scheme."""
+
+    def __init__(self, ported: PortedGraph, scheme: RoutingScheme) -> None:
+        self.ported = ported
+        self.scheme = scheme
+
+    def route(
+        self,
+        source: int,
+        dest: int,
+        *,
+        ttl: Optional[int] = None,
+        strict: bool = False,
+    ) -> RouteResult:
+        """Route one message; never raises unless ``strict=True``.
+
+        ``ttl`` defaults to ``4·n + 16`` hops — far beyond any legal TZ
+        route (at most the graph's weighted diameter times the stretch
+        bound in hops on unit weights), so only genuine loops trip it.
+        """
+        n = self.ported.n
+        if ttl is None:
+            ttl = 4 * n + 16
+        path = [source]
+        weight = 0.0
+        u = source
+        header = None
+        max_header = 0
+        try:
+            header = self.scheme.initial_header(source, dest)
+            max_header = self.scheme.header_bits(header)
+            for _ in range(ttl):
+                port, header = self.scheme.decide(u, header)
+                max_header = max(max_header, self.scheme.header_bits(header))
+                if port is None:
+                    if u != dest:
+                        raise RoutingError(
+                            f"scheme declared delivery at {u}, wanted {dest}"
+                        )
+                    return RouteResult(
+                        source, dest, True, path, weight, None, max_header
+                    )
+                weight += self.ported.step_weight(u, port)
+                u = self.ported.step(u, port)
+                path.append(u)
+            raise DeliveryError(f"TTL of {ttl} hops exhausted (routing loop?)")
+        except RoutingError as exc:
+            if strict:
+                raise
+            return RouteResult(
+                source, dest, False, path, weight, str(exc), max_header
+            )

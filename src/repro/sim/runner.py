@@ -1,0 +1,81 @@
+"""Drive many routed pairs through a scheme and summarize the outcome."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.router import RoutingScheme
+from ..errors import DeliveryError
+from ..graphs.graph import Graph
+from ..graphs.ports import PortedGraph
+from ..graphs.shortest_paths import all_pairs_shortest_paths, dijkstra
+from ..rng import RngLike, make_rng, sample_pairs
+from .network import Network, RouteResult
+from .stats import StretchStats, stretch_stats
+
+
+def run_pairs(
+    ported: PortedGraph,
+    scheme: RoutingScheme,
+    pairs: np.ndarray,
+    *,
+    true_dist: Optional[np.ndarray] = None,
+    strict: bool = True,
+) -> Tuple[List[RouteResult], List[float]]:
+    """Route every ``(s, t)`` pair; returns results and per-pair stretch.
+
+    ``true_dist`` is the all-pairs distance matrix (computed on demand).
+    With ``strict=True`` a routing failure raises — experiments must not
+    silently drop undeliverable pairs (coverage principle); property
+    tests that *expect* failures pass ``strict=False``.
+    """
+    graph = ported.graph
+    if true_dist is None:
+        true_dist = all_pairs_shortest_paths(graph)
+    net = Network(ported, scheme)
+    results: List[RouteResult] = []
+    stretches: List[float] = []
+    for s, t in pairs:
+        s, t = int(s), int(t)
+        res = net.route(s, t, strict=strict)
+        results.append(res)
+        if res.delivered:
+            d = float(true_dist[s, t])
+            if d <= 0:
+                stretches.append(1.0)
+            else:
+                stretches.append(res.weight / d)
+        elif strict:
+            raise DeliveryError(f"pair ({s},{t}) undelivered: {res.failure}")
+    return results, stretches
+
+
+def measure_scheme(
+    ported: PortedGraph,
+    scheme: RoutingScheme,
+    *,
+    pairs: Optional[np.ndarray] = None,
+    n_pairs: int = 500,
+    rng: RngLike = None,
+    true_dist: Optional[np.ndarray] = None,
+    strict: bool = True,
+) -> StretchStats:
+    """Sample pairs (or use the given ones) and return stretch statistics
+    checked against the scheme's proven bound."""
+    gen = make_rng(rng)
+    n = ported.n
+    if pairs is None:
+        pairs = sample_pairs(gen, n, n_pairs)
+    results, stretches = run_pairs(
+        ported, scheme, pairs, true_dist=true_dist, strict=strict
+    )
+    delivered = sum(1 for r in results if r.delivered)
+    return stretch_stats(
+        stretches,
+        delivered=delivered,
+        attempted=len(results),
+        bound=scheme.stretch_bound(),
+    )

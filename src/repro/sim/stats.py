@@ -1,0 +1,107 @@
+"""Statistics over measured routes and compiled schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class StretchStats:
+    """Distribution summary of per-pair multiplicative stretch."""
+
+    count: int
+    delivered: int
+    max: float
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    violations: int  # pairs exceeding the scheme's proven bound
+    bound: float
+
+    @classmethod
+    def empty(cls, bound: float = float("inf")) -> "StretchStats":
+        return cls(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, bound)
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "pairs": self.count,
+            "delivered": self.delivered,
+            "max_stretch": self.max,
+            "avg_stretch": self.mean,
+            "p95_stretch": self.p95,
+            "p99_stretch": self.p99,
+            "bound": self.bound,
+            "violations": self.violations,
+        }
+
+
+def stretch_stats(
+    stretches: Sequence[float],
+    *,
+    delivered: Optional[int] = None,
+    attempted: Optional[int] = None,
+    bound: float = float("inf"),
+    tol: float = 1e-9,
+) -> StretchStats:
+    """Summarize per-pair stretch values against a proven ``bound``.
+
+    ``tol`` absorbs float rounding when comparing to the bound (distance
+    arithmetic is exact for integer weights, but stretch is a ratio).
+    """
+    arr = np.asarray(list(stretches), dtype=np.float64)
+    count = attempted if attempted is not None else arr.size
+    deliv = delivered if delivered is not None else arr.size
+    if arr.size == 0:
+        return StretchStats(count, deliv, 0.0, 0.0, 0.0, 0.0, 0.0, 0, bound)
+    return StretchStats(
+        count=count,
+        delivered=deliv,
+        max=float(arr.max()),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        violations=int((arr > bound * (1 + tol)).sum()),
+        bound=bound,
+    )
+
+
+@dataclass
+class SpaceStats:
+    """Bit-size summary of a compiled scheme."""
+
+    n: int
+    max_table_bits: int
+    avg_table_bits: float
+    total_table_bits: int
+    max_label_bits: int
+    avg_label_bits: float
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "max_table_bits": self.max_table_bits,
+            "avg_table_bits": round(self.avg_table_bits, 1),
+            "total_table_Mbits": round(self.total_table_bits / 1e6, 3),
+            "max_label_bits": self.max_label_bits,
+            "avg_label_bits": round(self.avg_label_bits, 1),
+        }
+
+
+def space_stats(scheme) -> SpaceStats:
+    """Measure a compiled scheme's tables and labels (exact bit counts)."""
+    n = int(getattr(scheme, "n"))
+    table_bits = [scheme.table_bits(u) for u in range(n)]
+    label_bits = [scheme.label_bits(v) for v in range(n)]
+    return SpaceStats(
+        n=n,
+        max_table_bits=int(max(table_bits)) if table_bits else 0,
+        avg_table_bits=float(np.mean(table_bits)) if table_bits else 0.0,
+        total_table_bits=int(np.sum(table_bits)) if table_bits else 0,
+        max_label_bits=int(max(label_bits)) if label_bits else 0,
+        avg_label_bits=float(np.mean(label_bits)) if label_bits else 0.0,
+    )

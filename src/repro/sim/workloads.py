@@ -1,0 +1,123 @@
+"""Traffic workloads: which (source, destination) pairs to route.
+
+Uniform random pairs (the default everywhere) answer "what is the
+stretch of a typical pair", but routing papers' motivations are rarely
+uniform: Internet traffic concentrates on popular destinations, local
+traffic dominates physical networks.  These generators let experiments
+ask sharper questions:
+
+* :func:`uniform_pairs` — the baseline.
+* :func:`gravity_pairs` — endpoints drawn ∝ degree^α (hub-heavy, the
+  classic gravity model of Internet traffic).
+* :func:`all_to_one` — everyone talks to one server (stress on a single
+  landmark tree).
+* :func:`locality_pairs` — destination within a bounded distance of the
+  source (stresses the cluster/member path of the schemes, which should
+  route such pairs exactly).
+* :func:`adversarial_pairs` — the pairs with the worst oracle estimate,
+  a cheap proxy for where routing stretch concentrates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..rng import RngLike, make_rng
+
+
+def uniform_pairs(graph: Graph, count: int, rng: RngLike = None) -> np.ndarray:
+    """Uniform random ordered pairs with distinct endpoints."""
+    from ..rng import sample_pairs
+
+    return sample_pairs(make_rng(rng), graph.n, count)
+
+
+def gravity_pairs(
+    graph: Graph,
+    count: int,
+    rng: RngLike = None,
+    *,
+    alpha: float = 1.0,
+) -> np.ndarray:
+    """Endpoints drawn independently with probability ∝ degree^alpha."""
+    gen = make_rng(rng)
+    weights = graph.degrees().astype(np.float64) ** alpha
+    if weights.sum() <= 0:
+        raise ValueError("graph has no edges; gravity weights are all zero")
+    p = weights / weights.sum()
+    src = gen.choice(graph.n, size=count, p=p)
+    dst = gen.choice(graph.n, size=count, p=p)
+    bad = src == dst
+    while bad.any():
+        dst[bad] = gen.choice(graph.n, size=int(bad.sum()), p=p)
+        bad = src == dst
+    return np.stack([src, dst], axis=1).astype(np.int64)
+
+
+def all_to_one(
+    graph: Graph, target: Optional[int] = None, *, rng: RngLike = None
+) -> np.ndarray:
+    """Every vertex sends to one destination (default: max-degree hub)."""
+    t = int(np.argmax(graph.degrees())) if target is None else int(target)
+    sources = np.array([v for v in range(graph.n) if v != t], dtype=np.int64)
+    return np.stack([sources, np.full(sources.size, t, dtype=np.int64)], axis=1)
+
+
+def locality_pairs(
+    graph: Graph,
+    count: int,
+    radius: float,
+    rng: RngLike = None,
+    *,
+    dist_matrix: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Pairs whose true distance is at most ``radius``.
+
+    Rejection-samples sources then picks a uniform in-radius destination;
+    raises if some source has no neighbor within the radius.
+    """
+    from ..graphs.shortest_paths import all_pairs_shortest_paths
+
+    gen = make_rng(rng)
+    D = all_pairs_shortest_paths(graph) if dist_matrix is None else dist_matrix
+    pairs = np.empty((count, 2), dtype=np.int64)
+    for i in range(count):
+        for _attempt in range(64):
+            s = int(gen.integers(0, graph.n))
+            near = np.flatnonzero((D[s] <= radius) & (D[s] > 0))
+            if near.size:
+                pairs[i] = (s, int(near[int(gen.integers(0, near.size))]))
+                break
+        else:
+            raise ValueError(
+                f"no vertex has a neighbor within radius {radius}"
+            )
+    return pairs
+
+
+def adversarial_pairs(
+    graph: Graph,
+    count: int,
+    oracle,
+    rng: RngLike = None,
+    *,
+    candidates: int = 4096,
+    dist_matrix: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The ``count`` worst pairs by oracle-estimate ratio among a random
+    candidate set — a cheap probe for where stretch concentrates."""
+    from ..graphs.shortest_paths import all_pairs_shortest_paths
+    from ..rng import sample_pairs
+
+    gen = make_rng(rng)
+    D = all_pairs_shortest_paths(graph) if dist_matrix is None else dist_matrix
+    cand = sample_pairs(gen, graph.n, candidates)
+    ratios = np.empty(cand.shape[0])
+    for i, (s, t) in enumerate(cand):
+        d = float(D[int(s), int(t)])
+        ratios[i] = oracle.query(int(s), int(t)) / d if d > 0 else 1.0
+    order = np.argsort(-ratios)
+    return cand[order[:count]]

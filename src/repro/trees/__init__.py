@@ -1,0 +1,17 @@
+"""Tree routing schemes (TZ SPAA'01 §2) and the classic interval-routing
+baseline."""
+
+from .interval import IntervalRoutingScheme
+from .label_codec import TreeLabel, decode_tree_label, encode_tree_label, tree_label_bits
+from .tz_tree import TreeLocalRecord, TreeRouter, build_tree_router
+
+__all__ = [
+    "IntervalRoutingScheme",
+    "TreeLabel",
+    "TreeLocalRecord",
+    "TreeRouter",
+    "build_tree_router",
+    "encode_tree_label",
+    "decode_tree_label",
+    "tree_label_bits",
+]

@@ -1,0 +1,99 @@
+"""Classic DFS interval routing — the pre-TZ baseline for trees.
+
+Santoro–Khatib-style interval routing: labels are bare DFS numbers
+(⌈log₂ n⌉ bits — even smaller than TZ labels), but each vertex must store
+one ``(interval, port)`` entry *per incident tree edge*, i.e. Θ(deg·log n)
+bits.  TZ §2 beats this with O(1)-word records by moving the light-edge
+ports into the label.  Experiment F2 contrasts the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..bitio import uint_cost
+from ..errors import RoutingError
+from ..graphs.ports import PortedGraph
+from ..graphs.trees import RootedTree
+
+
+@dataclass(frozen=True)
+class IntervalEntry:
+    """One child interval with its port."""
+
+    lo: int
+    hi: int
+    port: int
+
+
+@dataclass
+class IntervalRecord:
+    """Everything a vertex stores: its own DFS number/interval, the port
+    to its parent, and one entry per child."""
+
+    f: int
+    finish: int
+    parent_port: int
+    entries: Tuple[IntervalEntry, ...]
+
+    def size_bits(self, tree_size: int, max_port: int) -> int:
+        fw = max(1, (max(tree_size - 1, 1)).bit_length())
+        pw = max(1, max_port.bit_length())
+        bits = 2 * fw + pw
+        for e in self.entries:
+            bits += 2 * fw + uint_cost(e.port, pw)
+        return bits
+
+
+class IntervalRoutingScheme:
+    """Compiled interval routing for one tree."""
+
+    __slots__ = ("root", "tree_size", "records")
+
+    def __init__(self, tree: RootedTree, ported: PortedGraph) -> None:
+        self.root = tree.root
+        self.tree_size = len(tree)
+        records: Dict[int, IntervalRecord] = {}
+        for v in tree.order:
+            parent = tree.parent[v]
+            parent_port = 0 if parent == -1 else ported.port(v, parent)
+            entries: List[IntervalEntry] = []
+            for c in tree.children[v]:
+                entries.append(
+                    IntervalEntry(tree.dfs[c], tree.finish[c], ported.port(v, c))
+                )
+            records[v] = IntervalRecord(
+                tree.dfs[v], tree.finish[v], parent_port, tuple(entries)
+            )
+        self.records = records
+
+    def label(self, v: int) -> int:
+        """Labels are bare DFS numbers."""
+        return self.records[v].f
+
+    def label_bits(self) -> int:
+        return max(1, (max(self.tree_size - 1, 1)).bit_length())
+
+    def decide(self, u: int, target_f: int) -> Optional[int]:
+        record = self.records.get(u)
+        if record is None:
+            raise RoutingError(f"vertex {u} is not in this tree")
+        if target_f == record.f:
+            return None
+        if not (record.f <= target_f <= record.finish):
+            if record.parent_port == 0:
+                raise RoutingError("destination outside the tree at the root")
+            return record.parent_port
+        for e in record.entries:
+            if e.lo <= target_f <= e.hi:
+                return e.port
+        raise RoutingError(
+            f"DFS number {target_f} in {u}'s interval but in no child interval"
+        )
+
+    def record_bits(self, v: int, max_port: int) -> int:
+        return self.records[v].size_bits(self.tree_size, max_port)
+
+    def max_record_bits(self, max_port: int) -> int:
+        return max(self.record_bits(v, max_port) for v in self.records)

@@ -1,0 +1,163 @@
+"""Bound calculators, reporting, and the experiment suite (smoke +
+acceptance criteria from DESIGN.md §4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import bounds
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    exp_a2,
+    exp_f3,
+    exp_f5,
+    exp_f6,
+    reference_graph,
+    run_experiment,
+)
+from repro.analysis.reporting import render_markdown_table, render_table
+
+
+class TestBounds:
+    def test_tz_stretch_values(self):
+        assert bounds.tz_stretch_bound(1) == 1.0
+        assert bounds.tz_stretch_bound(2) == 3.0
+        assert bounds.tz_stretch_bound(3) == 7.0
+        assert bounds.tz_stretch_bound(5) == 15.0
+
+    def test_handshake_values(self):
+        assert bounds.handshake_stretch_bound(2) == 3.0
+        assert bounds.handshake_stretch_bound(3) == 5.0
+
+    def test_handshake_never_worse(self):
+        for k in range(1, 10):
+            assert bounds.handshake_stretch_bound(k) <= bounds.tz_stretch_bound(k)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            bounds.tz_stretch_bound(0)
+        with pytest.raises(ValueError):
+            bounds.handshake_stretch_bound(-1)
+
+    def test_cluster_cap(self):
+        assert bounds.cluster_cap(100, 10) == 40.0
+
+    def test_expected_landmarks_monotone(self):
+        assert bounds.expected_landmarks(1000, 20) > bounds.expected_landmarks(
+            1000, 10
+        )
+
+    def test_table_bound_decreasing_in_k(self):
+        n = 4096
+        vals = [bounds.tz_table_bound_bits(n, k) for k in (1, 2, 3, 4)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_lower_bounds_grow(self):
+        assert bounds.stretch3_space_lower_bound(200) > (
+            bounds.stretch3_space_lower_bound(100)
+        )
+        assert bounds.girth_conjecture_space(1000, 2) > bounds.girth_conjecture_space(
+            1000, 4
+        )
+
+    def test_log2n_bits(self):
+        assert bounds.log2n_bits(1024) == 10
+        assert bounds.log2n_bits(1) == 1
+
+
+class TestReporting:
+    ROWS = [
+        {"a": 1, "b": 2.5, "c": "x"},
+        {"a": 10, "b": float("inf"), "c": "yz"},
+    ]
+
+    def test_render_table_alignment(self):
+        out = render_table(self.ROWS, title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "---" in lines[2]
+        assert len(lines) == 5
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_render_markdown(self):
+        out = render_markdown_table(self.ROWS)
+        assert out.startswith("| a | b | c |")
+        assert "| 10 | inf | yz |" in out
+
+    def test_column_selection(self):
+        out = render_table(self.ROWS, columns=["c", "a"])
+        assert out.splitlines()[0].startswith("c")
+
+    def test_bool_and_large_number_formatting(self):
+        out = render_table([{"ok": True, "big": 123456.0}])
+        assert "yes" in out and "123,456" in out
+
+
+class TestExperimentDispatch:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9",
+            "a1", "a2", "x1", "x2",
+        }
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("zzz")
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ValueError):
+            run_experiment("f3", scale="huge")
+
+    def test_reference_graph_unknown(self):
+        with pytest.raises(ValueError):
+            reference_graph("bogus", 10, 0)
+
+    def test_reference_graphs_connected(self):
+        for name in ("gnp", "ba", "as-like", "grid", "geometric"):
+            g = reference_graph(name, 120, 0)
+            assert g.is_connected()
+
+    def test_reference_graph_deterministic(self):
+        a = reference_graph("gnp", 100, 7)
+        b = reference_graph("gnp", 100, 7)
+        assert a == b
+
+
+class TestAcceptanceCriteria:
+    """DESIGN.md §4 acceptance criteria, checked on small instances."""
+
+    def test_f3_cap_always_holds(self):
+        result = exp_f3(scale="small", seed=1)
+        assert result.rows
+        for row in result.rows:
+            assert row["cap_ok"] is True
+
+    def test_f5_zero_violations(self):
+        result = exp_f5(scale="small", seed=1)
+        for row in result.rows:
+            assert row["violations"] == 0
+            assert row["max_stretch"] <= row["bound_4k-5"] + 1e-9
+
+    def test_f6_handshake_dominates(self):
+        result = exp_f6(scale="small", seed=1)
+        for row in result.rows:
+            assert row["hs_violations"] == 0
+            assert row["hs_max"] <= row["hs_bound"] + 1e-9
+            assert row["hs_avg"] <= row["base_avg"] * 1.05
+
+    def test_a2_consistency_matters(self):
+        result = exp_a2(scale="small", seed=1)
+        consistent = [r for r in result.rows if r["consistent_pivots"]]
+        naive = [r for r in result.rows if not r["consistent_pivots"]]
+        assert all(r["label_construction_failures"] == 0 for r in consistent)
+        assert sum(r["label_construction_failures"] for r in naive) > 0
+
+    def test_result_columns_stable(self):
+        result = exp_f3(scale="small", seed=0)
+        assert result.columns()[0] == "graph"
+        assert result.exp_id == "f3"
+        assert result.title

@@ -1,0 +1,166 @@
+"""Baselines: shortest-path exactness, single-tree delivery, Cowen."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.cowen import build_cowen_scheme, cowen_landmark_set
+from repro.baselines.shortest_path_routing import build_shortest_path_scheme
+from repro.baselines.tree_spanner import build_single_tree_scheme
+from repro.errors import PreprocessingError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.ports import assign_ports
+from repro.graphs.shortest_paths import all_pairs_shortest_paths
+from repro.rng import all_pairs
+from repro.sim.network import Network
+from repro.sim.runner import run_pairs
+
+
+class TestShortestPathRouting:
+    def test_every_pair_exact(self, small_weighted_graph, ported_small, dist_small):
+        scheme = build_shortest_path_scheme(small_weighted_graph, ported_small)
+        pairs = all_pairs(small_weighted_graph.n, limit=2000, rng=1)
+        results, stretches = run_pairs(
+            ported_small, scheme, pairs, true_dist=dist_small
+        )
+        assert all(r.delivered for r in results)
+        assert max(stretches) <= 1.0 + 1e-9
+
+    def test_table_bits_linear_in_n(self, small_weighted_graph, ported_small):
+        scheme = build_shortest_path_scheme(small_weighted_graph, ported_small)
+        n = small_weighted_graph.n
+        for u in (0, 5, n - 1):
+            assert scheme.table_bits(u) >= n - 1  # at least 1 bit per dest
+
+    def test_stretch_bound(self, small_weighted_graph, ported_small):
+        scheme = build_shortest_path_scheme(small_weighted_graph, ported_small)
+        assert scheme.stretch_bound() == 1.0
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PreprocessingError):
+            build_shortest_path_scheme(Graph(4, [(0, 1), (2, 3)]))
+
+
+class TestSingleTreeRouting:
+    @pytest.mark.parametrize("kind", ["spt", "mst"])
+    def test_all_pairs_delivered(
+        self, small_weighted_graph, ported_small, dist_small, kind
+    ):
+        scheme = build_single_tree_scheme(
+            small_weighted_graph, ported_small, tree=kind
+        )
+        pairs = all_pairs(small_weighted_graph.n, limit=1200, rng=2)
+        results, _ = run_pairs(ported_small, scheme, pairs, true_dist=dist_small)
+        assert all(r.delivered for r in results)
+
+    def test_tables_are_constant_size(self, small_weighted_graph, ported_small):
+        scheme = build_single_tree_scheme(small_weighted_graph, ported_small)
+        n = small_weighted_graph.n
+        bound = 8 * math.ceil(math.log2(n)) + 64
+        for u in range(n):
+            assert scheme.table_bits(u) <= bound
+
+    def test_stretch_can_exceed_3(self):
+        """On a ring, tree routing must go the long way around for some
+        pair — the reason single-tree routing is not competitive."""
+        g = gen.ring(40)
+        pg = assign_ports(g, "sorted")
+        scheme = build_single_tree_scheme(g, pg, tree="spt", root=0)
+        D = all_pairs_shortest_paths(g)
+        pairs = all_pairs(g.n)
+        _, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
+        assert max(stretches) > 3.0
+
+    def test_unbounded_stretch_bound(self, small_weighted_graph, ported_small):
+        scheme = build_single_tree_scheme(small_weighted_graph, ported_small)
+        assert scheme.stretch_bound() == float("inf")
+
+    def test_bad_tree_kind(self, small_weighted_graph):
+        with pytest.raises(PreprocessingError):
+            build_single_tree_scheme(small_weighted_graph, tree="bogus")
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PreprocessingError):
+            build_single_tree_scheme(Graph(4, [(0, 1), (2, 3)]))
+
+
+class TestCowen:
+    @pytest.fixture(scope="class")
+    def cowen_setup(self, small_weighted_graph, ported_small, dist_small):
+        scheme = build_cowen_scheme(small_weighted_graph, ported_small, rng=3)
+        return scheme, dist_small
+
+    def test_stretch_3_exact_bound(
+        self, cowen_setup, small_weighted_graph, ported_small
+    ):
+        scheme, D = cowen_setup
+        pairs = all_pairs(small_weighted_graph.n, limit=2000, rng=4)
+        results, stretches = run_pairs(ported_small, scheme, pairs, true_dist=D)
+        assert all(r.delivered for r in results)
+        assert max(stretches) <= 3.0 + 1e-9
+
+    def test_landmarks_dominate_balls(self, small_weighted_graph, dist_small):
+        """Every vertex has a landmark among its q nearest."""
+        g = small_weighted_graph
+        q = 20
+        L = cowen_landmark_set(g, q, dist_matrix=dist_small)
+        for v in range(g.n):
+            order = np.lexsort((np.arange(g.n), dist_small[v]))
+            ball = set(order[:q].tolist())
+            assert ball & set(L.tolist())
+
+    def test_bunches_bounded_by_q(self, small_weighted_graph, ported_small):
+        """The structural fact that gives Cowen its Õ(n^{2/3}) tables:
+        |B(v)| ≤ q (every bunch member is among v's q nearest)."""
+        g = small_weighted_graph
+        q = 25
+        scheme = build_cowen_scheme(g, ported_small, q=q, rng=5)
+        landmark_count = scheme.landmark_count()
+        for u in range(g.n):
+            non_landmark_trees = len(scheme.tables[u].trees) - landmark_count
+            assert non_landmark_trees <= q
+
+    def test_tz_grows_slower_than_cowen(self):
+        """The paper's improvement is asymptotic — Õ(√n) vs Õ(n^{2/3})
+        — so we assert on the *growth rate* of average table entries
+        between two sizes, not on absolute values at small n (where
+        Cowen's smaller constants win; EXPERIMENTS.md records both)."""
+        from repro.core.scheme_k2 import build_stretch3_scheme
+
+        def avg_entries(scheme, n):
+            return float(
+                np.mean(
+                    [
+                        len(scheme.tables[u].trees)
+                        + len(scheme.tables[u].members)
+                        for u in range(n)
+                    ]
+                )
+            )
+
+        sizes = (100, 400)
+        growth = {}
+        for name in ("cowen", "tz"):
+            vals = []
+            for n in sizes:
+                g = gen.gnp(n, min(1.0, 8.0 / (n - 1)), rng=777, weights=(1, 8))
+                pg = assign_ports(g, "sorted")
+                if name == "cowen":
+                    scheme = build_cowen_scheme(g, pg, rng=8)
+                else:
+                    scheme = build_stretch3_scheme(g, pg, rng=8)
+                vals.append(avg_entries(scheme, g.n))
+            growth[name] = vals[1] / vals[0]
+        # 4x the vertices: √n predicts ~2x entries, n^{2/3} predicts
+        # ~2.5x. Allow generous noise, but TZ must not grow faster.
+        assert growth["tz"] <= growth["cowen"] * 1.15
+
+    def test_greedy_cover_small(self, small_weighted_graph, dist_small):
+        g = small_weighted_graph
+        L = cowen_landmark_set(g, 30, dist_matrix=dist_small)
+        # Greedy cover of 30-balls needs at most ~ (n/30)·ln n landmarks.
+        assert L.size <= (g.n / 30) * math.log(g.n) * 3 + 5

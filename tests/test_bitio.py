@@ -1,0 +1,192 @@
+"""Unit and property tests for the bit-level codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitio import (
+    BitReader,
+    BitWriter,
+    bit_length,
+    decode_port_sequence,
+    delta_cost,
+    encode_port_sequence,
+    gamma_cost,
+    port_sequence_cost,
+    uint_cost,
+)
+from repro.errors import EncodingError
+
+
+class TestBitWriter:
+    def test_empty_writer_has_zero_bits(self):
+        assert BitWriter().n_bits == 0
+
+    def test_write_bit_counts(self):
+        w = BitWriter()
+        w.write_bit(1).write_bit(0).write_bit(1)
+        assert w.n_bits == 3
+        assert w.bits() == (1, 0, 1)
+
+    def test_write_bit_rejects_non_bits(self):
+        with pytest.raises(EncodingError):
+            BitWriter().write_bit(2)
+
+    def test_write_uint_big_endian(self):
+        w = BitWriter()
+        w.write_uint(5, 4)
+        assert w.bits() == (0, 1, 0, 1)
+
+    def test_write_uint_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            BitWriter().write_uint(16, 4)
+
+    def test_write_uint_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            BitWriter().write_uint(-1, 4)
+
+    def test_zero_width_zero_value_ok(self):
+        w = BitWriter()
+        w.write_uint(0, 0)
+        assert w.n_bits == 0
+
+    def test_getvalue_pads_with_zeros(self):
+        w = BitWriter()
+        w.write_bits([1, 1, 1])
+        assert w.getvalue() == bytes([0b11100000])
+
+    def test_extend_concatenates(self):
+        a, b = BitWriter(), BitWriter()
+        a.write_uint(3, 2)
+        b.write_uint(1, 2)
+        a.extend(b)
+        assert a.bits() == (1, 1, 0, 1)
+
+
+class TestUnaryGammaDelta:
+    def test_unary_round_trip(self):
+        w = BitWriter()
+        w.write_unary(4)
+        assert BitReader(w).read_unary() == 4
+
+    def test_unary_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            BitWriter().write_unary(-1)
+
+    def test_gamma_one_is_single_bit(self):
+        w = BitWriter()
+        w.write_gamma(1)
+        assert w.n_bits == 1
+
+    def test_gamma_rejects_zero(self):
+        with pytest.raises(EncodingError):
+            BitWriter().write_gamma(0)
+
+    def test_delta_rejects_zero(self):
+        with pytest.raises(EncodingError):
+            BitWriter().write_delta(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_gamma_round_trip(self, value):
+        w = BitWriter()
+        w.write_gamma(value)
+        assert BitReader(w).read_gamma() == value
+        assert w.n_bits == gamma_cost(value)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_delta_round_trip(self, value):
+        w = BitWriter()
+        w.write_delta(value)
+        assert BitReader(w).read_delta() == value
+        assert w.n_bits == delta_cost(value)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_gamma0_delta0_round_trip(self, value):
+        w = BitWriter()
+        w.write_gamma0(value)
+        w.write_delta0(value)
+        r = BitReader(w)
+        assert r.read_gamma0() == value
+        assert r.read_delta0() == value
+
+    def test_delta_beats_gamma_for_large_values(self):
+        assert delta_cost(10**6) < gamma_cost(10**6)
+
+    @given(st.lists(st.integers(min_value=1, max_value=5000), max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_concatenated_gammas_self_delimit(self, values):
+        w = BitWriter()
+        for v in values:
+            w.write_gamma(v)
+        r = BitReader(w)
+        assert [r.read_gamma() for _ in values] == values
+        assert r.remaining == 0
+
+
+class TestBitReader:
+    def test_reader_from_bytes(self):
+        r = BitReader(bytes([0b10110000]))
+        assert r.read_uint(4) == 0b1011
+
+    def test_exhaustion_raises(self):
+        r = BitReader(BitWriter())
+        with pytest.raises(EncodingError):
+            r.read_bit()
+
+    def test_read_uint_partial_exhaustion(self):
+        w = BitWriter()
+        w.write_bit(1)
+        with pytest.raises(EncodingError):
+            BitReader(w).read_uint(2)
+
+    def test_position_tracks(self):
+        w = BitWriter()
+        w.write_uint(7, 3)
+        r = BitReader(w)
+        r.read_bit()
+        assert r.position == 1
+        assert r.remaining == 2
+
+
+class TestPortSequences:
+    @given(st.lists(st.integers(min_value=1, max_value=4096), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, ports):
+        w = encode_port_sequence(ports)
+        assert decode_port_sequence(BitReader(w)) == ports
+        assert w.n_bits == port_sequence_cost(ports)
+
+    def test_rejects_zero_port(self):
+        with pytest.raises(EncodingError):
+            encode_port_sequence([0])
+
+    def test_cost_grows_with_port_magnitude(self):
+        assert port_sequence_cost([2, 2]) < port_sequence_cost([1000, 1000])
+
+    def test_rank_product_bound_implies_log_cost(self):
+        # Ranks multiplying to <= n cost at most ~2 log2 n + count bits.
+        n = 1 << 16
+        ports = [4, 4, 4, 4, 4, 4, 4, 4]  # product = 4^8 = n
+        cost = sum(gamma_cost(p) for p in ports)
+        import math
+
+        assert cost <= 2 * math.log2(n) + len(ports)
+
+
+def test_bit_length_conventions():
+    assert bit_length(0) == 1
+    assert bit_length(1) == 1
+    assert bit_length(255) == 8
+    with pytest.raises(EncodingError):
+        bit_length(-3)
+
+
+def test_uint_cost_validates():
+    assert uint_cost(7, 3) == 3
+    with pytest.raises(EncodingError):
+        uint_cost(8, 3)

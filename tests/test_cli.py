@@ -1,0 +1,33 @@
+"""CLI smoke tests: list, run, markdown output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("t1", "f4", "a2"):
+            assert exp_id in out
+
+    def test_run_small_experiment(self, capsys):
+        assert main(["run", "f3", "--scale", "small", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "F3" in out and "cap_ok" in out
+
+    def test_run_markdown(self, capsys):
+        assert main(["run", "f3", "--scale", "small", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| graph |" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,161 @@
+"""Cluster/bunch machinery: definitions, duality, closure, both engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clusters import (
+    Cluster,
+    bunches,
+    check_subpath_closure,
+    cluster_size_histogram,
+    compute_all_clusters,
+    compute_cluster,
+)
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.shortest_paths import all_pairs_shortest_paths
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = gen.gnp(90, 0.08, rng=77, weights=(1, 8))
+    D = all_pairs_shortest_paths(g)
+    rng = np.random.default_rng(4)
+    A = np.sort(rng.choice(g.n, size=9, replace=False))
+    thr = D[A].min(axis=0)
+    return g, D, A, thr
+
+
+class TestSingleCluster:
+    def test_membership_matches_definition(self, setup):
+        g, D, A, thr = setup
+        for w in (0, 5, 11):
+            c = compute_cluster(g, w, thr)
+            expected = {v for v in range(g.n) if D[w, v] < thr[v] or v == w}
+            assert set(c.dist) == expected
+
+    def test_distances_exact(self, setup):
+        g, D, A, thr = setup
+        c = compute_cluster(g, 3, thr)
+        for v, dv in c.dist.items():
+            assert dv == D[3, v]
+
+    def test_center_always_member(self, setup):
+        g, D, A, thr = setup
+        a = int(A[0])  # threshold 0 at a landmark itself
+        c = compute_cluster(g, a, thr)
+        assert a in c
+
+    def test_subpath_closure(self, setup):
+        g, D, A, thr = setup
+        for w in range(0, g.n, 11):
+            check_subpath_closure(compute_cluster(g, w, thr))
+
+    def test_tree_is_valid_rooted_tree(self, setup):
+        g, D, A, thr = setup
+        c = compute_cluster(g, 7, thr)
+        tree = c.tree()
+        tree.validate()
+        assert tree.root == 7
+        assert set(tree.vertices) == set(c.dist)
+
+    def test_members_sorted(self, setup):
+        g, D, A, thr = setup
+        c = compute_cluster(g, 7, thr)
+        assert c.members() == sorted(c.dist)
+
+
+class TestBothEngines:
+    def test_dense_equals_sparse(self, setup):
+        g, D, A, thr = setup
+        centers = list(range(0, g.n, 5))
+        dense = compute_all_clusters(g, centers, thr, method="dense")
+        sparse = compute_all_clusters(g, centers, thr, method="sparse")
+        assert set(dense) == set(sparse)
+        for w in centers:
+            assert dense[w].dist == sparse[w].dist
+            # Parents may differ between SPTs; distances must agree and
+            # both must satisfy closure.
+            check_subpath_closure(dense[w])
+            check_subpath_closure(sparse[w])
+
+    def test_auto_dispatch(self, setup):
+        g, D, A, thr = setup
+        out = compute_all_clusters(g, [0, 1], thr, method="auto")
+        assert set(out) == {0, 1}
+
+    def test_per_center_thresholds(self, setup):
+        g, D, A, thr = setup
+        thr2 = np.stack([thr, np.full(g.n, np.inf)])
+        out = compute_all_clusters(g, [0, 1], thr2, method="sparse")
+        assert len(out[1]) == g.n  # infinite threshold spans everything
+
+    def test_bad_threshold_shape(self, setup):
+        g, D, A, thr = setup
+        with pytest.raises(GraphError):
+            compute_all_clusters(g, [0, 1], np.zeros((3, g.n)))
+
+    def test_unknown_method(self, setup):
+        g, D, A, thr = setup
+        with pytest.raises(GraphError):
+            compute_all_clusters(g, [0], thr, method="bogus")
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_property_engines_agree_unit_weights(self, seed):
+        g = gen.gnp(40, 0.12, rng=seed)
+        D = all_pairs_shortest_paths(g)
+        rng = np.random.default_rng(seed)
+        A = rng.choice(g.n, size=4, replace=False)
+        thr = D[A].min(axis=0)
+        centers = list(range(g.n))
+        dense = compute_all_clusters(g, centers, thr, method="dense")
+        sparse = compute_all_clusters(g, centers, thr, method="sparse")
+        for w in centers:
+            assert dense[w].dist == sparse[w].dist
+
+
+class TestBunches:
+    def test_duality(self, setup):
+        """Σ|C(w)| == Σ|B(v)| and w ∈ B(v) ⟺ v ∈ C(w)."""
+        g, D, A, thr = setup
+        clusters = compute_all_clusters(g, list(range(g.n)), thr)
+        B = bunches(clusters)
+        assert sum(len(c) for c in clusters.values()) == sum(
+            len(b) for b in B.values()
+        )
+        for w, c in clusters.items():
+            for v in c.dist:
+                assert w in B[v]
+                assert B[v][w] == c.dist[v]
+
+    def test_bunch_definition(self, setup):
+        g, D, A, thr = setup
+        clusters = compute_all_clusters(g, list(range(g.n)), thr)
+        B = bunches(clusters)
+        for v in range(0, g.n, 13):
+            expected = {w for w in range(g.n) if D[w, v] < thr[v] or w == v}
+            assert set(B[v]) == expected
+
+    def test_size_histogram(self, setup):
+        g, D, A, thr = setup
+        clusters = compute_all_clusters(g, [0, 1, 2], thr)
+        h = cluster_size_histogram(clusters)
+        assert h.shape == (3,)
+        assert np.all(np.diff(h) >= 0)
+
+
+class TestClosureValidation:
+    def test_detects_missing_parent(self):
+        broken = Cluster(0, {0: 0.0, 1: 1.0}, {0: -1, 1: 7})
+        with pytest.raises(GraphError):
+            check_subpath_closure(broken)
+
+    def test_detects_non_increasing_distance(self):
+        broken = Cluster(0, {0: 0.0, 1: 1.0, 2: 0.5}, {0: -1, 1: 0, 2: 1})
+        with pytest.raises(GraphError):
+            check_subpath_closure(broken)

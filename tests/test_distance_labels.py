@@ -1,0 +1,115 @@
+"""Distance labels: soundness, 2k−1 bound, locality, sizes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LabelError, PreprocessingError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import all_pairs_shortest_paths
+from repro.oracles.distance_labels import (
+    DistanceLabel,
+    build_distance_labels,
+    query_labels,
+    query_steps,
+)
+
+
+@pytest.fixture(scope="module", params=[1, 2, 3])
+def labeling_setup(request, small_weighted_graph, dist_small):
+    k = request.param
+    labeling = build_distance_labels(small_weighted_graph, k, rng=700 + k)
+    return k, labeling, dist_small
+
+
+class TestQueries:
+    def test_sound_and_bounded(self, labeling_setup):
+        k, labeling, D = labeling_setup
+        bound = labeling.stretch_bound()
+        for s in range(0, labeling.n, 4):
+            for t in range(0, labeling.n, 7):
+                est = labeling.query(s, t)
+                assert est >= D[s, t] - 1e-9
+                if s != t:
+                    assert est <= bound * D[s, t] + 1e-9
+
+    def test_self_query_zero(self, labeling_setup):
+        k, labeling, D = labeling_setup
+        assert labeling.query(3, 3) == 0.0
+
+    def test_query_uses_labels_only(self, labeling_setup):
+        """The estimate is a pure function of the two label objects."""
+        k, labeling, D = labeling_setup
+        lu, lv = labeling.labels[0], labeling.labels[9]
+        assert query_labels(lu, lv) == labeling.query(0, 9)
+
+    def test_query_symmetric_within_bound(self, labeling_setup):
+        k, labeling, D = labeling_setup
+        for s, t in [(0, 5), (5, 0), (10, 90), (90, 10)]:
+            est = labeling.query(s, t)
+            assert est <= labeling.stretch_bound() * D[s, t] + 1e-9
+
+    def test_steps_bounded(self, labeling_setup):
+        k, labeling, D = labeling_setup
+        for s in range(0, labeling.n, 9):
+            for t in range(0, labeling.n, 11):
+                if s != t:
+                    lu, lv = labeling.labels[s], labeling.labels[t]
+                    assert query_steps(lu, lv) <= k - 1
+
+    def test_mismatched_k_rejected(self, small_weighted_graph):
+        a = build_distance_labels(small_weighted_graph, 2, rng=1)
+        b = build_distance_labels(small_weighted_graph, 3, rng=1)
+        with pytest.raises(LabelError):
+            query_labels(a.labels[0], b.labels[1])
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_property_random_graphs(self, seed):
+        g = gen.gnp(40, 0.15, rng=seed, weights=(1, 6))
+        D = all_pairs_shortest_paths(g)
+        labeling = build_distance_labels(g, 2, rng=seed)
+        for s, t in [(0, g.n - 1), (1, g.n // 2)]:
+            est = labeling.query(s, t)
+            assert D[s, t] - 1e-9 <= est <= 3 * D[s, t] + 1e-9
+
+
+class TestStructure:
+    def test_pivot_column_realizes_distances(self, labeling_setup):
+        k, labeling, D = labeling_setup
+        for v in range(0, labeling.n, 13):
+            for w, d in labeling.labels[v].pivots:
+                assert D[w, v] == pytest.approx(d)
+
+    def test_bunch_distances_exact(self, labeling_setup):
+        k, labeling, D = labeling_setup
+        for v in range(0, labeling.n, 13):
+            for w, d in labeling.labels[v].bunch.items():
+                assert D[w, v] == pytest.approx(d)
+
+    def test_level0_pivot_is_self(self, labeling_setup):
+        k, labeling, D = labeling_setup
+        for v in range(labeling.n):
+            w, d = labeling.labels[v].pivots[0]
+            assert d == 0.0
+
+    def test_label_sizes_shrink_with_k(self, small_weighted_graph):
+        sizes = {}
+        for k in (1, 2, 3):
+            labeling = build_distance_labels(small_weighted_graph, k, rng=9)
+            sizes[k] = labeling.avg_label_bits()
+        assert sizes[1] > sizes[2] > sizes[3] * 0.8
+
+    def test_size_bits_formula(self, labeling_setup):
+        k, labeling, D = labeling_setup
+        lab = labeling.labels[0]
+        id_bits = max(1, (labeling.n - 1).bit_length())
+        expected = id_bits + (id_bits + 32) * (len(lab.pivots) + len(lab.bunch))
+        assert lab.size_bits(labeling.n) == expected
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PreprocessingError):
+            build_distance_labels(Graph(4, [(0, 1), (2, 3)]), 2)

@@ -1,0 +1,55 @@
+"""The exception hierarchy: one catchable root, specific leaves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DeliveryError,
+    DisconnectedGraphError,
+    EncodingError,
+    GraphError,
+    LabelError,
+    PortError,
+    PreprocessingError,
+    ReproError,
+    RoutingError,
+)
+
+
+ALL_ERRORS = [
+    GraphError,
+    DisconnectedGraphError,
+    PortError,
+    RoutingError,
+    DeliveryError,
+    LabelError,
+    PreprocessingError,
+    EncodingError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_delivery_is_routing_error():
+    assert issubclass(DeliveryError, RoutingError)
+
+
+def test_disconnected_is_graph_error():
+    assert issubclass(DisconnectedGraphError, GraphError)
+
+
+def test_library_failures_catchable_at_root():
+    from repro.graphs.graph import Graph
+
+    with pytest.raises(ReproError):
+        Graph(2, [(0, 0)])  # self loop -> GraphError -> ReproError
+
+    from repro.bitio import BitWriter
+
+    with pytest.raises(ReproError):
+        BitWriter().write_gamma(0)  # EncodingError -> ReproError

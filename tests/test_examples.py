@@ -1,0 +1,60 @@
+"""The examples must stay runnable — they are the library's front door."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "tree_routing_demo.py",
+        "internet_like_routing.py",
+        "stretch_vs_space_sweep.py",
+        "distance_oracle_demo.py",
+    } <= present
+
+
+def test_quickstart_runs_and_guarantees(capsys):
+    out = run_example("quickstart.py")
+    assert "within the stretch-3 guarantee" in out
+
+
+def test_tree_routing_demo_runs():
+    out = run_example("tree_routing_demo.py")
+    assert "designer" in out and "routed" in out
+
+
+def test_distance_oracle_demo_runs():
+    out = run_example("distance_oracle_demo.py")
+    assert "stretch vs size by k" in out
+
+
+@pytest.mark.slow
+def test_internet_like_runs():
+    out = run_example("internet_like_routing.py", timeout=420)
+    assert "average stretch" in out
+
+
+@pytest.mark.slow
+def test_stretch_vs_space_sweep_runs():
+    out = run_example("stretch_vs_space_sweep.py", timeout=420)
+    assert "stretch vs space" in out

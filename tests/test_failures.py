@@ -1,0 +1,144 @@
+"""Failure injection: the static schemes' documented fragility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.tree_spanner import build_single_tree_scheme
+from repro.core.scheme_k2 import build_stretch3_scheme
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.rng import all_pairs, make_rng
+from repro.sim.failures import (
+    FaultyNetwork,
+    sample_edge_failures,
+    survivability,
+    surviving_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = gen.gnp(90, 0.08, rng=404, weights=(1, 6))
+    pg = assign_ports(g, "random", rng=405)
+    scheme = build_stretch3_scheme(g, pg, rng=406)
+    pairs = all_pairs(g.n, limit=800, rng=407)
+    return g, pg, scheme, pairs
+
+
+class TestSurvivingGraph:
+    def test_removes_exactly_the_dead_edges(self, setup):
+        g, pg, scheme, pairs = setup
+        dead = sample_edge_failures(g, 5, rng=1)
+        rem = surviving_graph(g, dead)
+        assert rem.m == g.m - 5
+        for a, b in dead:
+            assert not rem.has_edge(a, b)
+
+    def test_too_many_failures_rejected(self, setup):
+        g, pg, scheme, pairs = setup
+        with pytest.raises(ValueError):
+            sample_edge_failures(g, g.m + 1)
+
+    def test_failures_deterministic(self, setup):
+        g, pg, scheme, pairs = setup
+        assert sample_edge_failures(g, 4, rng=9) == sample_edge_failures(
+            g, 4, rng=9
+        )
+
+
+class TestFaultyNetwork:
+    def test_no_failures_is_plain_network(self, setup):
+        g, pg, scheme, pairs = setup
+        net = FaultyNetwork(pg, scheme, [])
+        report = survivability(pg, scheme, [], pairs)
+        assert report.delivery_rate == 1.0
+        res = net.route(0, g.n - 1, strict=True)
+        assert res.delivered
+
+    def test_message_dropped_at_dead_link(self, setup):
+        g, pg, scheme, pairs = setup
+        # Kill the first hop of a known route.
+        from repro.sim.network import Network
+
+        res = Network(pg, scheme).route(0, g.n - 1, strict=True)
+        first_edge = (res.path[0], res.path[1])
+        net = FaultyNetwork(pg, scheme, [first_edge])
+        broken = net.route(0, g.n - 1)
+        assert not broken.delivered
+        assert "dead link" in broken.failure
+
+    def test_strict_mode_raises(self, setup):
+        g, pg, scheme, pairs = setup
+        from repro.errors import RoutingError
+        from repro.sim.network import Network
+
+        res = Network(pg, scheme).route(0, g.n - 1, strict=True)
+        net = FaultyNetwork(pg, scheme, [(res.path[0], res.path[1])])
+        with pytest.raises(RoutingError):
+            net.route(0, g.n - 1, strict=True)
+
+
+class TestSurvivability:
+    def test_static_scheme_loses_some_connected_pairs(self, setup):
+        """The headline limitation: some still-connected pairs become
+        undeliverable because the compiled trees used the dead edges."""
+        g, pg, scheme, pairs = setup
+        dead = sample_edge_failures(g, 8, rng=11)
+        report = survivability(pg, scheme, dead, pairs)
+        assert report.connected_pairs > 0
+        assert report.delivery_rate < 1.0
+
+    def test_recompilation_restores_full_delivery(self, setup):
+        """Preprocessing is the fault boundary: rebuild on G∖F and every
+        still-connected pair routes again."""
+        g, pg, scheme, pairs = setup
+        dead = sample_edge_failures(g, 6, rng=12)
+        remaining = surviving_graph(g, dead).largest_component()
+        if remaining.n < 10:
+            pytest.skip("failures shattered the test graph")
+        pg2 = assign_ports(remaining, "random", rng=13)
+        scheme2 = build_stretch3_scheme(remaining, pg2, rng=14)
+        pairs2 = all_pairs(remaining.n, limit=400, rng=15)
+        report = survivability(pg2, scheme2, [], pairs2)
+        assert report.delivery_rate == 1.0
+
+    def test_single_tree_is_most_fragile(self, setup):
+        """Killing a tree edge severs whole subtrees for the single-tree
+        baseline; TZ's many trees give it strictly better survivability
+        on the same failure set (statistically, over edges that the SPT
+        actually uses)."""
+        g, pg, scheme, pairs = setup
+        tree_scheme = build_single_tree_scheme(g, pg)
+        # Fail edges of the routing tree itself (the worst case for it).
+        tree = tree_scheme.router
+        rng = make_rng(16)
+        tree_vertices = [v for v in range(g.n) if tree.records[v].parent_port]
+        picked = rng.choice(len(tree_vertices), size=6, replace=False)
+        dead = []
+        for i in picked:
+            v = tree_vertices[int(i)]
+            parent = pg.step(v, tree.records[v].parent_port)
+            dead.append((v, parent))
+        tree_report = survivability(pg, tree_scheme, dead, pairs)
+        tz_report = survivability(pg, scheme, dead, pairs)
+        assert tree_report.delivery_rate < 1.0
+        assert tz_report.delivery_rate >= tree_report.delivery_rate
+
+    def test_delivery_rate_degrades_with_more_failures(self, setup):
+        g, pg, scheme, pairs = setup
+        rates = []
+        for f in (0, 4, 16):
+            dead = sample_edge_failures(g, f, rng=17)
+            rates.append(survivability(pg, scheme, dead, pairs).delivery_rate)
+        assert rates[0] == 1.0
+        assert rates[0] >= rates[1] >= rates[2] - 0.05
+
+    def test_report_fields(self, setup):
+        g, pg, scheme, pairs = setup
+        dead = sample_edge_failures(g, 3, rng=18)
+        report = survivability(pg, scheme, dead, pairs)
+        assert report.attempted == len(pairs)
+        assert 0 <= report.delivered <= report.connected_pairs <= len(pairs)
+        assert len(report.failed_edges) == 3

@@ -1,0 +1,123 @@
+"""Handshaking (§4, Thm 4.2): 2k−1 stretch, oracle agreement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.handshake import HandshakeRoutingScheme
+from repro.core.scheme_k import build_tz_scheme
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.graphs.shortest_paths import all_pairs_shortest_paths
+from repro.oracles.distance_oracle import build_distance_oracle
+from repro.rng import all_pairs
+from repro.sim.network import Network
+from repro.sim.runner import run_pairs
+
+
+@pytest.fixture(scope="module", params=[2, 3, 4])
+def compiled(request, small_weighted_graph, ported_small):
+    k = request.param
+    base = build_tz_scheme(small_weighted_graph, ported_small, k=k, rng=500 + k)
+    return k, base, HandshakeRoutingScheme(base)
+
+
+class TestStretch:
+    def test_all_pairs_within_2k_minus_1(
+        self, compiled, small_weighted_graph, ported_small, dist_small
+    ):
+        k, base, hs = compiled
+        pairs = all_pairs(small_weighted_graph.n, limit=2500, rng=k)
+        results, stretches = run_pairs(
+            ported_small, hs, pairs, true_dist=dist_small
+        )
+        assert all(r.delivered for r in results)
+        assert max(stretches) <= (2 * k - 1) + 1e-9
+
+    def test_handshake_never_worse_than_base_bound(self, compiled):
+        k, base, hs = compiled
+        assert hs.stretch_bound() <= base.stretch_bound()
+
+    def test_handshake_avg_not_worse(
+        self, compiled, small_weighted_graph, ported_small, dist_small
+    ):
+        k, base, hs = compiled
+        pairs = all_pairs(small_weighted_graph.n, limit=1500, rng=77)
+        _, st_base = run_pairs(ported_small, base, pairs, true_dist=dist_small)
+        _, st_hs = run_pairs(ported_small, hs, pairs, true_dist=dist_small)
+        # Averaged over many pairs the handshake cannot lose meaningfully
+        # (it optimizes the same tree family bidirectionally).
+        assert sum(st_hs) <= sum(st_base) * 1.05
+
+
+class TestAlternation:
+    def test_tree_covers_both_endpoints(self, compiled):
+        k, base, hs = compiled
+        for s in range(0, base.n, 13):
+            for t in range(0, base.n, 17):
+                if s == t:
+                    continue
+                w = hs.handshake_tree(s, t)
+                assert w in base.tables[s].trees
+                assert w in base.tables[t].trees
+
+    def test_steps_bounded_by_k_minus_1(self, compiled):
+        k, base, hs = compiled
+        for s in range(0, base.n, 11):
+            for t in range(0, base.n, 19):
+                if s != t:
+                    assert hs.handshake_hops(s, t) <= k - 1
+
+    def test_matches_oracle_tree_cost_bound(
+        self, compiled, small_weighted_graph, dist_small
+    ):
+        """The handshake's tree cost d(u,w)+d(w,v) obeys the oracle's
+        2k−1 bound for every checked pair."""
+        k, base, hs = compiled
+        for s in range(0, base.n, 13):
+            for t in range(0, base.n, 17):
+                if s == t:
+                    continue
+                w = hs.handshake_tree(s, t)
+                cost = dist_small[s, w] + dist_small[w, t]
+                assert cost <= (2 * k - 1) * dist_small[s, t] + 1e-9
+
+    def test_oracle_and_handshake_agree_on_witness_quality(
+        self, small_weighted_graph, dist_small
+    ):
+        """Independent implementations of the same alternation: the
+        oracle estimate upper-bounds the handshake's tree cost ratio."""
+        g = small_weighted_graph
+        pg = assign_ports(g, "sorted")
+        base = build_tz_scheme(g, pg, k=3, rng=42)
+        hs = HandshakeRoutingScheme(base)
+        oracle = build_distance_oracle(g, 3, rng=42)
+        for s in range(0, g.n, 15):
+            for t in range(0, g.n, 21):
+                if s == t:
+                    continue
+                est = oracle.query(s, t)
+                assert est <= 5 * dist_small[s, t] + 1e-9
+                w = hs.handshake_tree(s, t)
+                assert dist_small[s, w] + dist_small[w, t] <= 5 * dist_small[
+                    s, t
+                ] + 1e-9
+
+
+class TestInterface:
+    def test_self_route(self, compiled, ported_small):
+        k, base, hs = compiled
+        net = Network(ported_small, hs)
+        res = net.route(4, 4, strict=True)
+        assert res.delivered and res.hops == 0
+
+    def test_sizes_delegate_to_base(self, compiled):
+        k, base, hs = compiled
+        assert hs.table_bits(0) == base.table_bits(0)
+        assert hs.label_bits(0) == base.label_bits(0)
+
+    def test_header_pinned_after_handshake(self, compiled):
+        k, base, hs = compiled
+        header = hs.initial_header(0, base.n - 1)
+        assert header.tree != -1
+        assert header.tree_label is not None

@@ -1,0 +1,195 @@
+"""Cross-module integration: full preprocessing→routing pipelines on
+diverse topologies, multiple seeds, checked against the paper's bounds.
+
+These are the "does the whole system hold together" tests — every one of
+them exercises generators → ports → landmarks → clusters → tree routing →
+labels/tables → simulator in one pass.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    HandshakeRoutingScheme,
+    Network,
+    build_distance_oracle,
+    build_shortest_path_scheme,
+    build_stretch3_scheme,
+    build_tz_scheme,
+    assign_ports,
+)
+from repro.graphs import generators as gen
+from repro.graphs.shortest_paths import all_pairs_shortest_paths
+from repro.rng import all_pairs
+from repro.sim.runner import run_pairs
+
+
+TOPOLOGIES = {
+    "gnp": lambda seed: gen.gnp(90, 0.07, rng=seed, weights=(1, 12)),
+    "ba": lambda seed: gen.barabasi_albert(90, 3, rng=seed, weights=(1, 12)),
+    "grid": lambda seed: gen.grid2d(9, 10),
+    "torus": lambda seed: gen.grid2d(8, 8, torus=True),
+    "as-like": lambda seed: gen.internet_as_like(90, rng=seed),
+    "geometric": lambda seed: gen.random_geometric(110, 0.2, rng=seed),
+    "hypercube": lambda seed: gen.hypercube(6),
+    "ring": lambda seed: gen.ring(60),
+}
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+def test_stretch3_on_every_topology(topology):
+    g = TOPOLOGIES[topology](3)
+    pg = assign_ports(g, "random", rng=4)
+    scheme = build_stretch3_scheme(g, pg, rng=5)
+    D = all_pairs_shortest_paths(g)
+    pairs = all_pairs(g.n, limit=900, rng=6)
+    results, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
+    assert all(r.delivered for r in results)
+    assert max(stretches) <= 3.0 + 1e-9
+
+
+@pytest.mark.parametrize("topology", ["gnp", "grid", "as-like"])
+@pytest.mark.parametrize("k", [2, 3])
+def test_general_scheme_with_handshake_on_topologies(topology, k):
+    g = TOPOLOGIES[topology](11)
+    pg = assign_ports(g, "random", rng=12)
+    base = build_tz_scheme(g, pg, k=k, rng=13)
+    hs = HandshakeRoutingScheme(base)
+    D = all_pairs_shortest_paths(g)
+    pairs = all_pairs(g.n, limit=700, rng=14)
+    _, st_base = run_pairs(pg, base, pairs, true_dist=D)
+    _, st_hs = run_pairs(pg, hs, pairs, true_dist=D)
+    assert max(st_base) <= base.stretch_bound() + 1e-9
+    assert max(st_hs) <= hs.stretch_bound() + 1e-9
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_seed_sweep_never_violates_bounds(seed):
+    g = gen.gnp(70, 0.08, rng=1000 + seed, weights=(1, 9))
+    pg = assign_ports(g, "random", rng=seed)
+    D = all_pairs_shortest_paths(g)
+    pairs = all_pairs(g.n, limit=600, rng=seed)
+    for k in (2, 3):
+        scheme = build_tz_scheme(g, pg, k=k, rng=seed)
+        _, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
+        assert max(stretches) <= scheme.stretch_bound() + 1e-9
+
+
+def test_port_assignment_does_not_affect_correctness():
+    """The scheme must work under any port numbering (fixed-port model)."""
+    g = gen.gnp(80, 0.08, rng=21, weights=(1, 6))
+    D = all_pairs_shortest_paths(g)
+    pairs = all_pairs(g.n, limit=500, rng=22)
+    for kind, rng in (("sorted", None), ("reversed", None), ("random", 33)):
+        pg = assign_ports(g, kind, rng=rng)
+        scheme = build_stretch3_scheme(g, pg, rng=23)
+        results, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
+        assert all(r.delivered for r in results)
+        assert max(stretches) <= 3.0 + 1e-9
+
+
+def test_scheme_and_oracle_consistency():
+    """Routing stretch can exceed the oracle estimate's ratio but both
+    obey their bounds, and the oracle never reports less than the true
+    distance the router actually achieves."""
+    g = gen.barabasi_albert(100, 3, rng=31, weights=(1, 8))
+    pg = assign_ports(g, "random", rng=32)
+    scheme = build_tz_scheme(g, pg, k=3, rng=33)
+    oracle = build_distance_oracle(g, 3, rng=33)
+    net = Network(pg, scheme)
+    D = all_pairs_shortest_paths(g)
+    rng = np.random.default_rng(34)
+    for _ in range(150):
+        s, t = rng.integers(0, g.n, 2)
+        if s == t:
+            continue
+        s, t = int(s), int(t)
+        res = net.route(s, t, strict=True)
+        est = oracle.query(s, t)
+        assert res.weight <= scheme.stretch_bound() * D[s, t] + 1e-9
+        assert D[s, t] - 1e-9 <= est <= oracle.stretch_bound() * D[s, t] + 1e-9
+
+
+def test_space_hierarchy_between_schemes():
+    """The Table-1 ordering in *entries per vertex* (the scale-free
+    measure: at n=200 the per-entry bit constants still mask the
+    asymptotic n vs √n separation, but entry counts already show it):
+    SP stores n−1 entries, TZ-k2 ≈ Õ(√n), TZ-k3 fewer, single-tree O(1)."""
+    from repro.baselines.tree_spanner import build_single_tree_scheme
+
+    g = gen.gnp(200, 0.05, rng=41, weights=(1, 8))
+    pg = assign_ports(g, "sorted")
+    sp = build_shortest_path_scheme(g, pg)
+    tz2 = build_stretch3_scheme(g, pg, rng=42)
+    tz3 = build_tz_scheme(g, pg, k=3, rng=42)
+    single = build_single_tree_scheme(g, pg)
+
+    def entries(scheme):
+        if scheme is sp:
+            return g.n - 1
+        if scheme is single:
+            return 1
+        return float(
+            np.mean(
+                [
+                    len(scheme.tables[u].trees) + len(scheme.tables[u].members)
+                    for u in range(g.n)
+                ]
+            )
+        )
+
+    assert entries(sp) > 3 * entries(tz2)
+    assert entries(tz2) > entries(tz3)
+    assert entries(single) < entries(tz3)
+    # Bits: the single tree is unambiguously smallest even at this n.
+    avg_bits = lambda s: np.mean([s.table_bits(u) for u in range(g.n)])
+    assert avg_bits(single) < avg_bits(tz3) < avg_bits(tz2) * 1.5
+
+    # And the stretch ordering is reversed (measured on shared pairs).
+    D = all_pairs_shortest_paths(g)
+    pairs = all_pairs(g.n, limit=400, rng=43)
+    stretch = {}
+    for name, scheme in (("sp", sp), ("tz2", tz2), ("tz3", tz3), ("one", single)):
+        _, st = run_pairs(pg, scheme, pairs, true_dist=D)
+        stretch[name] = float(np.mean(st))
+    assert stretch["sp"] <= stretch["tz2"] <= stretch["tz3"] * 1.2
+    assert stretch["one"] >= stretch["tz2"]
+
+
+def test_headers_stay_polylog_end_to_end():
+    g = gen.gnp(150, 0.06, rng=51, weights=(1, 7))
+    pg = assign_ports(g, "random", rng=52)
+    scheme = build_tz_scheme(g, pg, k=3, rng=53)
+    net = Network(pg, scheme)
+    rng = np.random.default_rng(54)
+    budget = 8 * math.log2(g.n) ** 2
+    for _ in range(80):
+        s, t = rng.integers(0, g.n, 2)
+        if s == t:
+            continue
+        res = net.route(int(s), int(t), strict=True)
+        assert res.max_header_bits <= budget
+
+
+def test_weighted_and_unit_weight_agree_on_structure():
+    """Same topology, different weights: both compile and respect bounds
+    (weights only move distances, never break invariants)."""
+    base_graph = gen.gnp(80, 0.08, rng=61)
+    from repro.graphs.graph import Graph
+
+    weighted = Graph(
+        base_graph.n,
+        base_graph.edges,
+        (np.arange(base_graph.m) % 9 + 1).astype(float),
+    )
+    for g in (base_graph, weighted):
+        pg = assign_ports(g, "random", rng=62)
+        scheme = build_stretch3_scheme(g, pg, rng=63)
+        D = all_pairs_shortest_paths(g)
+        pairs = all_pairs(g.n, limit=400, rng=64)
+        _, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
+        assert max(stretches) <= 3.0 + 1e-9

@@ -1,0 +1,115 @@
+"""TZ approximate distance oracle: soundness, 2k−1 bound, size."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PreprocessingError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.ports import assign_ports
+from repro.graphs.shortest_paths import all_pairs_shortest_paths
+from repro.oracles.distance_oracle import build_distance_oracle
+
+
+@pytest.fixture(scope="module", params=[1, 2, 3])
+def oracle_setup(request, small_weighted_graph, dist_small):
+    k = request.param
+    oracle = build_distance_oracle(small_weighted_graph, k, rng=900 + k)
+    return k, oracle, dist_small
+
+
+class TestQueries:
+    def test_never_underestimates(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        n = oracle.n
+        for s in range(0, n, 3):
+            for t in range(0, n, 5):
+                assert oracle.query(s, t) >= D[s, t] - 1e-9
+
+    def test_within_2k_minus_1(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        n = oracle.n
+        bound = oracle.stretch_bound()
+        for s in range(0, n, 3):
+            for t in range(0, n, 5):
+                if s != t:
+                    assert oracle.query(s, t) <= bound * D[s, t] + 1e-9
+
+    def test_symmetric_pairs_both_bounded(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        for s, t in [(0, 10), (10, 0), (3, 50), (50, 3)]:
+            assert oracle.query(s, t) <= oracle.stretch_bound() * D[s, t] + 1e-9
+
+    def test_self_distance_zero(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        assert oracle.query(7, 7) == 0.0
+
+    def test_k1_is_exact(self, small_weighted_graph, dist_small):
+        oracle = build_distance_oracle(small_weighted_graph, 1, rng=1)
+        for s in range(0, oracle.n, 7):
+            for t in range(0, oracle.n, 11):
+                assert oracle.query(s, t) == pytest.approx(dist_small[s, t])
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_property_random_graphs(self, seed):
+        g = gen.gnp(40, 0.15, rng=seed, weights=(1, 6))
+        D = all_pairs_shortest_paths(g)
+        k = 2 + seed % 2
+        oracle = build_distance_oracle(g, k, rng=seed)
+        rng_pairs = [(seed % g.n, (seed // 7) % g.n), (1, g.n - 1), (0, 2)]
+        for s, t in rng_pairs:
+            if s == t:
+                continue
+            est = oracle.query(s, t)
+            assert D[s, t] - 1e-9 <= est <= oracle.stretch_bound() * D[s, t] + 1e-9
+
+
+class TestStructure:
+    def test_bunches_contain_self(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        for v in range(oracle.n):
+            assert v in oracle.bunch[v]
+            assert oracle.bunch[v][v] == 0.0
+
+    def test_bunch_distances_exact(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        for v in range(0, oracle.n, 9):
+            for w, d in oracle.bunch[v].items():
+                assert d == D[w, v]
+
+    def test_bunch_definition(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        h = oracle.hierarchy
+        for v in range(0, oracle.n, 13):
+            for w in range(oracle.n):
+                i = int(h.level_of[w])
+                expected = D[w, v] < h.dist[i + 1, v] or w == v
+                assert (w in oracle.bunch[v]) == expected
+
+    def test_size_accounting(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        assert oracle.size_words() == sum(
+            len(b) for b in oracle.bunch.values()
+        ) + 2 * k * oracle.n
+        assert oracle.size_bits() > oracle.size_words()
+        assert oracle.max_bunch_size() >= oracle.avg_bunch_size()
+
+    def test_k1_bunches_are_everything(self, small_weighted_graph):
+        oracle = build_distance_oracle(small_weighted_graph, 1, rng=2)
+        for v in range(oracle.n):
+            assert len(oracle.bunch[v]) == oracle.n
+
+    def test_higher_k_smaller_bunches(self, small_weighted_graph):
+        sizes = {}
+        for k in (1, 2, 3):
+            oracle = build_distance_oracle(small_weighted_graph, k, rng=4)
+            sizes[k] = oracle.avg_bunch_size()
+        assert sizes[1] > sizes[2] > sizes[3] * 0.8
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PreprocessingError):
+            build_distance_oracle(Graph(4, [(0, 1), (2, 3)]), 2)

@@ -1,0 +1,118 @@
+"""Port model tests: assignments, step/port inverses, designer ports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, PortError
+from repro.graphs import generators as gen
+from repro.graphs.ports import PortedGraph, assign_ports, designer_ports_for_tree
+from repro.graphs.validation import check_ports
+
+from test_trees import rooted_from_graph
+
+
+class TestAssignments:
+    @pytest.mark.parametrize("kind", ["sorted", "random", "reversed"])
+    def test_valid_permutations(self, small_weighted_graph, kind):
+        pg = assign_ports(small_weighted_graph, kind, rng=3)
+        check_ports(pg)
+
+    def test_unknown_kind_rejected(self, small_weighted_graph):
+        with pytest.raises(GraphError):
+            assign_ports(small_weighted_graph, "bogus")
+
+    def test_sorted_assignment_is_identity_on_rank(self, small_weighted_graph):
+        g = small_weighted_graph
+        pg = assign_ports(g, "sorted")
+        for u in range(g.n):
+            for rank, v in enumerate(g.neighbors(u), start=1):
+                assert pg.port(u, int(v)) == rank
+
+    def test_random_assignments_deterministic_in_seed(self, small_weighted_graph):
+        a = assign_ports(small_weighted_graph, "random", rng=5)
+        b = assign_ports(small_weighted_graph, "random", rng=5)
+        assert (a.port_of_arc == b.port_of_arc).all()
+
+    def test_step_port_inverse(self, ported_small):
+        g = ported_small.graph
+        for u in range(g.n):
+            for v in g.neighbors(u):
+                assert ported_small.step(u, ported_small.port(u, int(v))) == int(v)
+
+    def test_step_weight_matches_edge_weight(self, ported_small):
+        g = ported_small.graph
+        u = 0
+        for v in g.neighbors(u):
+            p = ported_small.port(u, int(v))
+            assert ported_small.step_weight(u, p) == g.edge_weight(u, int(v))
+
+    def test_invalid_port_raises(self, ported_small):
+        with pytest.raises(PortError):
+            ported_small.step(0, 0)
+        with pytest.raises(PortError):
+            ported_small.step(0, ported_small.degree(0) + 1)
+
+    def test_port_of_non_edge_raises(self, ported_small):
+        g = ported_small.graph
+        u = 0
+        non_neighbor = next(
+            v for v in range(g.n) if v != u and not g.has_edge(u, v)
+        )
+        with pytest.raises(PortError):
+            ported_small.port(u, non_neighbor)
+
+    def test_max_port_bits(self, ported_small):
+        assert ported_small.max_port_bits() >= 1
+
+
+class TestDesignerPorts:
+    def test_designer_port_equals_child_rank(self):
+        tree_graph = gen.random_tree(60, rng=9)
+        rooted = rooted_from_graph(tree_graph)
+        pg = designer_ports_for_tree(tree_graph, rooted)
+        check_ports(pg)
+        for v in rooted.vertices:
+            for rank, c in enumerate(rooted.children[v], start=1):
+                assert pg.port(v, c) == rank
+
+    def test_designer_parent_port_after_children(self):
+        tree_graph = gen.star_tree(10)
+        rooted = rooted_from_graph(tree_graph)
+        pg = designer_ports_for_tree(tree_graph, rooted)
+        for leaf in range(1, 10):
+            # A leaf's only edge is to its parent: port 1.
+            assert pg.port(leaf, 0) == 1
+
+    def test_designer_on_graph_with_non_tree_edges(self, small_weighted_graph):
+        g = small_weighted_graph
+        rooted = rooted_from_graph(g)  # SPT of a non-tree graph
+        pg = designer_ports_for_tree(g, rooted)
+        check_ports(pg)
+        for v in rooted.vertices:
+            for rank, c in enumerate(rooted.children[v], start=1):
+                assert pg.port(v, c) == rank
+
+
+class TestPortedGraphValidation:
+    def test_bad_port_range_rejected(self, small_weighted_graph):
+        import numpy as np
+
+        bad = np.zeros(2 * small_weighted_graph.m, dtype=np.int64)
+        with pytest.raises(PortError):
+            PortedGraph(small_weighted_graph, bad)
+
+    def test_duplicate_port_rejected(self):
+        from repro.graphs.graph import Graph
+        import numpy as np
+
+        g = Graph(3, [(0, 1), (0, 2)])
+        port_of_arc = np.array([1, 1, 1, 1], dtype=np.int64)  # dup at vertex 0
+        with pytest.raises(PortError):
+            PortedGraph(g, port_of_arc)
+
+    def test_wrong_shape_rejected(self, small_weighted_graph):
+        import numpy as np
+
+        with pytest.raises(GraphError):
+            PortedGraph(small_weighted_graph, np.ones(3, dtype=np.int64))

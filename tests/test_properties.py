@@ -1,0 +1,175 @@
+"""Cross-cutting property tests of the load-bearing invariants.
+
+Each property here is one the proofs in the module docstrings actually
+use; hypothesis drives randomized instances at them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clusters import bunches, compute_all_clusters
+from repro.core.landmarks import build_hierarchy
+from repro.core.scheme_k import build_tz_scheme
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.graphs.shortest_paths import all_pairs_shortest_paths
+from repro.sim.network import Network
+
+
+def instance(seed: int, n: int = 36):
+    g = gen.gnp(n, 0.15, rng=seed, weights=(1, 5))
+    return g, all_pairs_shortest_paths(g)
+
+
+class TestHierarchyProperties:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=12, deadline=None)
+    def test_pivot_distance_chain(self, seed):
+        """d_0(v) ≤ d_1(v) ≤ … and each pivot realizes its level."""
+        g, D = instance(seed)
+        h = build_hierarchy(g, 3, rng=seed)
+        for v in range(g.n):
+            for i in range(h.k):
+                assert h.dist[i, v] <= h.dist[i + 1, v]
+                assert D[h.pivot[i, v], v] == h.dist[i, v]
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=12, deadline=None)
+    def test_vertex_in_every_pivot_cluster(self, seed):
+        """The labels-exist invariant: v ∈ C(p_i(v)) for every level."""
+        g, D = instance(seed)
+        h = build_hierarchy(g, 3, rng=seed)
+        for v in range(g.n):
+            for i in range(h.k):
+                w = int(h.pivot[i, v])
+                lvl = int(h.level_of[w])
+                # strict membership or w == v
+                assert w == v or D[w, v] < h.dist[lvl + 1, v]
+
+
+class TestClusterProperties:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_center_in_own_cluster_and_duality(self, seed):
+        g, D = instance(seed)
+        h = build_hierarchy(g, 2, rng=seed)
+        clusters = {}
+        for i in range(h.k):
+            centers = [int(w) for w in h.levels[i] if h.level_of[w] == i]
+            clusters.update(
+                compute_all_clusters(g, centers, h.dist[i + 1], method="dense")
+            )
+        assert set(clusters) == set(range(g.n))
+        for w, c in clusters.items():
+            assert w in c
+        B = bunches(clusters)
+        assert sum(len(c) for c in clusters.values()) == sum(
+            len(b) for b in B.values()
+        )
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_top_level_clusters_span(self, seed):
+        g, D = instance(seed)
+        h = build_hierarchy(g, 2, rng=seed)
+        top = [int(w) for w in h.levels[1]]
+        clusters = compute_all_clusters(g, top, h.dist[2], method="dense")
+        for w in top:
+            assert len(clusters[w]) == g.n
+
+
+class TestRouteProperties:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_route_weight_equals_path_weight(self, seed):
+        """The simulator's accumulated weight is the physical path's."""
+        from repro.graphs.shortest_paths import path_weight
+
+        g, D = instance(seed, n=32)
+        pg = assign_ports(g, "random", rng=seed)
+        scheme = build_tz_scheme(g, pg, k=2, rng=seed)
+        net = Network(pg, scheme)
+        rng = np.random.default_rng(seed)
+        for _ in range(6):
+            s, t = rng.integers(0, g.n, 2)
+            if s == t:
+                continue
+            res = net.route(int(s), int(t), strict=True)
+            assert res.weight == pytest.approx(path_weight(g, res.path))
+            assert res.weight >= D[int(s), int(t)] - 1e-9
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_header_immutable_after_commit(self, seed):
+        """After the source commits, the tree field never changes."""
+        g, D = instance(seed, n=32)
+        pg = assign_ports(g, "random", rng=seed)
+        scheme = build_tz_scheme(g, pg, k=2, rng=seed)
+        s, t = 0, g.n - 1
+        header = scheme.initial_header(s, t)
+        port, header = scheme.decide(s, header)
+        committed = header.tree
+        u = s
+        hops = 0
+        while port is not None and hops < 4 * g.n:
+            u = pg.step(u, port)
+            port, header = scheme.decide(u, header)
+            assert header.tree == committed
+            hops += 1
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=6, deadline=None)
+    def test_route_is_loop_free(self, seed):
+        """TZ routes never revisit a vertex (tree paths are simple)."""
+        g, D = instance(seed, n=32)
+        pg = assign_ports(g, "random", rng=seed)
+        scheme = build_tz_scheme(g, pg, k=3, rng=seed)
+        net = Network(pg, scheme)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(6):
+            s, t = rng.integers(0, g.n, 2)
+            if s == t:
+                continue
+            res = net.route(int(s), int(t), strict=True)
+            assert len(res.path) == len(set(res.path))
+
+
+class TestSizeAccountingProperties:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=6, deadline=None)
+    def test_label_bits_positive_and_bounded(self, seed):
+        g, D = instance(seed, n=40)
+        pg = assign_ports(g, "sorted")
+        scheme = build_tz_scheme(g, pg, k=3, rng=seed)
+        import math
+
+        budget = 16 * math.log2(g.n) ** 2
+        for v in range(g.n):
+            bits = scheme.label_bits(v)
+            assert 0 < bits <= budget
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=6, deadline=None)
+    def test_table_bits_match_serialized_stream(self, seed):
+        from repro.core.serialize import (
+            encode_table,
+            table_prefix_overhead,
+        )
+
+        g, D = instance(seed, n=30)
+        pg = assign_ports(g, "sorted")
+        scheme = build_tz_scheme(g, pg, k=2, rng=seed)
+        degs = g.degrees()
+        max_port = int(degs.max())
+        for u in range(0, g.n, 7):
+            table = scheme.tables[u]
+            stream = encode_table(
+                table, g.n, scheme.tree_sizes, scheme.tree_sizes[u], max_port
+            )
+            assert stream.n_bits == table.size_bits(
+                g.n, scheme.tree_sizes, scheme.tree_sizes[u], max_port
+            ) + table_prefix_overhead(table)

@@ -1,0 +1,79 @@
+"""Power-law fitting utilities used by the acceptance criteria."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import (
+    PowerLawFit,
+    doubling_ratio,
+    fit_power_law,
+    polylog_corrected_fit,
+)
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_exponent(self):
+        ns = [64, 128, 256, 512, 1024]
+        values = [3.0 * n**0.5 for n in ns]
+        fit = fit_power_law(ns, values)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+        assert fit.coeff == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = PowerLawFit(0.5, 2.0, 1.0)
+        assert fit.predict(100) == pytest.approx(20.0)
+
+    def test_describe_mentions_theory(self):
+        fit = PowerLawFit(0.52, 1.0, 0.99)
+        s = fit.describe(0.5)
+        assert "0.52" in s and "0.50" in s
+
+    def test_noisy_data_reasonable(self):
+        rng = np.random.default_rng(3)
+        ns = [2**i for i in range(6, 14)]
+        values = [n**0.33 * float(rng.uniform(0.9, 1.1)) for n in ns]
+        fit = fit_power_law(ns, values)
+        assert 0.25 <= fit.exponent <= 0.42
+        assert fit.r_squared > 0.9
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [5])
+
+    def test_identical_n_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10, 10], [5, 6])
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10, 20], [1.0, 0.0])
+
+
+class TestPolylogCorrection:
+    def test_strips_log_factor(self):
+        ns = [2**i for i in range(6, 15)]
+        values = [n**0.5 * math.log2(n) ** 2 for n in ns]
+        raw = fit_power_law(ns, values)
+        corrected = polylog_corrected_fit(ns, values, log_power=2.0)
+        assert corrected.exponent == pytest.approx(0.5, abs=1e-6)
+        assert raw.exponent > corrected.exponent  # the drift being removed
+
+
+class TestDoublingRatio:
+    def test_exact_power(self):
+        ns = [100, 200, 400]
+        values = [n**0.5 for n in ns]
+        assert doubling_ratio(ns, values) == pytest.approx(2**0.5)
+
+    def test_requires_growth_in_n(self):
+        with pytest.raises(ValueError):
+            doubling_ratio([100, 100], [1, 2])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            doubling_ratio([100], [1])

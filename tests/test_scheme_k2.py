@@ -1,0 +1,156 @@
+"""The §3 stretch-3 scheme: delivery, the exact stretch-3 bound, space."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.scheme_k2 import build_stretch3_scheme, default_s
+from repro.errors import PreprocessingError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.ports import assign_ports
+from repro.graphs.shortest_paths import all_pairs_shortest_paths
+from repro.rng import all_pairs
+from repro.sim.network import Network
+from repro.sim.runner import run_pairs
+
+
+@pytest.fixture(scope="module")
+def compiled(small_weighted_graph, ported_small):
+    return build_stretch3_scheme(small_weighted_graph, ported_small, rng=31)
+
+
+class TestDeliveryAndStretch:
+    def test_every_ordered_pair_delivered_within_3x(
+        self, small_weighted_graph, ported_small, dist_small, compiled
+    ):
+        """Exhaustive: all n(n-1) pairs delivered, stretch ≤ 3 exactly."""
+        pairs = all_pairs(small_weighted_graph.n)
+        results, stretches = run_pairs(
+            ported_small, compiled, pairs, true_dist=dist_small
+        )
+        assert all(r.delivered for r in results)
+        assert max(stretches) <= 3.0 + 1e-9
+
+    def test_in_cluster_pairs_routed_exactly(
+        self, small_weighted_graph, ported_small, dist_small, compiled
+    ):
+        """v ∈ C(u) must route along an exact shortest path (stretch 1)."""
+        net = Network(ported_small, compiled)
+        checked = 0
+        for u in range(small_weighted_graph.n):
+            for v in compiled.tables[u].members:
+                if v == u:
+                    continue
+                res = net.route(u, v, strict=True)
+                assert res.weight == pytest.approx(dist_small[u, v])
+                checked += 1
+        assert checked > 0
+
+    def test_self_route_is_trivial(self, ported_small, compiled):
+        net = Network(ported_small, compiled)
+        res = net.route(5, 5, strict=True)
+        assert res.delivered and res.weight == 0 and res.hops == 0
+
+    def test_unit_weight_graph(self, small_unit_graph):
+        pg = assign_ports(small_unit_graph, "random", rng=3)
+        scheme = build_stretch3_scheme(small_unit_graph, pg, rng=4)
+        D = all_pairs_shortest_paths(small_unit_graph)
+        pairs = all_pairs(small_unit_graph.n, limit=2000, rng=5)
+        _, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
+        assert max(stretches) <= 3.0 + 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_multiple_seeds_never_violate(self, seed):
+        g = gen.gnp(70, 0.09, rng=seed + 100, weights=(1, 7))
+        pg = assign_ports(g, "random", rng=seed)
+        scheme = build_stretch3_scheme(g, pg, rng=seed)
+        D = all_pairs_shortest_paths(g)
+        pairs = all_pairs(g.n, limit=1500, rng=seed)
+        _, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
+        assert max(stretches) <= 3.0 + 1e-9
+
+    def test_grid_graph(self, grid_graph):
+        pg = assign_ports(grid_graph, "random", rng=9)
+        scheme = build_stretch3_scheme(grid_graph, pg, rng=10)
+        D = all_pairs_shortest_paths(grid_graph)
+        pairs = all_pairs(grid_graph.n, limit=1500, rng=11)
+        _, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
+        assert max(stretches) <= 3.0 + 1e-9
+
+
+class TestStructure:
+    def test_landmark_trees_span_everything(self, compiled):
+        for a in compiled.hierarchy.levels[1]:
+            assert compiled.tree_sizes[int(a)] == compiled.n
+
+    def test_cluster_cap_respected(self, compiled):
+        """Theorem 3.1 cap: non-landmark clusters ≤ 4n/s."""
+        s = default_s(compiled.n)
+        landmarks = set(compiled.hierarchy.levels[1].tolist())
+        for w in range(compiled.n):
+            if w not in landmarks:
+                assert compiled.tree_sizes[w] <= 4 * compiled.n / s
+
+    def test_bunch_contains_all_landmarks(self, compiled):
+        """Every vertex participates in every landmark tree."""
+        landmarks = set(compiled.hierarchy.levels[1].tolist())
+        for u in range(compiled.n):
+            assert landmarks <= set(compiled.tables[u].trees)
+
+    def test_label_entry_is_nearest_landmark(self, compiled, dist_small):
+        A = compiled.hierarchy.levels[1]
+        for v in range(compiled.n):
+            a_v = compiled.labels[v].entry(1).pivot
+            assert dist_small[a_v, v] == dist_small[A, v].min()
+
+    def test_stretch_bound_value(self, compiled):
+        assert compiled.stretch_bound() == 3.0
+
+    def test_bernoulli_landmarks_also_work(self, small_weighted_graph):
+        pg = assign_ports(small_weighted_graph, "sorted")
+        scheme = build_stretch3_scheme(
+            small_weighted_graph, pg, rng=5, landmark_method="bernoulli"
+        )
+        D = all_pairs_shortest_paths(small_weighted_graph)
+        pairs = all_pairs(small_weighted_graph.n, limit=800, rng=6)
+        _, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
+        assert max(stretches) <= 3.0 + 1e-9
+
+    def test_unknown_landmark_method(self, small_weighted_graph):
+        with pytest.raises(ValueError):
+            build_stretch3_scheme(
+                small_weighted_graph, landmark_method="bogus"
+            )
+
+    def test_disconnected_graph_rejected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(PreprocessingError):
+            build_stretch3_scheme(g)
+
+
+class TestSpace:
+    def test_tables_are_sublinear(self, compiled):
+        """Sanity: stretch-3 tables ≪ the n·log n of full tables."""
+        n = compiled.n
+        full_table_bits = (n - 1) * 8  # next-hop tables at ~8 bits/entry
+        assert compiled.avg_table_bits() < 4 * full_table_bits
+        # And the Õ(sqrt n) shape: entries, not bits, scale with sqrt(n).
+        avg_entries = np.mean(
+            [
+                len(compiled.tables[u].trees) + len(compiled.tables[u].members)
+                for u in range(n)
+            ]
+        )
+        assert avg_entries <= 40 * math.sqrt(n)
+
+    def test_labels_polylog(self, compiled):
+        assert compiled.max_label_bits() <= 4 * math.log2(compiled.n) ** 2
+
+    def test_header_bits_bounded(self, compiled, ported_small):
+        net = Network(ported_small, compiled)
+        res = net.route(0, compiled.n - 1, strict=True)
+        assert 0 < res.max_header_bits <= 8 * math.log2(compiled.n) ** 2

@@ -1,0 +1,143 @@
+"""Serialization round trips prove the bit accounting honest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitio import BitReader
+from repro.core.scheme_k import build_tz_scheme
+from repro.core.serialize import (
+    decode_record,
+    decode_table,
+    encode_record,
+    encode_table,
+    deserialize_scheme_tables,
+    serialize_scheme,
+    table_prefix_overhead,
+)
+from repro.errors import EncodingError
+from repro.bitio import BitWriter
+
+
+@pytest.fixture(scope="module", params=[2, 3])
+def compiled(request, small_weighted_graph, ported_small):
+    return build_tz_scheme(
+        small_weighted_graph, ported_small, k=request.param, rng=77
+    )
+
+
+class TestRecordCodec:
+    def test_round_trip_all_records(self, compiled):
+        degs = compiled.graph.degrees()
+        max_port = int(degs.max())
+        for u in range(0, compiled.n, 9):
+            for tree_id, record in compiled.tables[u].trees.items():
+                w = BitWriter()
+                encode_record(w, record, compiled.tree_sizes[tree_id], max_port)
+                back = decode_record(
+                    BitReader(w), compiled.tree_sizes[tree_id], max_port
+                )
+                assert back == record
+
+
+class TestTableCodec:
+    def test_round_trip_every_vertex(self, compiled):
+        degs = compiled.graph.degrees()
+        max_port = int(degs.max())
+        for u in range(compiled.n):
+            table = compiled.tables[u]
+            w = encode_table(
+                table,
+                compiled.n,
+                compiled.tree_sizes,
+                compiled.tree_sizes[u],
+                max_port,
+            )
+            back = decode_table(
+                BitReader(w),
+                u,
+                compiled.n,
+                compiled.k,
+                compiled.tree_sizes,
+                compiled.tree_sizes[u],
+                max_port,
+            )
+            assert back.trees == table.trees
+            assert back.own_labels == table.own_labels
+            assert back.members == table.members
+            assert back.pivots == table.pivots
+
+    def test_stream_length_matches_accounting(self, compiled):
+        """Stream bits == reported size_bits + the two length prefixes —
+        the reported numbers in EXPERIMENTS.md are real bit counts."""
+        degs = compiled.graph.degrees()
+        max_port = int(degs.max())
+        for u in range(0, compiled.n, 5):
+            table = compiled.tables[u]
+            w = encode_table(
+                table,
+                compiled.n,
+                compiled.tree_sizes,
+                compiled.tree_sizes[u],
+                max_port,
+            )
+            expected = table.size_bits(
+                compiled.n,
+                compiled.tree_sizes,
+                compiled.tree_sizes[u],
+                max_port,
+            ) + table_prefix_overhead(table)
+            assert w.n_bits == expected
+
+    def test_unknown_tree_rejected_on_decode(self, compiled):
+        degs = compiled.graph.degrees()
+        max_port = int(degs.max())
+        table = compiled.tables[0]
+        w = encode_table(
+            table, compiled.n, compiled.tree_sizes, compiled.tree_sizes[0], max_port
+        )
+        with pytest.raises(EncodingError):
+            decode_table(
+                BitReader(w),
+                0,
+                compiled.n,
+                compiled.k,
+                {0: 5},  # wrong shared context
+                compiled.tree_sizes[0],
+                max_port,
+            )
+
+
+class TestSchemeSerialization:
+    def test_whole_scheme_round_trip(self, compiled):
+        blobs = serialize_scheme(compiled)
+        assert set(blobs) == set(range(compiled.n))
+        back = deserialize_scheme_tables(blobs, compiled)
+        for u in range(compiled.n):
+            assert back[u].trees == compiled.tables[u].trees
+            assert back[u].members == compiled.tables[u].members
+
+    def test_blob_sizes_track_table_bits(self, compiled):
+        blobs = serialize_scheme(compiled)
+        for u in range(0, compiled.n, 11):
+            blob_bits = len(blobs[u]) * 8
+            reported = compiled.table_bits(u)
+            # bytes are padded up; prefixes add a few bits.
+            assert reported <= blob_bits <= reported + 64
+
+    def test_routing_from_deserialized_tables(
+        self, compiled, ported_small, dist_small
+    ):
+        """Swap the live tables for decoded ones and route: behaviour
+        must be identical — the streams carry everything."""
+        from repro.rng import all_pairs
+        from repro.sim.runner import run_pairs
+
+        blobs = serialize_scheme(compiled)
+        compiled.tables = deserialize_scheme_tables(blobs, compiled)
+        pairs = all_pairs(compiled.n, limit=400, rng=5)
+        results, stretches = run_pairs(
+            ported_small, compiled, pairs, true_dist=dist_small
+        )
+        assert all(r.delivered for r in results)
+        assert max(stretches) <= compiled.stretch_bound() + 1e-9

@@ -1,0 +1,193 @@
+"""Shortest-path primitives: correctness against scipy and the
+truncated-Dijkstra cluster semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import (
+    all_pairs_shortest_paths,
+    dijkstra,
+    multi_source_dijkstra,
+    path_from_parents,
+    path_weight,
+    sssp_from_set,
+    truncated_dijkstra,
+)
+
+
+def random_graph(seed: int, n: int = 40, weighted: bool = True) -> Graph:
+    return gen.gnp(
+        n, 0.12, rng=seed, weights=(1, 7) if weighted else None
+    )
+
+
+class TestDijkstra:
+    def test_source_distance_zero(self, small_weighted_graph):
+        d, _ = dijkstra(small_weighted_graph, 0)
+        assert d[0] == 0.0
+
+    def test_matches_scipy(self, small_weighted_graph, dist_small):
+        d, _ = dijkstra(small_weighted_graph, 3)
+        assert np.allclose(d, dist_small[3])
+
+    def test_parent_array_reconstructs_shortest_paths(self, small_weighted_graph):
+        g = small_weighted_graph
+        d, parent = dijkstra(g, 0)
+        for t in range(1, min(25, g.n)):
+            p = path_from_parents(parent, 0, t)
+            assert p[0] == 0 and p[-1] == t
+            assert path_weight(g, p) == pytest.approx(d[t])
+
+    def test_unreachable_marked_inf(self):
+        g = Graph(4, [(0, 1)])
+        d, parent = dijkstra(g, 0)
+        assert d[2] == np.inf and parent[2] == -1
+        with pytest.raises(GraphError):
+            path_from_parents(parent, 0, 2)
+
+    def test_early_stop_target(self, small_weighted_graph):
+        d, _ = dijkstra(small_weighted_graph, 0, target=5)
+        full, _ = dijkstra(small_weighted_graph, 0)
+        assert d[5] == full[5]
+
+    def test_source_out_of_range(self, small_weighted_graph):
+        with pytest.raises(GraphError):
+            dijkstra(small_weighted_graph, 10**6)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_scipy_on_random_graphs(self, seed):
+        g = random_graph(seed)
+        D = all_pairs_shortest_paths(g)
+        src = seed % g.n
+        d, _ = dijkstra(g, src)
+        assert np.allclose(d, D[src])
+
+
+class TestMultiSourceDijkstra:
+    def test_empty_sources_all_inf(self, small_weighted_graph):
+        d, w = multi_source_dijkstra(small_weighted_graph, [])
+        assert np.all(np.isinf(d)) and np.all(w == -1)
+
+    def test_distances_are_minima(self, small_weighted_graph, dist_small):
+        sources = [0, 7, 13]
+        d, _ = multi_source_dijkstra(small_weighted_graph, sources)
+        assert np.allclose(d, dist_small[sources].min(axis=0))
+
+    def test_witness_realizes_distance(self, small_weighted_graph, dist_small):
+        sources = [0, 7, 13]
+        d, w = multi_source_dijkstra(small_weighted_graph, sources)
+        for v in range(small_weighted_graph.n):
+            assert dist_small[w[v], v] == d[v]
+
+    def test_witness_deterministic_tie_break(self):
+        # Path 0-1-2; sources 0 and 2 tie at vertex 1: smaller id wins.
+        g = Graph(3, [(0, 1), (1, 2)])
+        _, w = multi_source_dijkstra(g, [0, 2])
+        assert w[1] == 0
+
+    def test_all_vertices_as_sources_self_witness(self, small_unit_graph):
+        g = small_unit_graph
+        d, w = multi_source_dijkstra(g, list(range(g.n)))
+        assert np.all(d == 0)
+        assert np.array_equal(w, np.arange(g.n))
+
+    def test_source_out_of_range(self, small_weighted_graph):
+        with pytest.raises(GraphError):
+            multi_source_dijkstra(small_weighted_graph, [10**6])
+
+
+class TestTruncatedDijkstra:
+    def test_infinite_threshold_equals_full_dijkstra(self, small_weighted_graph):
+        g = small_weighted_graph
+        thr = np.full(g.n, np.inf)
+        dist, parent, capped = truncated_dijkstra(g, 4, thr)
+        full, _ = dijkstra(g, 4)
+        assert not capped
+        assert len(dist) == g.n
+        for v, dv in dist.items():
+            assert dv == full[v]
+
+    def test_membership_matches_definition(self, small_weighted_graph, dist_small):
+        g = small_weighted_graph
+        thr = dist_small[[2, 9, 21]].min(axis=0)
+        dist, _, _ = truncated_dijkstra(g, 5, thr)
+        expected = {
+            v for v in range(g.n) if dist_small[5, v] < thr[v] or v == 5
+        }
+        assert set(dist) == expected
+
+    def test_distances_exact_inside_cluster(self, small_weighted_graph, dist_small):
+        g = small_weighted_graph
+        thr = dist_small[[2, 9, 21]].min(axis=0)
+        dist, _, _ = truncated_dijkstra(g, 5, thr)
+        for v, dv in dist.items():
+            assert dv == dist_small[5, v]
+
+    def test_parents_stay_in_cluster(self, small_weighted_graph, dist_small):
+        g = small_weighted_graph
+        thr = dist_small[[2, 9, 21]].min(axis=0)
+        dist, parent, _ = truncated_dijkstra(g, 5, thr)
+        for v, p in parent.items():
+            if v != 5:
+                assert p in dist
+
+    def test_cap_aborts_early(self, small_weighted_graph):
+        g = small_weighted_graph
+        thr = np.full(g.n, np.inf)
+        dist, _, capped = truncated_dijkstra(g, 0, thr, cap=5)
+        assert capped and len(dist) == 6  # cap + 1 settles then abort
+
+    def test_source_always_member_even_with_zero_threshold(
+        self, small_weighted_graph
+    ):
+        g = small_weighted_graph
+        thr = np.zeros(g.n)
+        dist, _, _ = truncated_dijkstra(g, 3, thr)
+        assert set(dist) == {3}
+
+    def test_bad_threshold_shape_rejected(self, small_weighted_graph):
+        with pytest.raises(GraphError):
+            truncated_dijkstra(small_weighted_graph, 0, np.zeros(3))
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_cluster_semantics(self, seed):
+        g = random_graph(seed, n=30, weighted=False)
+        D = all_pairs_shortest_paths(g)
+        rng = np.random.default_rng(seed)
+        sources = rng.choice(g.n, size=3, replace=False)
+        thr = D[sources].min(axis=0)
+        w = int(rng.integers(0, g.n))
+        dist, parent, _ = truncated_dijkstra(g, w, thr)
+        expected = {v for v in range(g.n) if D[w, v] < thr[v] or v == w}
+        assert set(dist) == expected
+        for v, dv in dist.items():
+            assert dv == D[w, v]
+        for v, p in parent.items():
+            if v != w:
+                assert p in dist
+
+
+class TestVectorizedHelpers:
+    def test_sssp_from_set_shapes(self, small_weighted_graph):
+        d, pred, src = sssp_from_set(small_weighted_graph, [0, 5])
+        assert d.shape == (2, small_weighted_graph.n)
+        assert pred.shape == (2, small_weighted_graph.n)
+
+    def test_sssp_from_empty_set(self, small_weighted_graph):
+        d, pred, src = sssp_from_set(small_weighted_graph, [])
+        assert d.shape == (0, small_weighted_graph.n)
+
+    def test_all_pairs_symmetry(self, small_weighted_graph, dist_small):
+        assert np.allclose(dist_small, dist_small.T)
+
+    def test_all_pairs_empty_graph(self):
+        assert all_pairs_shortest_paths(Graph(0, [])).shape == (0, 0)

@@ -1,0 +1,182 @@
+"""Simulator semantics: TTL, strict mode, failure reporting, runner."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.router import RouteHeader, RoutingScheme
+from repro.errors import DeliveryError, RoutingError
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.rng import sample_pairs
+from repro.sim.network import Network, RouteResult
+from repro.sim.runner import measure_scheme, run_pairs
+from repro.sim.stats import space_stats, stretch_stats
+
+
+class LoopingScheme(RoutingScheme):
+    """Pathological scheme: always forwards on port 1, looping forever —
+    used to verify the simulator's TTL protection."""
+
+    name = "looper"
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def initial_header(self, source: int, dest: int) -> RouteHeader:
+        return RouteHeader(dest=dest)
+
+    def decide(self, u: int, header: RouteHeader):
+        return 1, header
+
+    def table_bits(self, u: int) -> int:
+        return 1
+
+    def label_bits(self, v: int) -> int:
+        return 1
+
+    def stretch_bound(self) -> float:
+        return float("inf")
+
+
+class LyingScheme(LoopingScheme):
+    """Declares arrival immediately, wherever it is."""
+
+    name = "liar"
+
+    def decide(self, u: int, header: RouteHeader):
+        return None, header
+
+
+class TestNetworkProtection:
+    @pytest.fixture(scope="class")
+    def net_setup(self):
+        g = gen.ring(12)
+        pg = assign_ports(g, "sorted")
+        return g, pg
+
+    def test_ttl_catches_loops(self, net_setup):
+        g, pg = net_setup
+        net = Network(pg, LoopingScheme(g.n))
+        res = net.route(0, 5)
+        assert not res.delivered
+        assert "TTL" in res.failure
+
+    def test_strict_mode_raises(self, net_setup):
+        g, pg = net_setup
+        net = Network(pg, LoopingScheme(g.n))
+        with pytest.raises(DeliveryError):
+            net.route(0, 5, strict=True)
+
+    def test_lying_scheme_detected(self, net_setup):
+        g, pg = net_setup
+        net = Network(pg, LyingScheme(g.n))
+        res = net.route(0, 5)
+        assert not res.delivered
+        assert "declared delivery" in res.failure
+
+    def test_custom_ttl(self, net_setup):
+        g, pg = net_setup
+        net = Network(pg, LoopingScheme(g.n))
+        res = net.route(0, 5, ttl=3)
+        assert not res.delivered and res.hops == 3
+
+    def test_route_result_fields(self, small_weighted_graph, ported_small):
+        from repro.core.scheme_k2 import build_stretch3_scheme
+
+        scheme = build_stretch3_scheme(small_weighted_graph, ported_small, rng=1)
+        net = Network(ported_small, scheme)
+        res = net.route(0, 9, strict=True)
+        assert res.source == 0 and res.dest == 9
+        assert res.path[0] == 0 and res.path[-1] == 9
+        assert res.hops == len(res.path) - 1
+        assert res.weight > 0
+        assert res.max_header_bits > 0
+
+
+class TestRunner:
+    def test_strict_run_pairs_raises_on_failure(self):
+        g = gen.ring(10)
+        pg = assign_ports(g, "sorted")
+        pairs = np.array([[0, 5]])
+        with pytest.raises(DeliveryError):
+            run_pairs(pg, LoopingScheme(g.n), pairs)
+
+    def test_non_strict_collects_failures(self):
+        g = gen.ring(10)
+        pg = assign_ports(g, "sorted")
+        pairs = np.array([[0, 5], [1, 6]])
+        results, stretches = run_pairs(
+            pg, LoopingScheme(g.n), pairs, strict=False
+        )
+        assert len(results) == 2 and not any(r.delivered for r in results)
+        assert stretches == []
+
+    def test_measure_scheme_stats(self, small_weighted_graph, ported_small):
+        from repro.core.scheme_k2 import build_stretch3_scheme
+
+        scheme = build_stretch3_scheme(small_weighted_graph, ported_small, rng=1)
+        st = measure_scheme(ported_small, scheme, n_pairs=100, rng=5)
+        assert st.count == 100 and st.delivered == 100
+        assert st.violations == 0
+        assert 1.0 <= st.mean <= st.max <= 3.0 + 1e-9
+
+
+class TestStats:
+    def test_stretch_stats_empty(self):
+        st = stretch_stats([])
+        assert st.count == 0 and st.max == 0.0
+
+    def test_stretch_stats_percentiles(self):
+        vals = [1.0] * 98 + [2.0, 10.0]
+        st = stretch_stats(vals, bound=3.0)
+        assert st.max == 10.0
+        assert st.violations == 1
+        assert st.p99 <= 10.0
+        assert st.median == 1.0
+
+    def test_stretch_stats_row_keys(self):
+        row = stretch_stats([1.0, 2.0], bound=3.0).row()
+        assert {"pairs", "max_stretch", "avg_stretch", "violations"} <= set(row)
+
+    def test_space_stats(self, small_weighted_graph, ported_small):
+        from repro.core.scheme_k2 import build_stretch3_scheme
+
+        scheme = build_stretch3_scheme(small_weighted_graph, ported_small, rng=1)
+        sp = space_stats(scheme)
+        assert sp.n == small_weighted_graph.n
+        assert sp.max_table_bits >= sp.avg_table_bits
+        assert sp.total_table_bits >= sp.max_table_bits
+        assert "max_table_bits" in sp.row()
+
+
+class TestPairSampling:
+    def test_sample_pairs_distinct(self):
+        from repro.rng import make_rng
+
+        pairs = sample_pairs(make_rng(1), 10, 500)
+        assert pairs.shape == (500, 2)
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+
+    def test_sample_pairs_tiny_n_rejected(self):
+        from repro.rng import make_rng
+
+        with pytest.raises(ValueError):
+            sample_pairs(make_rng(1), 1, 5)
+
+    def test_all_pairs_complete(self):
+        from repro.rng import all_pairs
+
+        pairs = all_pairs(5)
+        assert pairs.shape == (20, 2)
+        assert len({(int(a), int(b)) for a, b in pairs}) == 20
+
+    def test_all_pairs_limited(self):
+        from repro.rng import all_pairs
+
+        pairs = all_pairs(30, limit=50, rng=3)
+        assert pairs.shape == (50, 2)
+        assert np.all(pairs[:, 0] != pairs[:, 1])

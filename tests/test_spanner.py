@@ -1,0 +1,92 @@
+"""(2k−1)-spanners: subgraph validity, stretch bound, size scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PreprocessingError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import all_pairs_shortest_paths
+from repro.oracles.spanner import build_spanner, spanner_size_bound
+
+
+@pytest.fixture(scope="module", params=[2, 3])
+def spanner_setup(request, small_weighted_graph, dist_small):
+    k = request.param
+    spanner = build_spanner(small_weighted_graph, k, rng=800 + k)
+    return k, spanner, dist_small
+
+
+class TestSpannerProperties:
+    def test_is_subgraph_with_original_weights(
+        self, spanner_setup, small_weighted_graph
+    ):
+        k, spanner, D = spanner_setup
+        g = small_weighted_graph
+        assert spanner.n == g.n
+        for eid in range(spanner.m):
+            a, b = int(spanner.edges[eid, 0]), int(spanner.edges[eid, 1])
+            assert g.has_edge(a, b)
+            assert g.edge_weight(a, b) == spanner.edge_weights[eid]
+
+    def test_connected(self, spanner_setup):
+        k, spanner, D = spanner_setup
+        assert spanner.is_connected()
+
+    def test_stretch_bound_all_pairs(self, spanner_setup):
+        k, spanner, D = spanner_setup
+        Ds = all_pairs_shortest_paths(spanner)
+        bound = 2 * k - 1
+        mask = D > 0
+        assert np.all(Ds[mask] <= bound * D[mask] + 1e-9)
+
+    def test_never_shorter_than_original(self, spanner_setup):
+        k, spanner, D = spanner_setup
+        Ds = all_pairs_shortest_paths(spanner)
+        assert np.all(Ds >= D - 1e-9)
+
+    def test_sparser_than_original_for_k2(self, small_weighted_graph):
+        spanner = build_spanner(small_weighted_graph, 2, rng=3)
+        assert spanner.m <= small_weighted_graph.m
+
+    def test_size_within_reference(self, spanner_setup, small_weighted_graph):
+        k, spanner, D = spanner_setup
+        assert spanner.m <= 4 * spanner_size_bound(small_weighted_graph.n, k)
+
+    def test_k1_contains_all_spt_unions(self, small_weighted_graph):
+        """k=1: every vertex's full SPT joins H — distances exact."""
+        spanner = build_spanner(small_weighted_graph, 1, rng=4)
+        D = all_pairs_shortest_paths(small_weighted_graph)
+        Ds = all_pairs_shortest_paths(spanner)
+        assert np.allclose(D, Ds)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PreprocessingError):
+            build_spanner(Graph(4, [(0, 1), (2, 3)]), 2)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_property_random_graphs(self, seed):
+        g = gen.gnp(35, 0.18, rng=seed, weights=(1, 5))
+        spanner = build_spanner(g, 2, rng=seed)
+        D = all_pairs_shortest_paths(g)
+        Ds = all_pairs_shortest_paths(spanner)
+        mask = D > 0
+        assert np.all(Ds[mask] <= 3 * D[mask] + 1e-9)
+
+    def test_grid_unit_weights(self, grid_graph):
+        spanner = build_spanner(grid_graph, 2, rng=6)
+        D = all_pairs_shortest_paths(grid_graph)
+        Ds = all_pairs_shortest_paths(spanner)
+        mask = D > 0
+        assert np.all(Ds[mask] <= 3 * D[mask] + 1e-9)
+
+    def test_larger_k_sparser(self, ba_graph):
+        sizes = {}
+        for k in (1, 2, 3):
+            sizes[k] = build_spanner(ba_graph, k, rng=7).m
+        assert sizes[1] >= sizes[2] >= sizes[3] * 0.9

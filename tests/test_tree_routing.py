@@ -1,0 +1,283 @@
+"""TZ tree routing (§2): delivery on every pair, label sizes, and the
+interval-routing baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitio import BitReader
+from repro.errors import LabelError, RoutingError
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports, designer_ports_for_tree
+from repro.rng import make_rng
+from repro.trees.interval import IntervalRoutingScheme
+from repro.trees.label_codec import (
+    TreeLabel,
+    decode_tree_label,
+    encode_tree_label,
+    tree_label_bits,
+)
+from repro.trees.tz_tree import build_tree_router, decide_from_record
+
+from test_trees import rooted_from_graph
+
+
+def route_in_tree(router, ported, s: int, t: int):
+    """Drive the tree router hop by hop; returns the vertex path."""
+    label = router.labels[t]
+    path = [s]
+    u = s
+    for _ in range(2 * router.tree_size + 4):
+        port = router.decide(u, label)
+        if port is None:
+            return path
+        u = ported.step(u, port)
+        path.append(u)
+    raise AssertionError("tree routing looped")
+
+
+def tree_instance(family: str, n: int, seed: int, ports: str):
+    tree_graph = gen.TREE_FAMILIES[family](n, make_rng(seed))
+    rooted = rooted_from_graph(tree_graph)
+    if ports == "designer":
+        pg = designer_ports_for_tree(tree_graph, rooted)
+        router = build_tree_router(rooted, pg, port_model="designer")
+    else:
+        pg = assign_ports(tree_graph, "random", rng=seed + 1)
+        router = build_tree_router(rooted, pg, port_model="fixed")
+    return tree_graph, rooted, pg, router
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("family", sorted(gen.TREE_FAMILIES))
+    @pytest.mark.parametrize("ports", ["designer", "fixed"])
+    def test_all_pairs_delivered(self, family, ports):
+        tree_graph, rooted, pg, router = tree_instance(family, 40, 3, ports)
+        n = tree_graph.n
+        for s in range(n):
+            for t in range(n):
+                path = route_in_tree(router, pg, s, t)
+                assert path[-1] == t
+
+    @pytest.mark.parametrize("ports", ["designer", "fixed"])
+    def test_route_follows_unique_tree_path(self, ports):
+        tree_graph, rooted, pg, router = tree_instance("random", 50, 7, ports)
+        for s in range(0, 50, 7):
+            for t in range(0, 50, 5):
+                path = route_in_tree(router, pg, s, t)
+                assert path == rooted.path(s, t)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_trees_random_pairs(self, seed):
+        tree_graph, rooted, pg, router = tree_instance("random", 35, seed, "fixed")
+        rng = make_rng(seed)
+        for _ in range(10):
+            s = int(rng.integers(0, tree_graph.n))
+            t = int(rng.integers(0, tree_graph.n))
+            assert route_in_tree(router, pg, s, t)[-1] == t
+
+    def test_decide_outside_tree_raises(self):
+        tree_graph, rooted, pg, router = tree_instance("random", 20, 5, "fixed")
+        with pytest.raises(RoutingError):
+            router.decide(10**6, router.labels[0])
+
+
+class TestRecords:
+    def test_records_are_constant_words(self):
+        _, _, pg, router = tree_instance("random", 200, 9, "fixed")
+        max_port = int(pg.graph.degrees().max())
+        n = router.tree_size
+        # O(1) words: never more than 6 fixed-width fields.
+        bound = 4 * max(1, (n - 1).bit_length()) + 2 * max(1, max_port.bit_length())
+        for v in range(n):
+            assert router.record_bits(v, max_port) <= bound
+
+    def test_root_has_no_parent_port(self):
+        _, rooted, _, router = tree_instance("random", 30, 4, "fixed")
+        assert router.records[rooted.root].parent_port == 0
+
+    def test_leaf_heavy_interval_empty(self):
+        _, rooted, _, router = tree_instance("random", 30, 4, "fixed")
+        leaves = [v for v in rooted.vertices if not rooted.children[v]]
+        for leaf in leaves:
+            r = router.records[leaf]
+            assert r.heavy_finish == r.f  # vacuous heavy interval
+
+    def test_decide_from_record_arrival(self):
+        _, _, _, router = tree_instance("random", 30, 4, "fixed")
+        for v in range(5):
+            assert decide_from_record(router.records[v], router.labels[v]) is None
+
+    def test_designer_model_validates_port_rank(self):
+        tree_graph = gen.random_tree(30, rng=2)
+        rooted = rooted_from_graph(tree_graph)
+        pg = assign_ports(tree_graph, "random", rng=3)  # not designer ports
+        with pytest.raises(LabelError):
+            build_tree_router(rooted, pg, port_model="designer")
+
+    def test_unknown_port_model_rejected(self):
+        tree_graph = gen.random_tree(10, rng=2)
+        rooted = rooted_from_graph(tree_graph)
+        pg = assign_ports(tree_graph, "sorted")
+        with pytest.raises(LabelError):
+            build_tree_router(rooted, pg, port_model="nope")
+
+
+class TestLabelSizes:
+    def test_designer_labels_near_log_n(self):
+        """The (1+o(1))·log n shape: measured labels within a small
+        constant of log₂ n on balanced trees."""
+        for n in (64, 256, 1024):
+            _, _, _, router = tree_instance("random", n, 13, "designer")
+            logn = math.log2(router.tree_size)
+            assert router.max_label_bits() <= 4 * logn + 16
+
+    @pytest.mark.parametrize("family", sorted(gen.TREE_FAMILIES))
+    def test_designer_rank_product_bound(self, family):
+        """Theorem 2.1's engine: with designer ports the light-port
+        gamma costs along any root path sum to at most
+        2·log₂(n) + light_depth bits (ranks multiply to ≤ n)."""
+        _, rooted, _, router = tree_instance(family, 200, 21, "designer")
+        n = router.tree_size
+        for v in range(n):
+            ports = router.labels[v].light_ports
+            cost = sum(2 * (p.bit_length() - 1) + 1 for p in ports)
+            assert cost <= 2 * math.log2(n) + len(ports)
+
+    def test_designer_beats_adversarial_on_skewed_spider(self):
+        """A spider with legs of decreasing length, ids arranged so the
+        id-sorted ('adversarial' here) assignment gives the big legs the
+        *largest* ports; designer ports give them the smallest ranks, so
+        deep vertices get strictly cheaper labels."""
+        from repro.graphs.graph import GraphBuilder
+
+        leg_lengths = [64, 32, 16, 8, 4, 2] + [1] * 24
+        n = 1 + sum(leg_lengths)
+        b = GraphBuilder(n)
+        # Allocate short legs the SMALL ids (right after the hub) so that
+        # the sorted port assignment hands long legs the big port numbers.
+        vid = 1
+        first_vertices = []
+        for length in sorted(leg_lengths):
+            prev = 0
+            start = vid
+            for _ in range(length):
+                b.add_edge(prev, vid)
+                prev = vid
+                vid += 1
+            first_vertices.append(start)
+        tree_graph = b.build()
+        rooted = rooted_from_graph(tree_graph)
+        designer = designer_ports_for_tree(tree_graph, rooted)
+        adversarial = assign_ports(tree_graph, "sorted")
+        r_d = build_tree_router(rooted, designer, port_model="designer")
+        r_a = build_tree_router(rooted, adversarial, port_model="fixed")
+        # The longest leg is the hub's heavy child (no light edge); the
+        # *second*-longest leg's hub edge is light: designer rank 2 vs a
+        # large id-sorted port. Its tip has the largest ids below n-1.
+        second_leg_tip = n - 1 - 64  # ids: second leg occupies the block
+        assert rooted.light_depth[second_leg_tip] == 1
+        assert (
+            r_d.labels[second_leg_tip].light_ports[0]
+            < r_a.labels[second_leg_tip].light_ports[0]
+        )
+        assert r_d.label_bits(second_leg_tip) < r_a.label_bits(second_leg_tip)
+
+    def test_path_labels_are_minimal(self):
+        """A path is one heavy chain: labels are just the DFS number."""
+        _, _, _, router = tree_instance("path", 128, 1, "designer")
+        for v in range(router.tree_size):
+            assert len(router.labels[v].light_ports) == 0
+        assert router.max_label_bits() <= math.ceil(math.log2(128)) + 4
+
+    def test_label_bits_match_encoder(self):
+        _, _, _, router = tree_instance("random", 90, 6, "fixed")
+        for v in range(router.tree_size):
+            enc = encode_tree_label(router.labels[v], router.tree_size)
+            assert enc.n_bits == router.label_bits(v)
+
+
+class TestLabelCodec:
+    @given(
+        st.integers(min_value=1, max_value=100000),
+        st.lists(st.integers(min_value=1, max_value=512), max_size=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, tree_size, ports):
+        f = tree_size - 1
+        label = TreeLabel(f, tuple(ports))
+        w = encode_tree_label(label, tree_size)
+        back = decode_tree_label(BitReader(w), tree_size)
+        assert back == label
+        assert w.n_bits == tree_label_bits(label, tree_size)
+
+    def test_f_out_of_range_rejected(self):
+        with pytest.raises(LabelError):
+            encode_tree_label(TreeLabel(5, ()), 5)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(LabelError):
+            TreeLabel(-1, ())
+
+    def test_zero_port_rejected(self):
+        with pytest.raises(LabelError):
+            TreeLabel(0, (0,))
+
+
+class TestIntervalBaseline:
+    def test_all_pairs_delivered(self):
+        tree_graph = gen.random_tree(40, rng=31)
+        rooted = rooted_from_graph(tree_graph)
+        pg = assign_ports(tree_graph, "random", rng=32)
+        scheme = IntervalRoutingScheme(rooted, pg)
+        for s in range(tree_graph.n):
+            for t in range(tree_graph.n):
+                u, hops = s, 0
+                target = scheme.label(t)
+                while True:
+                    port = scheme.decide(u, target)
+                    if port is None:
+                        break
+                    u = pg.step(u, port)
+                    hops += 1
+                    assert hops <= tree_graph.n
+                assert u == t
+
+    def test_labels_are_log_n(self):
+        tree_graph = gen.random_tree(100, rng=33)
+        rooted = rooted_from_graph(tree_graph)
+        pg = assign_ports(tree_graph, "sorted")
+        scheme = IntervalRoutingScheme(rooted, pg)
+        assert scheme.label_bits() == math.ceil(math.log2(100))
+
+    def test_table_grows_with_degree(self):
+        star = gen.star_tree(50)
+        rooted = rooted_from_graph(star)
+        pg = assign_ports(star, "sorted")
+        scheme = IntervalRoutingScheme(rooted, pg)
+        max_port = 49
+        hub = scheme.record_bits(0, max_port)
+        leaf = scheme.record_bits(1, max_port)
+        assert hub > 10 * leaf  # Θ(deg) vs O(1)
+
+    def test_outside_tree_raises(self):
+        tree_graph = gen.random_tree(10, rng=34)
+        rooted = rooted_from_graph(tree_graph)
+        pg = assign_ports(tree_graph, "sorted")
+        scheme = IntervalRoutingScheme(rooted, pg)
+        with pytest.raises(RoutingError):
+            scheme.decide(99, 0)
+
+    def test_tz_records_smaller_than_interval_on_hubs(self):
+        star = gen.star_tree(200)
+        rooted = rooted_from_graph(star)
+        pg = assign_ports(star, "sorted")
+        router = build_tree_router(rooted, pg, port_model="fixed")
+        interval = IntervalRoutingScheme(rooted, pg)
+        max_port = 199
+        assert router.record_bits(0, max_port) < interval.record_bits(0, max_port) / 5

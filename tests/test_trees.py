@@ -1,0 +1,156 @@
+"""RootedTree invariants: heavy-light structure, DFS intervals, ranks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.shortest_paths import dijkstra
+from repro.graphs.trees import RootedTree, tree_from_parents, tree_from_predecessors
+
+
+def rooted_from_graph(tree_graph, root: int = 0) -> RootedTree:
+    _, parent = dijkstra(tree_graph, root)
+    pmap = {v: int(parent[v]) for v in range(tree_graph.n)}
+    pmap[root] = -1
+    return tree_from_parents(root, pmap)
+
+
+def random_rooted(seed: int, n: int = 60) -> RootedTree:
+    return rooted_from_graph(gen.random_tree(n, rng=seed))
+
+
+class TestConstruction:
+    def test_single_vertex(self):
+        t = tree_from_parents(0, {0: -1})
+        assert len(t) == 1 and t.size[0] == 1 and t.dfs[0] == 0
+
+    def test_path_structure(self, path_graph):
+        t = rooted_from_graph(path_graph)
+        t.validate()
+        assert t.max_light_depth() == 0  # a path is one heavy chain
+        assert t.depth[path_graph.n - 1] == path_graph.n - 1
+
+    def test_star_structure(self):
+        t = rooted_from_graph(gen.star_tree(20))
+        t.validate()
+        # Every leaf except the heavy one is a light child.
+        assert t.max_light_depth() == 1
+        assert t.child_rank[t.children[0][-1]] == 19
+
+    def test_cycle_in_parent_map_rejected(self):
+        with pytest.raises(GraphError):
+            RootedTree(0, {0: -1, 1: 2, 2: 1})
+
+    def test_disconnected_parent_map_rejected(self):
+        with pytest.raises(GraphError):
+            RootedTree(0, {0: -1, 1: 0, 2: 5, 5: 2})
+
+    def test_missing_parent_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            RootedTree(0, {0: -1, 1: 7})
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(GraphError):
+            RootedTree(0, {0: 1, 1: -1})
+
+    def test_from_predecessors_with_members(self):
+        parent_row = np.array([-1, 0, 1, 1, -9999])
+        t = tree_from_predecessors(0, parent_row, members=[0, 1, 2, 3])
+        assert len(t) == 4
+        t.validate()
+
+    def test_from_predecessors_member_without_parent_rejected(self):
+        parent_row = np.array([-1, -9999])
+        with pytest.raises(GraphError):
+            tree_from_predecessors(0, parent_row, members=[0, 1])
+
+
+class TestHeavyLight:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_on_random_trees(self, seed):
+        t = random_rooted(seed)
+        t.validate()
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_light_depth_log_bound(self, seed):
+        t = random_rooted(seed, n=100)
+        assert t.max_light_depth() <= math.log2(len(t)) + 1
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_rank_product_at_most_n(self, seed):
+        t = random_rooted(seed, n=80)
+        for v in t.vertices:
+            product = 1
+            for p, c in t.light_edges_to(v):
+                product *= t.child_rank[c]
+            heavy_steps = t.depth[v] - t.light_depth[v]
+            assert product <= len(t)
+
+    def test_heavy_child_is_first_in_dfs(self):
+        t = random_rooted(3, n=50)
+        for v in t.vertices:
+            h = t.heavy[v]
+            if h != -1:
+                assert t.dfs[h] == t.dfs[v] + 1
+
+    def test_deep_path_no_recursion_error(self):
+        # 50_000-vertex path: iterative traversals must not blow the stack.
+        n = 50_000
+        pmap = {0: -1}
+        for v in range(1, n):
+            pmap[v] = v - 1
+        t = RootedTree(0, pmap)
+        assert t.size[0] == n
+        assert t.depth[n - 1] == n - 1
+
+
+class TestQueries:
+    def test_interval_contains_descendants_exactly(self):
+        t = random_rooted(11, n=60)
+        for a in t.vertices:
+            lo, hi = t.interval(a)
+            desc = {v for v in t.vertices if lo <= t.dfs[v] <= hi}
+            # Descendants = vertices whose root path passes through a.
+            expected = {v for v in t.vertices if a in t.path_to_root(v)}
+            assert desc == expected
+
+    def test_is_ancestor(self):
+        t = random_rooted(12, n=40)
+        for v in t.vertices:
+            for a in t.path_to_root(v):
+                assert t.is_ancestor(a, v)
+
+    def test_path_endpoints_and_adjacency(self):
+        t = random_rooted(13, n=40)
+        p = t.path(5, 17)
+        assert p[0] == 5 and p[-1] == 17
+        for a, b in zip(p, p[1:]):
+            assert t.parent[a] == b or t.parent[b] == a
+
+    def test_path_same_vertex(self):
+        t = random_rooted(14, n=20)
+        assert t.path(7, 7) == [7]
+
+    def test_light_edges_count_matches_light_depth(self):
+        t = random_rooted(15, n=60)
+        for v in t.vertices:
+            assert len(t.light_edges_to(v)) == t.light_depth[v]
+
+    def test_vertex_by_dfs_inverse(self):
+        t = random_rooted(16, n=30)
+        for v in t.vertices:
+            assert t.vertex_by_dfs(t.dfs[v]) == v
+
+    def test_edges_count(self):
+        t = random_rooted(17, n=45)
+        assert len(t.edges()) == len(t) - 1

@@ -1,0 +1,125 @@
+"""Traffic workload generators and their use against compiled schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.graphs.shortest_paths import all_pairs_shortest_paths
+from repro.oracles.distance_oracle import build_distance_oracle
+from repro.sim.workloads import (
+    adversarial_pairs,
+    all_to_one,
+    gravity_pairs,
+    locality_pairs,
+    uniform_pairs,
+)
+
+
+class TestGenerators:
+    def test_uniform_shape_distinct(self, small_weighted_graph):
+        pairs = uniform_pairs(small_weighted_graph, 200, rng=1)
+        assert pairs.shape == (200, 2)
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+
+    def test_gravity_prefers_hubs(self, ba_graph):
+        pairs = gravity_pairs(ba_graph, 3000, rng=2, alpha=1.5)
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+        hub = int(np.argmax(ba_graph.degrees()))
+        hub_freq = float(np.mean(pairs == hub))
+        uniform_freq = 1.0 / ba_graph.n
+        assert hub_freq > 5 * uniform_freq
+
+    def test_gravity_deterministic(self, ba_graph):
+        a = gravity_pairs(ba_graph, 50, rng=3)
+        b = gravity_pairs(ba_graph, 50, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_all_to_one_defaults_to_hub(self, ba_graph):
+        pairs = all_to_one(ba_graph)
+        hub = int(np.argmax(ba_graph.degrees()))
+        assert np.all(pairs[:, 1] == hub)
+        assert pairs.shape == (ba_graph.n - 1, 2)
+
+    def test_all_to_one_explicit_target(self, small_weighted_graph):
+        pairs = all_to_one(small_weighted_graph, target=7)
+        assert np.all(pairs[:, 1] == 7)
+        assert 7 not in pairs[:, 0]
+
+    def test_locality_respects_radius(self, small_weighted_graph, dist_small):
+        radius = float(np.percentile(dist_small[dist_small > 0], 25))
+        pairs = locality_pairs(
+            small_weighted_graph, 100, radius, rng=4, dist_matrix=dist_small
+        )
+        for s, t in pairs:
+            assert 0 < dist_small[int(s), int(t)] <= radius
+
+    def test_locality_impossible_radius_raises(self, small_weighted_graph):
+        with pytest.raises(ValueError):
+            locality_pairs(small_weighted_graph, 10, 1e-9, rng=5)
+
+    def test_adversarial_pairs_are_worst_candidates(
+        self, small_weighted_graph, dist_small
+    ):
+        oracle = build_distance_oracle(small_weighted_graph, 2, rng=6)
+        pairs = adversarial_pairs(
+            small_weighted_graph,
+            20,
+            oracle,
+            rng=7,
+            candidates=500,
+            dist_matrix=dist_small,
+        )
+        ratios = [
+            oracle.query(int(s), int(t)) / dist_small[int(s), int(t)]
+            for s, t in pairs
+        ]
+        # The selected pairs concentrate above the average ratio.
+        assert min(ratios) >= 1.0
+        assert np.mean(ratios) >= 1.2
+
+
+class TestWorkloadsAgainstSchemes:
+    def test_locality_traffic_routes_nearly_exactly(
+        self, small_weighted_graph, ported_small, dist_small
+    ):
+        """Short-range pairs mostly hit the cluster fast path: average
+        stretch on local traffic should be tiny."""
+        from repro.core.scheme_k2 import build_stretch3_scheme
+        from repro.sim.runner import run_pairs
+
+        scheme = build_stretch3_scheme(small_weighted_graph, ported_small, rng=8)
+        radius = float(np.percentile(dist_small[dist_small > 0], 10))
+        pairs = locality_pairs(
+            small_weighted_graph, 150, radius, rng=9, dist_matrix=dist_small
+        )
+        _, stretches = run_pairs(
+            ported_small, scheme, pairs, true_dist=dist_small
+        )
+        assert max(stretches) <= 3.0 + 1e-9
+        assert float(np.mean(stretches)) <= 1.6
+
+    def test_hub_traffic_within_bound(self, ba_graph):
+        from repro.core.scheme_k import build_tz_scheme
+        from repro.sim.runner import run_pairs
+
+        pg = assign_ports(ba_graph, "random", rng=10)
+        scheme = build_tz_scheme(ba_graph, pg, k=3, rng=11)
+        D = all_pairs_shortest_paths(ba_graph)
+        pairs = all_to_one(ba_graph)
+        results, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
+        assert all(r.delivered for r in results)
+        assert max(stretches) <= scheme.stretch_bound() + 1e-9
+
+    def test_gravity_traffic_within_bound(self, ba_graph):
+        from repro.core.scheme_k2 import build_stretch3_scheme
+        from repro.sim.runner import run_pairs
+
+        pg = assign_ports(ba_graph, "random", rng=12)
+        scheme = build_stretch3_scheme(ba_graph, pg, rng=13)
+        D = all_pairs_shortest_paths(ba_graph)
+        pairs = gravity_pairs(ba_graph, 400, rng=14)
+        _, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
+        assert max(stretches) <= 3.0 + 1e-9
