@@ -61,7 +61,7 @@ def main() -> None:
     )
     print(
         f"  TZ labels      : max {tz_space.max_label_bits} bits "
-        f"(the 'address' a destination advertises)"
+        "(the 'address' a destination advertises)"
     )
 
 

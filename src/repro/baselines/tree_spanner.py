@@ -23,7 +23,7 @@ from ..errors import PreprocessingError
 from ..graphs.graph import Graph
 from ..graphs.ports import PortedGraph
 from ..graphs.shortest_paths import dijkstra
-from ..graphs.trees import RootedTree, tree_from_parents
+from ..graphs.trees import tree_from_parents
 from ..trees.label_codec import tree_label_bits
 from ..trees.tz_tree import TreeRouter, build_tree_router
 

@@ -31,10 +31,9 @@ Two implementations, cross-validated by tests:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
-from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
 
 from ..errors import GraphError
 from ..graphs.graph import Graph
@@ -112,14 +111,9 @@ def compute_all_clusters(
     if method != "dense":
         raise GraphError(f"unknown cluster method {method!r}")
 
-    dist_rows, pred_rows = _scipy_dijkstra(
-        graph.to_scipy(),
-        directed=False,
-        indices=np.asarray(centers, dtype=np.int64),
-        return_predecessors=True,
+    dist_rows, pred_rows = graph.csr().sssp_batch(
+        np.asarray(centers, dtype=np.int64)
     )
-    dist_rows = np.atleast_2d(dist_rows)
-    pred_rows = np.atleast_2d(pred_rows)
     out: Dict[int, Cluster] = {}
     for idx, w in enumerate(centers):
         row = dist_rows[idx]
@@ -153,7 +147,7 @@ def check_subpath_closure(cluster: Cluster) -> None:
         if p not in cluster.dist:
             raise GraphError(
                 f"cluster of {cluster.center}: parent {p} of member {v} "
-                f"is not a member (subpath closure violated)"
+                "is not a member (subpath closure violated)"
             )
         if cluster.dist[p] >= cluster.dist[v]:
             raise GraphError(

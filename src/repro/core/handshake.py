@@ -59,7 +59,7 @@ class HandshakeRoutingScheme(RoutingScheme):
             if i >= self.base.k:
                 raise RoutingError(
                     f"handshake between {source} and {dest} did not "
-                    f"converge: top-level cluster does not span the graph"
+                    "converge: top-level cluster does not span the graph"
                 )
             x, y = y, x
             w = int(self.base.hierarchy.pivot[i, x])

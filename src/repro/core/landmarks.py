@@ -24,14 +24,14 @@ Three ingredients of TZ SPAA'01 §3–§4 live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import PreprocessingError
 from ..graphs.graph import Graph
-from ..graphs.shortest_paths import multi_source_dijkstra, truncated_dijkstra
+from ..graphs.shortest_paths import truncated_dijkstra
 from ..rng import RngLike, make_rng
 from .clusters import DENSE_LIMIT
 
@@ -160,7 +160,8 @@ def center(
             else:
                 W = candidates
         else:
-            dA, _ = multi_source_dijkstra(graph, A)
+            # Witness-free batched sweep: one C-level pass per round.
+            dA = graph.csr().multi_source_distances(A)
             still = []
             limit = int(np.floor(cap))
             for w in W:
@@ -194,8 +195,11 @@ def compute_pivots(
     n = graph.n
     dist = np.full((k + 1, n), np.inf)
     witness = np.full((k, n), -1, dtype=np.int64)
+    kernel = graph.csr()
     for i in range(k):
-        di, wi = multi_source_dijkstra(graph, levels[i])
+        # Batched multi-source sweep per level: the landmark distance
+        # table d(A_i, ·) plus the deterministic nearest-landmark witness.
+        di, wi = kernel.multi_source(levels[i])
         dist[i] = di
         witness[i] = wi
     pivot = witness.copy()

@@ -100,7 +100,7 @@ class TZRoutingScheme(RoutingScheme):
         if record is None:
             raise RoutingError(
                 f"vertex {u} has no record for tree {header.tree}: the "
-                f"message left the cluster (scheme invariant violated)"
+                "message left the cluster (scheme invariant violated)"
             )
         port = decide_from_record(record, header.tree_label)
         if port is None:
@@ -127,7 +127,7 @@ class TZRoutingScheme(RoutingScheme):
                 return header.with_tree(entry.pivot, entry.tree_label)
         raise RoutingError(
             f"no usable tree from {u} to {v}: graph must be connected and "
-            f"the top hierarchy level non-empty"
+            "the top hierarchy level non-empty"
         )
 
     # ------------------------------------------------------------------

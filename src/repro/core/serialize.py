@@ -23,7 +23,7 @@ constants are not charged to individual tables.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from ..bitio import BitReader, BitWriter, delta_cost
 from ..errors import EncodingError

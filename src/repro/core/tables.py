@@ -27,7 +27,7 @@ Expected sizes (the paper's accounting, validated by experiments F3–F5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..trees.label_codec import TreeLabel, tree_label_bits

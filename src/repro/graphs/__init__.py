@@ -1,6 +1,7 @@
 """Graph substrate: CSR graphs, generators, shortest paths, rooted trees,
 and the port model routing schemes operate on."""
 
+from .csr import CSRKernel
 from .graph import Graph, GraphBuilder
 from .ports import PortedGraph, assign_ports
 from .shortest_paths import (
@@ -13,6 +14,7 @@ from .shortest_paths import (
 from .trees import RootedTree, tree_from_parents, tree_from_predecessors
 
 __all__ = [
+    "CSRKernel",
     "Graph",
     "GraphBuilder",
     "PortedGraph",

@@ -51,6 +51,7 @@ class Graph:
         "edges",
         "edge_weights",
         "_edge_index",
+        "_csr",
     )
 
     def __init__(
@@ -129,6 +130,7 @@ class Graph:
         self.adj_weights = adj_w
         self.arc_edge = arc_edge
         self._edge_index: Optional[Dict[Tuple[int, int], int]] = None
+        self._csr = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -179,11 +181,23 @@ class Graph:
     # ------------------------------------------------------------------
     # Derived representations
     # ------------------------------------------------------------------
+    def csr(self):
+        """The cached :class:`~repro.graphs.csr.CSRKernel` over this graph.
+
+        Built lazily on first use (an O(1) wrap — the kernel shares this
+        graph's CSR arrays) and reused for every shortest-path call, so
+        repeated scipy hand-offs reuse one ``csr_matrix``.
+        """
+        if self._csr is None:
+            from .csr import CSRKernel
+
+            self._csr = CSRKernel.from_graph(self)
+        return self._csr
+
     def to_scipy(self) -> csr_matrix:
-        """Symmetric ``scipy.sparse.csr_matrix`` sharing this graph's data."""
-        return csr_matrix(
-            (self.adj_weights, self.adj, self.indptr), shape=(self.n, self.n)
-        )
+        """Symmetric ``scipy.sparse.csr_matrix`` sharing this graph's data
+        (cached on the kernel; treat it as read-only)."""
+        return self.csr().matrix()
 
     def to_networkx(self):
         """Export to :class:`networkx.Graph` (for visualization/tests)."""

@@ -18,7 +18,7 @@ concrete assignment and provides the two operations the simulator needs:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

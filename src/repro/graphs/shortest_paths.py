@@ -19,6 +19,13 @@ package sound:
    on a shortest path to a cluster member is itself a member (strict
    inequality; see ``repro.core.clusters``), the truncated run returns
    exact distances inside the cluster — this is the engine of TZ §3/§4.
+
+Since the CSR-kernel refactor the single/multi-source and all-pairs entry
+points here are thin wrappers over :class:`repro.graphs.csr.CSRKernel`
+(reached via the cached ``graph.csr()``); the kernel preserves the exact
+deterministic tie-breaking documented above.  Only the truncated-Dijkstra
+cluster growth remains a bespoke pure-Python loop (its per-vertex
+threshold test has no batched counterpart).
 """
 
 from __future__ import annotations
@@ -27,7 +34,6 @@ import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
 
 from ..errors import GraphError
 from .graph import Graph
@@ -48,30 +54,7 @@ def dijkstra(
     ``target`` given, stops as soon as the target settles (distances to
     other vertices may then be partial).
     """
-    n = graph.n
-    if not 0 <= source < n:
-        raise GraphError(f"source {source} out of range")
-    dist = np.full(n, INF)
-    parent = np.full(n, -1, dtype=np.int64)
-    done = np.zeros(n, dtype=bool)
-    dist[source] = 0.0
-    heap: List[Tuple[float, int]] = [(0.0, source)]
-    indptr, adj, wts = graph.indptr, graph.adj, graph.adj_weights
-    while heap:
-        d, u = heapq.heappop(heap)
-        if done[u]:
-            continue
-        done[u] = True
-        if u == target:
-            break
-        for i in range(indptr[u], indptr[u + 1]):
-            v = adj[i]
-            nd = d + wts[i]
-            if nd < dist[v] or (nd == dist[v] and parent[v] > u and not done[v]):
-                dist[v] = nd
-                parent[v] = u
-                heapq.heappush(heap, (nd, v))
-    return dist, parent
+    return graph.csr().sssp(source, target=target)
 
 
 def dijkstra_tree(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -84,6 +67,7 @@ def multi_source_dijkstra(
     sources: Sequence[int],
     *,
     witness_priority: Optional[Dict[int, int]] = None,
+    method: str = "auto",
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Distances to the nearest source, plus the *witness* achieving them.
 
@@ -96,36 +80,15 @@ def multi_source_dijkstra(
     exactly ``dist[v]``.
 
     If ``sources`` is empty all distances are ``inf`` and witnesses ``-1``.
+
+    Delegates to the CSR kernel's batched multi-source sweep
+    (:meth:`repro.graphs.csr.CSRKernel.multi_source`), which reproduces
+    this exact tie-break; ``method`` selects the engine (``"auto"``,
+    ``"scipy"``, or the pure-Python reference ``"heap"``).
     """
-    n = graph.n
-    dist = np.full(n, INF)
-    witness = np.full(n, -1, dtype=np.int64)
-    done = np.zeros(n, dtype=bool)
-    prio = witness_priority or {}
-    heap: List[Tuple[float, int, int, int]] = []
-    for a in sources:
-        a = int(a)
-        if not 0 <= a < n:
-            raise GraphError(f"source {a} out of range")
-        heapq.heappush(heap, (0.0, prio.get(a, a), a, a))
-        dist[a] = 0.0
-    indptr, adj, wts = graph.indptr, graph.adj, graph.adj_weights
-    while heap:
-        d, _, w, u = heapq.heappop(heap)
-        if done[u]:
-            continue
-        done[u] = True
-        dist[u] = d
-        witness[u] = w
-        for i in range(indptr[u], indptr[u + 1]):
-            v = adj[i]
-            if done[v]:
-                continue
-            nd = d + wts[i]
-            if nd <= dist[v]:
-                dist[v] = nd
-                heapq.heappush(heap, (nd, prio.get(w, w), w, v))
-    return dist, witness
+    return graph.csr().multi_source(
+        sources, witness_priority=witness_priority, method=method
+    )
 
 
 def truncated_dijkstra(
@@ -194,23 +157,13 @@ def sssp_from_set(
     the full graph is valid; see DESIGN.md §3).
     """
     src = np.asarray(sources, dtype=np.int64)
-    if src.size == 0:
-        return (
-            np.zeros((0, graph.n)),
-            np.zeros((0, graph.n), dtype=np.int64),
-            src,
-        )
-    dist, pred = _scipy_dijkstra(
-        graph.to_scipy(), directed=False, indices=src, return_predecessors=True
-    )
-    return np.atleast_2d(dist), np.atleast_2d(pred).astype(np.int64), src
+    dist, pred = graph.csr().sssp_batch(src)
+    return dist, pred, src
 
 
 def all_pairs_shortest_paths(graph: Graph) -> np.ndarray:
-    """All-pairs distances, ``(n, n)`` float array (scipy-backed)."""
-    if graph.n == 0:
-        return np.zeros((0, 0))
-    return _scipy_dijkstra(graph.to_scipy(), directed=False)
+    """All-pairs distances, ``(n, n)`` float array (CSR-kernel backed)."""
+    return graph.csr().all_pairs()
 
 
 def path_from_parents(parent: np.ndarray, source: int, target: int) -> List[int]:

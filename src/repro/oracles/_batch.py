@@ -1,0 +1,124 @@
+"""Vectorized batch machinery shared by the oracle and the labeling.
+
+Both structures answer a query by the same alternation loop: read the
+level-``i`` pivot ``w`` of one side, test ``w`` against the other side's
+bunch, and on a hit return ``d_i(x) + bunch(y)[w]``.  The batch path runs
+that loop over *arrays of pairs*: per level, one vectorized bunch lookup
+resolves every pair whose pivot hits, and only the misses (a
+geometrically shrinking set — most pairs resolve at low levels) continue.
+
+The bunch hash tables are flattened once into a sorted composite-key
+array (``v * n + w``), so a level's membership tests are a single
+``np.searchsorted`` — no per-pair Python dict work.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple, Type
+
+import numpy as np
+
+
+class FlatBunches:
+    """All per-vertex bunches packed into one binary-searchable array.
+
+    ``composite`` holds ``v * n + w`` for every bunch entry ``w ∈ B(v)``,
+    globally sorted (segments ordered by ``v``, keys sorted within each
+    segment), with ``values`` aligned.  Lookup of ``m`` pairs is one
+    vectorized ``searchsorted`` over the packed array.
+    """
+
+    __slots__ = ("n", "composite", "values")
+
+    def __init__(self, n: int, composite: np.ndarray, values: np.ndarray) -> None:
+        self.n = n
+        self.composite = composite
+        self.values = values
+
+    @classmethod
+    def from_dicts(
+        cls, bunch: Mapping[int, Mapping[int, float]], n: int
+    ) -> "FlatBunches":
+        composite: list = []
+        values: list = []
+        for v in range(n):
+            entries = bunch.get(v)
+            if not entries:
+                continue
+            for w in sorted(entries):
+                composite.append(v * n + w)
+                values.append(entries[w])
+        return cls(
+            n,
+            np.asarray(composite, dtype=np.int64),
+            np.asarray(values, dtype=np.float64),
+        )
+
+    def lookup(self, w: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Membership mask and values for pairs ``(w[i], v[i])``.
+
+        Returns ``(hit, val)``: ``hit[i]`` iff ``w[i] ∈ B(v[i])``, and
+        ``val[i] = d(w[i], v[i])`` where hit (undefined elsewhere).
+        """
+        query = v * np.int64(self.n) + w
+        idx = np.searchsorted(self.composite, query)
+        idx_c = np.minimum(idx, max(self.composite.size - 1, 0))
+        if self.composite.size:
+            hit = (idx < self.composite.size) & (self.composite[idx_c] == query)
+            # An out-of-range key (e.g. a -1 pivot sentinel in a hand-built
+            # structure) must be a miss, as in the scalar dict lookup — the
+            # composite encoding would otherwise alias it to another pair.
+            hit &= (w >= 0) & (w < self.n)
+        else:
+            hit = np.zeros(query.shape, dtype=bool)
+        val = np.where(hit, self.values[idx_c] if self.values.size else 0.0, 0.0)
+        return hit, val
+
+
+def batched_tz_query(
+    pivot_id: np.ndarray,
+    pivot_dist: np.ndarray,
+    flat: FlatBunches,
+    sources,
+    targets,
+    error: Type[Exception],
+    message: str,
+) -> np.ndarray:
+    """The TZ alternation loop over arrays of (source, target) pairs.
+
+    ``pivot_id``/``pivot_dist`` have shape ``(k, n)``: the pivot and its
+    distance per level per vertex (for the oracle, level 0 is the vertex
+    itself at distance 0).  ``sources``/``targets`` broadcast against
+    each other; the result has the broadcast shape.  Pairs that fail to
+    resolve within ``k`` levels (inconsistent structures) raise
+    ``error(message)`` — the same condition the scalar query raises on.
+    """
+    k, n = pivot_id.shape
+    u_in, v_in = np.broadcast_arrays(
+        np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64)
+    )
+    shape = u_in.shape
+    x = u_in.ravel().copy()
+    y = v_in.ravel().copy()
+    if x.size and (
+        x.min(initial=0) < 0
+        or y.min(initial=0) < 0
+        or x.max(initial=0) >= n
+        or y.max(initial=0) >= n
+    ):
+        raise error("query vertex id out of range")
+    out = np.zeros(x.size, dtype=np.float64)
+    active = np.flatnonzero(x != y)
+    for i in range(k):
+        if active.size == 0:
+            break
+        w = pivot_id[i, x[active]]
+        hit, val = flat.lookup(w, y[active])
+        resolved = active[hit]
+        out[resolved] = pivot_dist[i, x[resolved]] + val[hit]
+        active = active[~hit]
+        # Alternate sides for the pairs that missed.
+        x[active], y[active] = y[active], x[active]
+    if active.size:
+        raise error(message)
+    return out.reshape(shape)

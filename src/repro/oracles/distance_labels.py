@@ -31,11 +31,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+import numpy as np
+
 from ..errors import LabelError, PreprocessingError
 from ..graphs.graph import Graph
 from ..rng import RngLike, make_rng
 from ..core.clusters import bunches, compute_all_clusters
 from ..core.landmarks import build_hierarchy
+from ._batch import FlatBunches, batched_tz_query
 
 
 @dataclass(frozen=True)
@@ -95,9 +98,43 @@ class DistanceLabeling:
         self.k = k
         self.n = n
         self.labels = labels
+        self._batch_cache = None
 
     def query(self, u: int, v: int) -> float:
         return query_labels(self.labels[u], self.labels[v])
+
+    def query_many(self, sources, targets) -> np.ndarray:
+        """Vectorized batch of :meth:`query` calls.
+
+        ``sources``/``targets`` broadcast; the result matches per-pair
+        :func:`query_labels` results exactly.  Labels are columnized into
+        ``(k, n)`` pivot arrays plus one flat bunch table on first use.
+        """
+        flat, pivot_id, pivot_dist = self._batch_arrays()
+        return batched_tz_query(
+            pivot_id,
+            pivot_dist,
+            flat,
+            sources,
+            targets,
+            LabelError,
+            "label query did not converge: top-level pivot missing from "
+            "the peer bunch (labels are inconsistent)",
+        )
+
+    def _batch_arrays(self):
+        if self._batch_cache is None:
+            pivot_id = np.empty((self.k, self.n), dtype=np.int64)
+            pivot_dist = np.empty((self.k, self.n), dtype=np.float64)
+            for v in range(self.n):
+                for i, (w, dw) in enumerate(self.labels[v].pivots):
+                    pivot_id[i, v] = w
+                    pivot_dist[i, v] = dw
+            flat = FlatBunches.from_dicts(
+                {v: self.labels[v].bunch for v in range(self.n)}, self.n
+            )
+            self._batch_cache = (flat, pivot_id, pivot_dist)
+        return self._batch_cache
 
     def stretch_bound(self) -> float:
         return 1.0 if self.k == 1 else float(2 * self.k - 1)

@@ -27,7 +27,7 @@ Both distances are local: ``d(w,u) = d_i(u)`` is stored with the pivots,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from ..graphs.graph import Graph
 from ..rng import RngLike, make_rng
 from ..core.clusters import bunches, compute_all_clusters
 from ..core.landmarks import Hierarchy, build_hierarchy
+from ._batch import FlatBunches, batched_tz_query
 
 
 @dataclass
@@ -64,6 +65,41 @@ class DistanceOracle:
         return float(self.hierarchy.dist[_level_index(self, w, i)][u]) + float(
             self.bunch[v][w]
         )
+
+    def query_many(self, sources, targets) -> np.ndarray:
+        """Vectorized batch of :meth:`query` calls.
+
+        ``sources`` and ``targets`` are arrays (or scalars) of vertex ids
+        that broadcast against each other; the result has the broadcast
+        shape and matches per-pair ``query`` results exactly.  The bunch
+        hash tables are flattened into a binary-searchable array on first
+        use, so each alternation level costs one vectorized lookup for
+        the still-unresolved pairs instead of a Python loop.
+        """
+        flat, pivot_id, pivot_dist = self._batch_arrays()
+        return batched_tz_query(
+            pivot_id,
+            pivot_dist,
+            flat,
+            sources,
+            targets,
+            PreprocessingError,
+            "oracle query did not converge: top level empty?",
+        )
+
+    def _batch_arrays(self):
+        cached = getattr(self, "_batch_cache", None)
+        if cached is None:
+            # Level-0 "pivot" of u is u itself (the query starts at w=u);
+            # dist row 0 is d(A_0, ·) = 0, matching the scalar path.
+            pivot_id = np.vstack(
+                [np.arange(self.n, dtype=np.int64), self.hierarchy.pivot[1:]]
+            )
+            pivot_dist = np.asarray(self.hierarchy.dist[: self.k], dtype=np.float64)
+            flat = FlatBunches.from_dicts(self.bunch, self.n)
+            cached = (flat, pivot_id, pivot_dist)
+            self._batch_cache = cached
+        return cached
 
     def stretch_bound(self) -> float:
         return 1.0 if self.k == 1 else float(2 * self.k - 1)

@@ -20,7 +20,7 @@ gives the experiments an independent structural check on the clusters.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Set, Tuple
 
 from ..errors import PreprocessingError
 from ..graphs.graph import Graph

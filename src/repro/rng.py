@@ -11,7 +11,7 @@ EXPERIMENTS.md exactly re-derivable.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Union
+from typing import Optional, Union
 
 import numpy as np
 

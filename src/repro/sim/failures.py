@@ -24,7 +24,7 @@ the "preprocessing is the fault boundary" statement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 import numpy as np
 

@@ -11,7 +11,7 @@ delivery failure instead of a stretch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..core.router import RoutingScheme

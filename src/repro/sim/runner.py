@@ -2,16 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..core.router import RoutingScheme
 from ..errors import DeliveryError
-from ..graphs.graph import Graph
 from ..graphs.ports import PortedGraph
-from ..graphs.shortest_paths import all_pairs_shortest_paths, dijkstra
+from ..graphs.shortest_paths import all_pairs_shortest_paths
 from ..rng import RngLike, make_rng, sample_pairs
 from .network import Network, RouteResult
 from .stats import StretchStats, stretch_stats

@@ -25,14 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-from ..bitio import (
-    BitReader,
-    BitWriter,
-    bit_length,
-    delta_cost,
-    gamma_cost,
-    uint_cost,
-)
+from ..bitio import BitReader, BitWriter, delta_cost, gamma_cost, uint_cost
 from ..errors import LabelError
 
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from ..bitio import gamma_cost, uint_cost
+from ..bitio import uint_cost
 from ..errors import LabelError, RoutingError
 from ..graphs.ports import PortedGraph
 from ..graphs.trees import RootedTree
@@ -168,7 +168,7 @@ def build_tree_router(
             else:
                 if port_model == "designer" and down_port != tree.child_rank[v]:
                     raise LabelError(
-                        f"designer model requires port==rank at light edge "
+                        "designer model requires port==rank at light edge "
                         f"({parent},{v}): port {down_port}, rank {tree.child_rank[v]}"
                     )
                 light_ports_of[v] = light_ports_of[parent] + (down_port,)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.graphs import generators as gen
@@ -53,6 +52,7 @@ def path_graph() -> Graph:
     return gen.path_tree(40)
 
 
+@pytest.fixture(scope="session")
 def diamond_graph() -> Graph:
     """4-cycle plus a chord: tiny graph with multiple shortest paths."""
     return Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])

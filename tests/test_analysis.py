@@ -3,7 +3,6 @@ acceptance criteria from DESIGN.md §4)."""
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

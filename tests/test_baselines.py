@@ -16,7 +16,6 @@ from repro.graphs.graph import Graph
 from repro.graphs.ports import assign_ports
 from repro.graphs.shortest_paths import all_pairs_shortest_paths
 from repro.rng import all_pairs
-from repro.sim.network import Network
 from repro.sim.runner import run_pairs
 
 

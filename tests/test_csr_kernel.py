@@ -1,0 +1,187 @@
+"""CSR kernel: cross-checks against the pure-Python reference paths.
+
+The kernel's fast paths (scipy sweep + vectorized witness propagation)
+must be *bit-identical* to the heap-based reference on integer-weighted
+graphs — landmark tables, pivots, and cluster thresholds all assume one
+consistent distance/witness field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRKernel
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import (
+    all_pairs_shortest_paths,
+    dijkstra,
+    multi_source_dijkstra,
+)
+
+
+@pytest.fixture(
+    params=["small_weighted_graph", "small_unit_graph", "grid_graph"]
+)
+def fixture_graph(request) -> Graph:
+    return request.getfixturevalue(request.param)
+
+
+class TestConstruction:
+    def test_from_graph_shares_arrays(self, small_weighted_graph):
+        g = small_weighted_graph
+        k = CSRKernel.from_graph(g)
+        assert k.indptr is g.indptr
+        assert k.indices is g.adj
+        assert k.weights is g.adj_weights
+        assert k.n == g.n and k.nnz == 2 * g.m
+
+    def test_graph_csr_cached(self, small_weighted_graph):
+        g = small_weighted_graph
+        assert g.csr() is g.csr()
+        assert g.to_scipy() is g.to_scipy()
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(GraphError):
+            CSRKernel(2, np.array([0, 2, 1]), np.array([1, 0]), np.ones(2))
+
+    def test_validation_rejects_bad_target(self):
+        with pytest.raises(GraphError):
+            CSRKernel(2, np.array([0, 1, 2]), np.array([1, 5]), np.ones(2))
+
+    def test_validation_rejects_nonpositive_weight(self):
+        with pytest.raises(GraphError):
+            CSRKernel(2, np.array([0, 1, 2]), np.array([1, 0]), np.array([1.0, 0.0]))
+
+    def test_empty_graph(self):
+        k = CSRKernel(0, np.zeros(1, dtype=np.int64), np.zeros(0), np.zeros(0))
+        assert k.all_pairs().shape == (0, 0)
+        d, w = k.multi_source([])
+        assert d.shape == (0,) and w.shape == (0,)
+
+
+class TestSSSP:
+    def test_matches_wrapper_and_scipy(self, fixture_graph):
+        g = fixture_graph
+        kern = g.csr()
+        D = all_pairs_shortest_paths(g)
+        for src in (0, g.n // 2, g.n - 1):
+            dist, parent = kern.sssp(src)
+            assert np.array_equal(dist, D[src])
+            legacy_dist, legacy_parent = dijkstra(g, src)
+            assert np.array_equal(dist, legacy_dist)
+            assert np.array_equal(parent, legacy_parent)
+
+    def test_batch_matches_single_source(self, fixture_graph):
+        g = fixture_graph
+        kern = g.csr()
+        sources = [0, 1, g.n // 2, g.n - 1]
+        batch, _ = kern.sssp_batch(sources)
+        assert batch.shape == (len(sources), g.n)
+        for row, src in zip(batch, sources):
+            single, _ = kern.sssp(src)
+            assert np.array_equal(row, single)
+
+    def test_batch_empty(self, small_weighted_graph):
+        batch, pred = small_weighted_graph.csr().sssp_batch([])
+        assert batch.shape == (0, small_weighted_graph.n)
+        assert pred.shape == (0, small_weighted_graph.n)
+
+    def test_batch_out_of_range(self, small_weighted_graph):
+        with pytest.raises(GraphError):
+            small_weighted_graph.csr().sssp_batch([10**6])
+
+
+class TestBatchedMultiSource:
+    """The tentpole primitive: one sweep == n independent runs."""
+
+    def test_matches_independent_single_source_runs(self, fixture_graph):
+        g = fixture_graph
+        kern = g.csr()
+        rng = np.random.default_rng(42)
+        sources = np.unique(rng.integers(0, g.n, size=8))
+        dist, witness = kern.multi_source(sources)
+        singles = np.vstack([kern.sssp(int(a))[0] for a in sources])
+        assert np.array_equal(dist, singles.min(axis=0))
+        # The witness realizes the distance and is the smallest such id.
+        for v in range(g.n):
+            realizing = sources[singles[:, v] == dist[v]]
+            assert witness[v] == realizing.min()
+
+    def test_scipy_and_heap_methods_identical(self, fixture_graph):
+        g = fixture_graph
+        rng = np.random.default_rng(7)
+        sources = np.unique(rng.integers(0, g.n, size=6))
+        d_fast, w_fast = g.csr().multi_source(sources, method="scipy")
+        d_ref, w_ref = g.csr().multi_source(sources, method="heap")
+        assert np.array_equal(d_fast, d_ref)
+        assert np.array_equal(w_fast, w_ref)
+
+    def test_witness_priority_respected(self, fixture_graph):
+        g = fixture_graph
+        sources = [0, g.n - 1]
+        # Reverse the default preference: the larger id now wins ties.
+        prio = {0: 1, g.n - 1: 0}
+        for method in ("scipy", "heap"):
+            d, w = g.csr().multi_source(
+                sources, witness_priority=prio, method=method
+            )
+            D = np.vstack([g.csr().sssp(a)[0] for a in sources])
+            tied = D[0] == D[1]
+            assert np.all(w[tied] == g.n - 1)
+
+    def test_disconnected_inf_and_negative_witness(self):
+        # Two components plus an isolated vertex; sources in one component.
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)], [2.0, 3.0, 1.0])
+        dist, witness = g.csr().multi_source([0, 2])
+        assert np.array_equal(dist[:3], [0.0, 2.0, 0.0])
+        assert np.all(np.isinf(dist[3:]))
+        assert np.array_equal(witness[:3], [0, 0, 2])
+        assert np.all(witness[3:] == -1)
+        assert np.array_equal(
+            dist, g.csr().multi_source_distances([0, 2])
+        )
+
+    def test_empty_sources(self, small_weighted_graph):
+        g = small_weighted_graph
+        d, w = g.csr().multi_source([])
+        assert np.all(np.isinf(d)) and np.all(w == -1)
+        assert np.all(np.isinf(g.csr().multi_source_distances([])))
+
+    def test_duplicate_sources_allowed(self, small_weighted_graph):
+        g = small_weighted_graph
+        d1, w1 = g.csr().multi_source([3, 3, 5])
+        d2, w2 = g.csr().multi_source([3, 5])
+        assert np.array_equal(d1, d2) and np.array_equal(w1, w2)
+
+    def test_out_of_range_source(self, small_weighted_graph):
+        with pytest.raises(GraphError):
+            small_weighted_graph.csr().multi_source([-1])
+
+    def test_unknown_method_rejected(self, small_weighted_graph):
+        with pytest.raises(GraphError):
+            small_weighted_graph.csr().multi_source([0], method="quantum")
+
+    def test_wrapper_delegates(self, fixture_graph):
+        g = fixture_graph
+        sources = [0, g.n // 3, g.n - 1]
+        d_wrap, w_wrap = multi_source_dijkstra(g, sources)
+        d_kern, w_kern = g.csr().multi_source(sources)
+        assert np.array_equal(d_wrap, d_kern)
+        assert np.array_equal(w_wrap, w_kern)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_fast_equals_reference(self, seed):
+        g = gen.gnp(40, 0.08, rng=seed, connected=False, weights=(1, 7))
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 6))
+        sources = np.unique(rng.integers(0, g.n, size=k))
+        d_fast, w_fast = g.csr().multi_source(sources, method="scipy")
+        d_ref, w_ref = g.csr().multi_source(sources, method="heap")
+        assert np.array_equal(d_fast, d_ref)
+        assert np.array_equal(w_fast, w_ref)

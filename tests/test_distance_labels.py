@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -11,7 +12,6 @@ from repro.graphs import generators as gen
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import all_pairs_shortest_paths
 from repro.oracles.distance_labels import (
-    DistanceLabel,
     build_distance_labels,
     query_labels,
     query_steps,
@@ -51,6 +51,56 @@ class TestQueries:
         for s, t in [(0, 5), (5, 0), (10, 90), (90, 10)]:
             est = labeling.query(s, t)
             assert est <= labeling.stretch_bound() * D[s, t] + 1e-9
+
+    def test_query_many_matches_scalar(self, labeling_setup):
+        k, labeling, D = labeling_setup
+        rng = np.random.default_rng(11)
+        s = rng.integers(0, labeling.n, size=300)
+        t = rng.integers(0, labeling.n, size=300)
+        batch = labeling.query_many(s, t)
+        assert np.array_equal(
+            batch, [labeling.query(int(a), int(b)) for a, b in zip(s, t)]
+        )
+
+    def test_query_many_grid_and_broadcast(self, labeling_setup):
+        k, labeling, D = labeling_setup
+        n = labeling.n
+        sub = np.arange(0, n, 9)
+        grid = labeling.query_many(sub[:, None], sub[None, :])
+        assert grid.shape == (sub.size, sub.size)
+        for i, s in enumerate(sub):
+            for j, t in enumerate(sub):
+                assert grid[i, j] == labeling.query(int(s), int(t))
+
+    def test_query_many_out_of_range_rejected(self, labeling_setup):
+        k, labeling, D = labeling_setup
+        with pytest.raises(LabelError):
+            labeling.query_many([0], [labeling.n])
+
+    def test_query_many_stray_pivot_is_a_miss_not_an_alias(self, labeling_setup):
+        """A -1 pivot sentinel must behave exactly like the scalar path (a
+        bunch miss), never alias the packed composite keys of a neighboring
+        vertex into a fabricated hit."""
+        k, labeling, D = labeling_setup
+        import copy
+
+        from repro.oracles.distance_labels import DistanceLabel, DistanceLabeling
+
+        labels = copy.deepcopy(labeling.labels)
+        broken = labels[1]
+        labels[1] = DistanceLabel(
+            broken.v,
+            tuple((-1, 0.0) for _ in broken.pivots),
+            broken.bunch,
+        )
+        crippled = DistanceLabeling(labeling.k, labeling.n, labels)
+        try:
+            expected = query_labels(labels[1], labels[2])
+        except LabelError:
+            with pytest.raises(LabelError):
+                crippled.query_many([1], [2])
+        else:
+            assert crippled.query_many([1], [2])[0] == expected
 
     def test_steps_bounded(self, labeling_setup):
         k, labeling, D = labeling_setup

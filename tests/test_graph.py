@@ -9,8 +9,6 @@ from repro.errors import GraphError
 from repro.graphs.graph import Graph, GraphBuilder
 from repro.graphs.validation import check_graph
 
-from conftest import diamond_graph
-
 
 class TestConstruction:
     def test_empty_graph(self):
@@ -77,16 +75,15 @@ class TestAccessors:
         g = small_weighted_graph
         assert int(g.degrees().sum()) == 2 * g.m
 
-    def test_has_edge_and_edge_id(self):
-        g = diamond_graph()
+    def test_has_edge_and_edge_id(self, diamond_graph):
+        g = diamond_graph
         assert g.has_edge(0, 2) and g.has_edge(2, 0)
         assert not g.has_edge(1, 3)
         assert g.edge_id(0, 2) == g.edge_id(2, 0)
 
-    def test_edge_id_missing_raises(self):
-        g = diamond_graph()
+    def test_edge_id_missing_raises(self, diamond_graph):
         with pytest.raises(GraphError):
-            g.edge_id(1, 3)
+            diamond_graph.edge_id(1, 3)
 
     def test_neighbor_weights_alignment(self, small_weighted_graph):
         g = small_weighted_graph
@@ -100,9 +97,8 @@ class TestAccessors:
 
 
 class TestDerivedRepresentations:
-    def test_scipy_round_trip_distances(self):
-        g = diamond_graph()
-        mat = g.to_scipy()
+    def test_scipy_round_trip_distances(self, diamond_graph):
+        mat = diamond_graph.to_scipy()
         assert mat.shape == (4, 4)
         assert mat[0, 1] == 1.0 and mat[1, 0] == 1.0
 
@@ -137,16 +133,15 @@ class TestConnectivity:
         lc = g.largest_component()
         assert lc.n == 3 and lc.m == 2 and lc.is_connected()
 
-    def test_subgraph_relabels(self):
-        g = diamond_graph()
-        sub = g.subgraph([0, 2, 3])
+    def test_subgraph_relabels(self, diamond_graph):
+        sub = diamond_graph.subgraph([0, 2, 3])
         assert sub.n == 3
         # Edges (0,2),(2,3),(3,0) survive under relabeling 0->0,2->1,3->2.
         assert sub.m == 3
 
-    def test_subgraph_duplicate_rejected(self):
+    def test_subgraph_duplicate_rejected(self, diamond_graph):
         with pytest.raises(GraphError):
-            diamond_graph().subgraph([0, 0, 1])
+            diamond_graph.subgraph([0, 0, 1])
 
 
 class TestGraphBuilder:

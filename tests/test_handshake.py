@@ -6,9 +6,7 @@ import pytest
 
 from repro.core.handshake import HandshakeRoutingScheme
 from repro.core.scheme_k import build_tz_scheme
-from repro.graphs import generators as gen
 from repro.graphs.ports import assign_ports
-from repro.graphs.shortest_paths import all_pairs_shortest_paths
 from repro.oracles.distance_oracle import build_distance_oracle
 from repro.rng import all_pairs
 from repro.sim.network import Network

@@ -10,7 +10,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.landmarks import (
-    Hierarchy,
     build_hierarchy,
     center,
     compute_pivots,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -9,7 +10,6 @@ from hypothesis import strategies as st
 from repro.errors import PreprocessingError
 from repro.graphs import generators as gen
 from repro.graphs.graph import Graph
-from repro.graphs.ports import assign_ports
 from repro.graphs.shortest_paths import all_pairs_shortest_paths
 from repro.oracles.distance_oracle import build_distance_oracle
 
@@ -66,6 +66,44 @@ class TestQueries:
                 continue
             est = oracle.query(s, t)
             assert D[s, t] - 1e-9 <= est <= oracle.stretch_bound() * D[s, t] + 1e-9
+
+
+class TestQueryMany:
+    def test_matches_scalar_on_full_grid(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        n = oracle.n
+        S = np.arange(n)[:, None]
+        T = np.arange(n)[None, :]
+        grid = oracle.query_many(S, T)
+        assert grid.shape == (n, n)
+        for s in range(0, n, 3):
+            for t in range(0, n, 5):
+                assert grid[s, t] == oracle.query(s, t)
+        assert np.all(np.diag(grid) == 0.0)
+
+    def test_1d_pairs_and_broadcasting(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        rng = np.random.default_rng(4)
+        s = rng.integers(0, oracle.n, size=200)
+        t = rng.integers(0, oracle.n, size=200)
+        batch = oracle.query_many(s, t)
+        assert np.array_equal(
+            batch, [oracle.query(int(a), int(b)) for a, b in zip(s, t)]
+        )
+        # Scalar source against an array of targets broadcasts.
+        row = oracle.query_many(3, t)
+        assert np.array_equal(row, [oracle.query(3, int(b)) for b in t])
+
+    def test_empty_batch(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        assert oracle.query_many([], []).shape == (0,)
+
+    def test_out_of_range_rejected(self, oracle_setup):
+        k, oracle, D = oracle_setup
+        with pytest.raises(PreprocessingError):
+            oracle.query_many([0], [oracle.n])
+        with pytest.raises(PreprocessingError):
+            oracle.query_many([-1], [0])
 
 
 class TestStructure:

@@ -11,13 +11,12 @@ from repro.bitio import BitReader
 from repro.core.labels import decode_label, encode_label, label_size_bits
 from repro.core.router import RouteHeader
 from repro.core.scheme_k import build_tz_scheme
-from repro.errors import LabelError, PreprocessingError, RoutingError
+from repro.errors import PreprocessingError, RoutingError
 from repro.graphs import generators as gen
 from repro.graphs.graph import Graph
 from repro.graphs.ports import assign_ports
 from repro.graphs.shortest_paths import all_pairs_shortest_paths
 from repro.rng import all_pairs
-from repro.sim.network import Network
 from repro.sim.runner import run_pairs
 
 

@@ -2,17 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 import pytest
 
 from repro.core.router import RouteHeader, RoutingScheme
-from repro.errors import DeliveryError, RoutingError
+from repro.errors import DeliveryError
 from repro.graphs import generators as gen
 from repro.graphs.ports import assign_ports
 from repro.rng import sample_pairs
-from repro.sim.network import Network, RouteResult
+from repro.sim.network import Network
 from repro.sim.runner import measure_scheme, run_pairs
 from repro.sim.stats import space_stats, stretch_stats
 

@@ -93,7 +93,6 @@ class TestHeavyLight:
             product = 1
             for p, c in t.light_edges_to(v):
                 product *= t.child_rank[c]
-            heavy_steps = t.depth[v] - t.light_depth[v]
             assert product <= len(t)
 
     def test_heavy_child_is_first_in_dfs(self):
