@@ -17,23 +17,14 @@ faster.  Runs in seconds; ``REPRO_BENCH_SCALE=full`` raises n.
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 import pytest
+from conftest import best_of as _timed
 
 from repro.core.landmarks import sample_hierarchy
 from repro.graphs import generators as gen
 from repro.oracles.distance_oracle import build_distance_oracle
-
-
-def _timed(fn, repeats: int = 1) -> float:
-    best = np.inf
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 @pytest.fixture(scope="module")

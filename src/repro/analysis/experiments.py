@@ -8,6 +8,12 @@ DESIGN.md §4 (T1, F2–F9, A1–A2) at a chosen ``scale``:
 * ``"full"``  — the instances recorded in EXPERIMENTS.md.
 
 Everything is deterministic in ``seed`` (see :mod:`repro.rng`).
+
+Routing measurements go through :func:`repro.sim.runner.measure_scheme`
+with its default ``engine="auto"``, i.e. the vectorized batch engine for
+every compiled TZ scheme — bit-for-bit identical to the hop-by-hop
+simulator (enforced by the equivalence suite), just orders of magnitude
+faster, which is what makes the ``full`` scale's pair counts practical.
 """
 
 from __future__ import annotations
@@ -421,8 +427,12 @@ def exp_f7(scale: str = "small", seed=0) -> ExperimentResult:
                 "n": graph.n,
                 "m": graph.m,
                 "avg_stretch": round(st.mean, 3),
+                "p50_stretch": round(st.median, 3),
                 "p95_stretch": round(st.p95, 3),
+                "p99_stretch": round(st.p99, 3),
                 "max_stretch": round(st.max, 3),
+                "p50_hops": round(st.hop_p50, 1),
+                "p99_hops": round(st.hop_p99, 1),
                 "violations": st.violations,
                 "avg_table_bits": round(sp.avg_table_bits, 0),
             }

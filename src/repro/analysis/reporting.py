@@ -48,6 +48,16 @@ def render_table(
     return "\n".join(lines)
 
 
+def render_stretch_summary(stats, *, title: Optional[str] = None) -> str:
+    """One-row table for a :class:`~repro.sim.stats.StretchStats`.
+
+    Includes the p50/p95/p99 stretch percentiles and, when the stats
+    carry them, the hop-count percentiles — the tail view the batch
+    engine's large samples are for (used by ``repro route``).
+    """
+    return render_table([stats.row()], title=title)
+
+
 def render_markdown_table(
     rows: Sequence[Dict[str, object]],
     *,

@@ -85,6 +85,12 @@ class HandshakeRoutingScheme(RoutingScheme):
         # pure §2 tree routing via the base tables.
         return self.base.decide(u, header)
 
+    def compile_batch(self, ported=None):
+        """Batch-engine export: the base scheme's arrays with the
+        handshake tree selection enabled (the alternation itself is
+        vectorized inside the engine)."""
+        return self.base.compile_batch(ported).with_handshake()
+
     # ------------------------------------------------------------------
     def table_bits(self, u: int) -> int:
         return self.base.table_bits(u)

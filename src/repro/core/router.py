@@ -75,6 +75,16 @@ class RoutingScheme(ABC):
     def stretch_bound(self) -> float:
         """The scheme's proven worst-case stretch."""
 
+    def compile_batch(self, ported=None):
+        """Dense-array export for the batch engine, or ``None``.
+
+        Schemes whose runtime state is table/label-shaped (the TZ
+        family) return a :class:`repro.sim.engine.compile.CompiledScheme`
+        here; the default ``None`` marks a scheme the engine cannot
+        route (the simulator then falls back to hop-by-hop forwarding).
+        """
+        return None
+
     # -- helpers -------------------------------------------------------
     def _id_bits(self) -> int:
         n = getattr(self, "n", None)

@@ -131,6 +131,28 @@ class TZRoutingScheme(RoutingScheme):
         )
 
     # ------------------------------------------------------------------
+    # Batch-engine export
+    # ------------------------------------------------------------------
+    def compile_batch(self, ported: Optional[PortedGraph] = None):
+        """The dense-array form of this scheme for the batch engine.
+
+        Materializes (and caches, per port assignment) every tree's
+        records, labels and member maps as the columnar arrays that
+        :class:`repro.sim.engine.batch.BatchRouter` routes on.  The
+        export is derived from the same compiled tables the hop-by-hop
+        path reads, so both runtimes forward over identical state.
+        """
+        from ..sim.engine.compile import compile_scheme
+
+        target = self.ported if ported is None else ported
+        cached = getattr(self, "_batch_compiled", None)
+        if cached is not None and cached[0] is target:
+            return cached[1]
+        compiled = compile_scheme(self, target)
+        self._batch_compiled = (target, compiled)
+        return compiled
+
+    # ------------------------------------------------------------------
     # Size accounting
     # ------------------------------------------------------------------
     def table_bits(self, u: int) -> int:

@@ -47,6 +47,7 @@ def build_stretch3_scheme(
     rng: RngLike = None,
     landmark_method: str = "center",
     cluster_method: str = "auto",
+    precompile_engine: bool = False,
 ) -> TZRoutingScheme:
     """Compile the §3 stretch-3 scheme.
 
@@ -54,6 +55,11 @@ def build_stretch3_scheme(
 
     * ``"center"`` — Theorem 3.1 selection (default; hard cluster cap).
     * ``"bernoulli"`` — plain rate-``s/n`` sampling, for the A1 ablation.
+
+    ``precompile_engine`` eagerly builds the batch engine's dense-array
+    export (:meth:`~repro.core.scheme_k.TZRoutingScheme.compile_batch`)
+    so the first traffic matrix served pays no compile latency —
+    otherwise the export is built lazily on first batch route.
 
     Returns a :class:`~repro.core.scheme_k.TZRoutingScheme` with
     ``k = 2`` whose ``stretch_bound()`` is 3.
@@ -79,4 +85,6 @@ def build_stretch3_scheme(
         cluster_method=cluster_method,
     )
     scheme.name = "tz-stretch3"
+    if precompile_engine:
+        scheme.compile_batch()
     return scheme

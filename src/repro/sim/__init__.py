@@ -1,8 +1,10 @@
 """Message-level network simulation: hop-by-hop forwarding over ports,
-traffic workloads, failure injection, and stretch/space statistics."""
+the vectorized batch routing engine, traffic workloads, failure
+injection, and stretch/space statistics."""
 
+from .engine import BatchResult, BatchRouter, CompiledScheme, compile_scheme
 from .network import Network, RouteResult
-from .runner import measure_scheme, run_pairs
+from .runner import measure_scheme, pair_true_distances, run_pairs
 from .stats import SpaceStats, StretchStats, space_stats, stretch_stats
 from .workloads import (
     adversarial_pairs,
@@ -22,8 +24,13 @@ from .failures import (
 __all__ = [
     "Network",
     "RouteResult",
+    "BatchRouter",
+    "BatchResult",
+    "CompiledScheme",
+    "compile_scheme",
     "run_pairs",
     "measure_scheme",
+    "pair_true_distances",
     "StretchStats",
     "SpaceStats",
     "stretch_stats",

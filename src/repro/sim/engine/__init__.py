@@ -1,0 +1,18 @@
+"""Vectorized batch routing engine.
+
+Compiles a :class:`~repro.core.router.RoutingScheme` into dense numpy
+arrays (:mod:`repro.sim.engine.compile`) and routes whole traffic
+matrices by advancing every in-flight message one synchronized hop per
+array step (:mod:`repro.sim.engine.batch`) — no Python per-hop loop.
+
+The hop-by-hop :class:`~repro.sim.network.Network` remains the
+adversarial ground truth: the engine is required (and tested) to agree
+with it bit-for-bit on ``(delivered, weight, hops)`` for every compiled
+scheme.  Use ``engine="reference"`` in :func:`repro.sim.runner.run_pairs`
+to route through the reference simulator instead.
+"""
+
+from .batch import BatchResult, BatchRouter
+from .compile import CompiledScheme, compile_scheme
+
+__all__ = ["BatchResult", "BatchRouter", "CompiledScheme", "compile_scheme"]

@@ -1,0 +1,352 @@
+"""Advance a whole traffic matrix one synchronized hop per array step.
+
+:class:`BatchRouter` is the vectorized counterpart of
+:class:`~repro.sim.network.Network`: the same per-hop forwarding rule,
+applied to every in-flight message at once with numpy gathers instead of
+a Python loop.  Each step it
+
+1. retires rows that sit at their destination (delivered),
+2. looks up each active row's record in its committed tree
+   (``searchsorted`` on the compiled entry keys),
+3. classifies the §2 forwarding rule per row — parent / heavy child /
+   light-port — and gathers the next vertex, edge weight and edge id,
+4. drops rows that violate a scheme invariant (no record, root exit,
+   label mismatch) or try to cross a dead edge, and
+5. accumulates weights and advances the survivors.
+
+Because weights accumulate in the same per-row order as the reference
+simulator, delivered/weight/hops are **bit-for-bit identical** to
+:meth:`Network.route` — enforced by the equivalence suite in
+``tests/test_batch_engine.py``.  Failure *reasons* are coarser (codes,
+not the reference's prose), which is the only sanctioned difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ...core.router import RoutingScheme
+from ...errors import RoutingError
+from ...graphs.ports import PortedGraph
+from ..network import RouteResult
+from .compile import CompiledScheme, compile_scheme
+
+#: Failure codes recorded per undelivered row (0 = delivered / in flight).
+FAIL_NONE = 0
+FAIL_NO_TREE = 1  # no usable tree from source to destination
+FAIL_NO_RECORD = 2  # message left its committed cluster
+FAIL_ROOT_EXIT = 3  # destination DFS number outside a root record
+FAIL_LABEL = 4  # light-port index beyond the destination label
+FAIL_PORT = 5  # label carried a port the vertex does not have
+FAIL_DEAD_LINK = 6  # next hop crosses a failed edge
+FAIL_TTL = 7  # TTL exhausted (routing loop)
+
+FAILURE_TEXT = {
+    FAIL_NONE: None,
+    FAIL_NO_TREE: "no usable tree (scheme invariant violated)",
+    FAIL_NO_RECORD: "message left the cluster (scheme invariant violated)",
+    FAIL_ROOT_EXIT: "destination f outside the tree of a root record",
+    FAIL_LABEL: "light-port index beyond the destination label",
+    FAIL_PORT: "label carried an out-of-range port",
+    FAIL_DEAD_LINK: "dead link",
+    FAIL_TTL: "TTL exhausted (routing loop?)",
+}
+
+#: ``cur`` sentinel: the message crossed into a vertex with no record in
+#: its tree (only possible when routing over a port assignment the
+#: scheme was not compiled for); the landed vertex lives in ``lost_v``.
+_LOST = -2
+
+
+@dataclass
+class BatchResult:
+    """Columnar outcome of one :meth:`BatchRouter.route_pairs` call.
+
+    All arrays are per-pair, aligned with the input order.  ``weight``
+    and ``hops`` are valid for failed rows too (the prefix walked before
+    the failure), matching the reference simulator.
+    """
+
+    source: np.ndarray
+    dest: np.ndarray
+    delivered: np.ndarray  # bool
+    weight: np.ndarray  # float64
+    hops: np.ndarray  # int64
+    tree: np.ndarray  # committed tree root, -1 if never committed
+    max_header_bits: np.ndarray  # int64
+    failure_code: np.ndarray  # int8, FAIL_* values
+
+    @property
+    def attempted(self) -> int:
+        return int(self.source.shape[0])
+
+    @property
+    def delivered_count(self) -> int:
+        return int(self.delivered.sum())
+
+    def failure(self, row: int) -> Optional[str]:
+        """Human-readable failure reason of one row (None if delivered)."""
+        return FAILURE_TEXT[int(self.failure_code[row])]
+
+    def to_route_results(self) -> List[RouteResult]:
+        """Materialize per-pair :class:`RouteResult` objects.
+
+        The engine does not record full vertex paths (that is the
+        reference simulator's job); results carry an empty ``path`` and
+        an explicit ``hop_count`` instead.
+        """
+        out: List[RouteResult] = []
+        for i in range(self.attempted):
+            out.append(
+                RouteResult(
+                    source=int(self.source[i]),
+                    dest=int(self.dest[i]),
+                    delivered=bool(self.delivered[i]),
+                    path=[],
+                    weight=float(self.weight[i]),
+                    failure=self.failure(i),
+                    max_header_bits=int(self.max_header_bits[i]),
+                    hop_count=int(self.hops[i]),
+                )
+            )
+        return out
+
+
+class BatchRouter:
+    """Route traffic matrices through a compiled scheme, vectorized.
+
+    Parameters
+    ----------
+    ported:
+        The simulated network's port assignment (the physical links the
+        messages cross — normally the one the scheme was compiled on).
+    scheme:
+        A compiled routing scheme.  Schemes expose their dense-array
+        form through :meth:`~repro.core.router.RoutingScheme.compile_batch`;
+        schemes that return ``None`` there (custom/pathological test
+        schemes) cannot be batch-routed — use the reference simulator.
+    """
+
+    def __init__(self, ported: PortedGraph, scheme: RoutingScheme) -> None:
+        self.ported = ported
+        self.scheme = scheme
+        compiled = scheme.compile_batch(ported)
+        if compiled is None:
+            compiled = compile_scheme(scheme, ported)  # raises RoutingError
+        self.compiled: CompiledScheme = compiled
+
+    def route_pairs(
+        self,
+        pairs: np.ndarray,
+        *,
+        ttl: Optional[int] = None,
+        dead_edges: Optional[Iterable[Tuple[int, int]]] = None,
+    ) -> BatchResult:
+        """Route every ``(s, t)`` row of ``pairs``; never raises per-pair.
+
+        ``ttl`` matches the reference default (``4·n + 16`` forwarding
+        decisions).  ``dead_edges`` drops any row whose next hop crosses
+        a listed edge, mirroring :class:`~repro.sim.failures.FaultyNetwork`.
+        """
+        cs = self.compiled
+        graph = self.ported.graph
+        pair_arr = np.asarray(pairs, dtype=np.int64)
+        if pair_arr.size == 0:
+            pair_arr = pair_arr.reshape(0, 2)
+        if pair_arr.ndim != 2 or pair_arr.shape[1] != 2:
+            raise RoutingError("pairs must be an (m, 2) integer array")
+        src = np.ascontiguousarray(pair_arr[:, 0])
+        dst = np.ascontiguousarray(pair_arr[:, 1])
+        count = src.shape[0]
+        n = cs.n
+        if count and (src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n):
+            raise RoutingError("pair endpoint out of range")
+        if ttl is None:
+            ttl = 4 * n + 16
+
+        delivered = np.zeros(count, dtype=bool)
+        fail = np.zeros(count, dtype=np.int8)
+        weight = np.zeros(count)
+        hops = np.zeros(count, dtype=np.int64)
+        header = np.full(count, 2 * cs.id_bits, dtype=np.int64)
+        tree = np.full(count, -1, dtype=np.int64)
+        dest_f = np.zeros(count, dtype=np.int64)
+        lp_lo = np.zeros(count, dtype=np.int64)
+        lp_hi = np.zeros(count, dtype=np.int64)
+
+        dead_mask: Optional[np.ndarray] = None
+        if dead_edges is not None:
+            dead_list = list(dead_edges)
+            if dead_list:
+                dead_mask = np.zeros(graph.m, dtype=bool)
+                for a, b in dead_list:
+                    dead_mask[graph.edge_id(int(a), int(b))] = True
+
+        # --- commit every non-trivial pair to a tree --------------------
+        # Routing state is entry-indexed: a message at vertex u inside
+        # committed tree w is "at" the compiled entry (w, u); arrival is
+        # entry equality with the destination's entry.  Trivial (s == t)
+        # pairs share a sentinel so the first arrival check retires them.
+        epos_src = np.full(count, -7, dtype=np.int64)
+        epos_dst = np.full(count, -7, dtype=np.int64)
+        nontrivial = np.flatnonzero(src != dst)
+        if nontrivial.size:
+            if cs.handshake:
+                sel = cs.select_trees_handshake(src[nontrivial], dst[nontrivial])
+            else:
+                sel = cs.select_trees(src[nontrivial], dst[nontrivial])
+            sel_tree, sel_epos, sel_spos, sel_ok = sel
+            fail[nontrivial[~sel_ok]] = FAIL_NO_TREE
+            good = nontrivial[sel_ok]
+            epos = sel_epos[sel_ok]
+            tree[good] = sel_tree[sel_ok]
+            header[good] = 2 * cs.id_bits + cs.ent_label_bits[epos]
+            dest_f[good] = cs.ent_f[epos]
+            lp_lo[good] = cs.lp_indptr[epos]
+            lp_hi[good] = cs.lp_indptr[epos + 1]
+            epos_src[good] = sel_spos[sel_ok]
+            epos_dst[good] = epos
+
+        # --- synchronized hop stepping (state compacted as rows retire) -
+        rows = np.flatnonzero(fail == FAIL_NONE)
+        cur = epos_src[rows]
+        dst_e = epos_dst[rows]
+        dsts = dst[rows]
+        target_f = dest_f[rows]
+        trees = tree[rows]
+        lo = lp_lo[rows]
+        hi = lp_hi[rows]
+        lost_v = np.full(rows.shape[0], -1, dtype=np.int64)
+
+        def _compact(keep: np.ndarray) -> None:
+            nonlocal rows, cur, dst_e, dsts, target_f, trees, lo, hi, lost_v
+            rows = rows[keep]
+            cur = cur[keep]
+            dst_e = dst_e[keep]
+            dsts = dsts[keep]
+            target_f = target_f[keep]
+            trees = trees[keep]
+            lo = lo[keep]
+            hi = hi[keep]
+            lost_v = lost_v[keep]
+
+        for _ in range(ttl):
+            if rows.size == 0:
+                break
+            # Arrival is checked before anything else (as in the
+            # reference decide): entry equality, or — for messages that
+            # crossed into a recordless vertex — landing on the
+            # destination itself, which needs no record to terminate.
+            lost = cur == _LOST
+            arrived = (cur == dst_e) | (lost & (lost_v == dsts))
+            if arrived.any():
+                delivered[rows[arrived]] = True
+                _compact(~arrived)
+                lost = lost[~arrived]
+                if rows.size == 0:
+                    break
+            if lost.any():
+                fail[rows[lost]] = FAIL_NO_RECORD
+                _compact(~lost)
+                if rows.size == 0:
+                    break
+            rec_f = cs.ent_f[cur]
+            # §2 forwarding rule.  target_f == rec_f would mean arrival
+            # (DFS numbers are unique per tree) and was handled above.
+            outside = (target_f < rec_f) | (target_f > cs.ent_finish[cur])
+            heavy = ~outside & (target_f >= rec_f + 1)
+            heavy &= target_f <= cs.ent_heavy_finish[cur]
+            light = ~(outside | heavy)
+
+            nxt = np.empty(rows.shape[0], dtype=np.int64)
+            wts = np.empty(rows.shape[0])
+            edge = np.full(rows.shape[0], -1, dtype=np.int64)
+            code = np.zeros(rows.shape[0], dtype=np.int8)
+            new_lost = np.full(rows.shape[0], -1, dtype=np.int64)
+
+            pe = cur[outside]
+            nxt[outside] = cs.ent_parent_epos[pe]
+            wts[outside] = cs.ent_parent_wt[pe]
+            if dead_mask is not None:
+                edge[outside] = cs.ent_parent_edge[pe]
+            he = cur[heavy]
+            nxt[heavy] = cs.ent_heavy_epos[he]
+            wts[heavy] = cs.ent_heavy_wt[he]
+            if dead_mask is not None:
+                edge[heavy] = cs.ent_heavy_edge[he]
+            code[outside & (nxt == -1)] = FAIL_ROOT_EXIT
+            # heavy with no heavy child (-1) means a corrupted record
+            # (heavy_finish > f on a leaf); the reference hits PortError
+            # stepping on port 0, before crossing — match that.
+            code[heavy & (nxt == -1)] = FAIL_PORT
+            # A _LOST transition still crosses the physical edge (the
+            # reference only discovers the missing record at the next
+            # decide); record the landed vertex and keep the row moving.
+            went_lost = (outside | heavy) & (nxt == _LOST)
+            if went_lost.any():
+                om = outside & went_lost
+                new_lost[om] = cs.ent_parent_next[cur[om]]
+                hm = heavy & went_lost
+                new_lost[hm] = cs.ent_heavy_next[cur[hm]]
+
+            if light.any():
+                li = np.flatnonzero(light)
+                lp_pos = lo[li] + cs.ent_light_depth[cur[li]]
+                in_label = lp_pos < hi[li]
+                code[li[~in_label]] = FAIL_LABEL
+                li = li[in_label]
+                lp_pos = lp_pos[in_label]
+                if li.size:
+                    port = cs.lp_data[lp_pos]
+                    at = cs.ent_vertex[cur[li]]
+                    step = cs.g_indptr[at] + port - 1
+                    port_ok = (port >= 1) & (step < cs.g_indptr[at + 1])
+                    code[li[~port_ok]] = FAIL_PORT
+                    li = li[port_ok]
+                    step = step[port_ok]
+                    # Light hops cross a physical port; resolve the
+                    # landed vertex back to its entry in the tree.
+                    landed_v = cs.step_next[step]
+                    landed, found = cs.entry_pos(trees[li], landed_v)
+                    nxt[li] = np.where(found, landed, _LOST)
+                    new_lost[li] = np.where(found, -1, landed_v)
+                    wts[li] = cs.step_wt[step]
+                    if dead_mask is not None:
+                        edge[li] = cs.step_edge[step]
+
+            if dead_mask is not None:
+                crossing = (code == FAIL_NONE) & (edge >= 0)
+                dead_hit = crossing & dead_mask[np.maximum(edge, 0)]
+                code[dead_hit] = FAIL_DEAD_LINK
+
+            bad = code != FAIL_NONE
+            if bad.any():
+                fail[rows[bad]] = code[bad]
+                keep = ~bad
+                moving = rows[keep]
+                weight[moving] += wts[keep]
+                hops[moving] += 1
+                cur = nxt
+                lost_v = new_lost
+                _compact(keep)
+            else:
+                weight[rows] += wts
+                hops[rows] += 1
+                cur = nxt
+                lost_v = new_lost
+
+        fail[rows] = FAIL_TTL
+
+        return BatchResult(
+            source=src,
+            dest=dst,
+            delivered=delivered,
+            weight=weight,
+            hops=hops,
+            tree=tree,
+            max_header_bits=header,
+            failure_code=fail,
+        )

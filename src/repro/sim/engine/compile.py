@@ -1,0 +1,405 @@
+"""Compile a routing scheme into the dense arrays the batch engine routes on.
+
+The Thorup–Zwick model is table-driven: every forwarding decision at a
+vertex ``u`` inside a committed tree ``T_w`` is a constant number of
+integer comparisons against ``u``'s O(1)-word record plus one indexed
+read of the destination's light-port sequence.  That makes the whole
+runtime state *columnar*: a :class:`CompiledScheme` materializes
+
+* one **entry** per (tree ``w``, member ``u``) pair — the record fields
+  plus the parent/heavy next-hop **resolved to concrete neighbors,
+  weights and edge ids** through the shared port assignment;
+* the light-port sequences of every member-as-destination, flattened
+  into a CSR-style ``(lp_indptr, lp_data)`` pair;
+* the level-0 **member maps** (the source-side "is the destination in my
+  cluster?" check) as a sorted key array;
+* the **pivot matrix** of the hierarchy (which trees a destination's
+  label advertises, level by level);
+* the global ``(vertex, port) -> (neighbor, weight, edge)`` step tables
+  of the ported graph, so label-carried light ports resolve with one
+  gather.
+
+Entries are keyed by ``w * n + u`` in one sorted int64 array, so "does
+``u`` have a record for ``T_w``" — the membership test behind both the
+4k−5 commit strategy and the §4 handshake alternation — is a vectorized
+``searchsorted`` over arbitrarily many messages at once.
+
+:func:`compile_scheme` accepts the general :class:`TZRoutingScheme`
+(``scheme_k`` for any k, hence also the §3 stretch-3 ``scheme_k2``
+specialization) and the §4 :class:`HandshakeRoutingScheme` wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...errors import RoutingError
+from ...graphs.ports import PortedGraph
+from ...trees.tz_tree import records_to_arrays
+
+
+def _bit_length(a: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` for non-negative int64 (< 2^53)."""
+    return np.frexp(a.astype(np.float64))[1].astype(np.int64)
+
+
+def _label_bits_vectorized(
+    f_width: np.ndarray, lp_indptr: np.ndarray, lp_data: np.ndarray
+) -> np.ndarray:
+    """Per-entry :func:`repro.trees.label_codec.tree_label_bits`, batched.
+
+    Mirrors the scalar formula exactly: fixed-width DFS field, Elias-delta
+    coded ``len(light_ports) + 1``, then one Elias-gamma code per port.
+    """
+    counts = np.diff(lp_indptr)
+    # delta_cost(c + 1) = gamma_cost(bl) + bl - 1 with bl = bit_length(c+1)
+    bl = _bit_length(counts + 1)
+    delta = (2 * (_bit_length(bl) - 1) + 1) + bl - 1
+    gamma = 2 * (_bit_length(lp_data) - 1) + 1
+    gsum = np.concatenate(([0], np.cumsum(gamma)))
+    return f_width + delta + gsum[lp_indptr[1:]] - gsum[lp_indptr[:-1]]
+
+
+@dataclass
+class CompiledScheme:
+    """Dense-array export of a compiled TZ routing scheme (see module doc).
+
+    All ``ent_*`` arrays are aligned with ``entry_keys`` (sorted by
+    ``tree * n + vertex``); ``-1`` marks an absent parent (the root) or
+    heavy child (a leaf).
+    """
+
+    n: int
+    k: int
+    id_bits: int
+    handshake: bool
+    # -- entries: one row per (tree, member) pair -----------------------
+    entry_keys: np.ndarray  # (E,) int64, sorted: tree * n + vertex
+    ent_vertex: np.ndarray  # (E,) the member vertex of each entry
+    ent_f: np.ndarray  # (E,) DFS number of the member in its tree
+    ent_finish: np.ndarray  # (E,) end of the member's DFS interval
+    ent_heavy_finish: np.ndarray  # (E,) end of the heavy child's interval
+    ent_light_depth: np.ndarray  # (E,) light edges above the member
+    ent_parent_next: np.ndarray  # (E,) neighbor behind parent_port (-1 root)
+    ent_parent_wt: np.ndarray  # (E,) weight of that edge
+    ent_parent_edge: np.ndarray  # (E,) canonical edge id (-1 root)
+    ent_heavy_next: np.ndarray  # (E,) neighbor behind heavy_port (-1 leaf)
+    ent_heavy_wt: np.ndarray
+    ent_heavy_edge: np.ndarray
+    # Entry-to-entry transition links: the entry index of the parent /
+    # heavy-child *in the same tree* (-1 = absent i.e. root/leaf, -2 =
+    # the resolved neighbor has no record in the tree, which only
+    # happens when routing over a port assignment the scheme was not
+    # compiled for).  These let the hop loop step without any lookup.
+    ent_parent_epos: np.ndarray  # (E,) int64
+    ent_heavy_epos: np.ndarray  # (E,) int64
+    ent_label_bits: np.ndarray  # (E,) encoded tree-label bits (as dest)
+    root_epos: np.ndarray  # (n,) entry index of (tree=v, v), -1 if none
+    # -- light-port sequences of members-as-destinations ----------------
+    lp_indptr: np.ndarray  # (E+1,) int64
+    lp_data: np.ndarray  # (L,) port numbers, root-to-leaf order
+    # -- source-side level-0 member maps --------------------------------
+    mem_keys: np.ndarray  # (M,) int64, sorted: source * n + member
+    mem_epos: np.ndarray  # (M,) entry index of (tree=source, member)
+    # -- destination labels: pivots per level ---------------------------
+    pivot: np.ndarray  # (k, n) int64; row 0 unused
+    # -- ported-graph step tables (indexed indptr[u] + port - 1) --------
+    g_indptr: np.ndarray  # (n+1,)
+    step_next: np.ndarray  # (2m,) neighbor reached by (u, port)
+    step_wt: np.ndarray  # (2m,) edge weight
+    step_edge: np.ndarray  # (2m,) canonical edge id
+
+    @property
+    def entry_count(self) -> int:
+        return int(self.entry_keys.shape[0])
+
+    def with_handshake(self) -> "CompiledScheme":
+        """The same arrays with the §4 handshake tree selection."""
+        return replace(self, handshake=True)
+
+    # ------------------------------------------------------------------
+    # Vectorized lookups
+    # ------------------------------------------------------------------
+    def entry_pos(
+        self, tree: np.ndarray, vertex: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(positions, found)`` of ``(tree, vertex)`` entries, batched.
+
+        ``positions`` is only meaningful where ``found`` is True; the
+        test "``vertex`` has a record for ``T_tree``" is exactly
+        ``found`` (the cluster-membership check of the paper).
+        """
+        if self.entry_count == 0:
+            z = np.zeros(np.shape(tree), dtype=np.int64)
+            return z, np.zeros(np.shape(tree), dtype=bool)
+        keys = np.asarray(tree, dtype=np.int64) * self.n + vertex
+        pos = np.searchsorted(self.entry_keys, keys)
+        pos = np.minimum(pos, self.entry_count - 1)
+        return pos, self.entry_keys[pos] == keys
+
+    def select_trees(
+        self, s: np.ndarray, t: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The 4k−5 source strategy, batched: own cluster first, then the
+        destination's pivots by increasing level.
+
+        Returns ``(tree, epos_dest, epos_src, ok)``: the committed tree
+        root, the entry indices of the destination (its tree label) and
+        of the source inside it, and whether any usable tree exists.
+        Mirrors :meth:`repro.core.scheme_k.TZRoutingScheme._commit`
+        exactly.
+        """
+        count = s.shape[0]
+        tree = np.full(count, -1, dtype=np.int64)
+        epos = np.zeros(count, dtype=np.int64)
+        spos = np.zeros(count, dtype=np.int64)
+        ok = np.zeros(count, dtype=bool)
+        # Level 0: destination in the source's own (level-0) cluster.
+        if self.mem_keys.shape[0]:
+            keys = s * self.n + t
+            j = np.minimum(
+                np.searchsorted(self.mem_keys, keys), self.mem_keys.shape[0] - 1
+            )
+            hit = self.mem_keys[j] == keys
+            tree[hit] = s[hit]
+            epos[hit] = self.mem_epos[j[hit]]
+            spos[hit] = self.root_epos[s[hit]]
+            ok[hit] = True
+        else:
+            hit = np.zeros(count, dtype=bool)
+        undecided = ~hit
+        # Levels 1..k-1: commit to the first pivot tree the source is in.
+        for level in range(1, self.k):
+            if not undecided.any():
+                break
+            rows = np.flatnonzero(undecided)
+            w = self.pivot[level, t[rows]]
+            src_pos, in_tree = self.entry_pos(w, s[rows])
+            commit = rows[in_tree]
+            dpos, dfound = self.entry_pos(w[in_tree], t[rows][in_tree])
+            good = commit[dfound]
+            tree[good] = w[in_tree][dfound]
+            epos[good] = dpos[dfound]
+            spos[good] = src_pos[in_tree][dfound]
+            ok[good] = True
+            # Rows whose source is in the pivot tree are decided either
+            # way; a missing destination label means a corrupted scheme
+            # and the row fails (ok stays False).
+            undecided[commit] = False
+        return tree, epos, spos, ok
+
+    def select_trees_handshake(
+        self, s: np.ndarray, t: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The §4 handshake pivot alternation, batched.
+
+        Mirrors :meth:`repro.core.handshake.HandshakeRoutingScheme.handshake_tree`:
+        start from ``w = source`` and alternate endpoints, moving ``w`` to
+        the active endpoint's next-level pivot until the passive endpoint
+        has a record for ``T_w``.  Same return shape as
+        :meth:`select_trees`.
+        """
+        count = s.shape[0]
+        x = s.copy()
+        y = t.copy()
+        w = s.copy()
+        ok = np.ones(count, dtype=bool)
+        _, found = self.entry_pos(w, y)
+        active = ~found
+        level = 0
+        while active.any():
+            level += 1
+            if level >= self.k:
+                ok[active] = False
+                break
+            rows = np.flatnonzero(active)
+            x[rows], y[rows] = y[rows], x[rows].copy()
+            w[rows] = self.pivot[level, x[rows]]
+            _, found = self.entry_pos(w[rows], y[rows])
+            active[rows[found]] = False
+        epos, dfound = self.entry_pos(w, t)
+        spos, sfound = self.entry_pos(w, s)
+        ok &= dfound & sfound
+        return w, epos, spos, ok
+
+
+def compile_scheme(
+    scheme, ported: Optional[PortedGraph] = None
+) -> CompiledScheme:
+    """Compile ``scheme`` into a :class:`CompiledScheme`.
+
+    ``ported`` defaults to the port assignment the scheme was built on;
+    pass the simulator's assignment explicitly if it differs (forwarding
+    then crosses exactly the same physical links the reference simulator
+    would).  Raises :class:`~repro.errors.RoutingError` for schemes the
+    engine cannot compile (use ``engine="reference"`` for those).
+    """
+    from ...core.handshake import HandshakeRoutingScheme
+    from ...core.scheme_k import TZRoutingScheme
+
+    if isinstance(scheme, HandshakeRoutingScheme):
+        return compile_scheme(scheme.base, ported).with_handshake()
+    if not isinstance(scheme, TZRoutingScheme):
+        raise RoutingError(
+            f"batch engine cannot compile {type(scheme).__name__}: only "
+            "TZ table/label schemes have the dense-array form "
+            '(route it with engine="reference")'
+        )
+    if ported is None:
+        ported = scheme.ported
+    graph = ported.graph
+    n = scheme.n
+
+    # -- global (vertex, port) step tables ------------------------------
+    arc = ported.arc_of_port
+    step_next = graph.adj[arc]
+    step_wt = graph.adj_weights[arc]
+    step_edge = graph.arc_edge[arc]
+
+    # -- entries, tree by tree (ids ascending => keys sorted) ------------
+    tree_ids = sorted(scheme.tree_labels)
+    key_parts, field_parts = [], []
+    u_parts, pport_parts, hport_parts = [], [], []
+    fwidth_parts, lp_count_parts, lp_chunks = [], [], []
+    for w in tree_ids:
+        labels_w = scheme.tree_labels[w]
+        members = np.fromiter(sorted(labels_w), dtype=np.int64, count=len(labels_w))
+        recs = records_to_arrays(
+            [scheme.tables[int(u)].trees[w] for u in members]
+        )
+        key_parts.append(w * n + members)
+        u_parts.append(members)
+        field_parts.append(
+            (recs["f"], recs["finish"], recs["heavy_finish"], recs["light_depth"])
+        )
+        pport_parts.append(recs["parent_port"])
+        hport_parts.append(recs["heavy_port"])
+        fw = max(1, (max(scheme.tree_sizes[w] - 1, 1)).bit_length())
+        fwidth_parts.append(np.full(members.shape[0], fw, dtype=np.int64))
+        counts = np.empty(members.shape[0], dtype=np.int64)
+        for i, u in enumerate(members):
+            ports = labels_w[int(u)].light_ports
+            counts[i] = len(ports)
+            if ports:
+                lp_chunks.append(np.asarray(ports, dtype=np.int64))
+        lp_count_parts.append(counts)
+
+    def _cat(parts, dtype=np.int64):
+        if not parts:
+            return np.zeros(0, dtype=dtype)
+        return np.concatenate(parts).astype(dtype, copy=False)
+
+    entry_keys = _cat(key_parts)
+    ent_u = _cat(u_parts)
+    ent_f = _cat([p[0] for p in field_parts])
+    ent_finish = _cat([p[1] for p in field_parts])
+    ent_heavy_finish = _cat([p[2] for p in field_parts])
+    ent_light_depth = _cat([p[3] for p in field_parts])
+    parent_port = _cat(pport_parts)
+    heavy_port = _cat(hport_parts)
+    f_width = _cat(fwidth_parts)
+    lp_counts = _cat(lp_count_parts)
+    lp_indptr = np.zeros(entry_keys.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lp_counts, out=lp_indptr[1:])
+    lp_data = _cat(lp_chunks)
+
+    # -- resolve parent/heavy ports to neighbors through the ports ------
+    def _resolve(port: np.ndarray):
+        nxt = np.full(port.shape[0], -1, dtype=np.int64)
+        wt = np.zeros(port.shape[0])
+        edge = np.full(port.shape[0], -1, dtype=np.int64)
+        have = port > 0
+        pos = graph.indptr[ent_u[have]] + port[have] - 1
+        nxt[have] = step_next[pos]
+        wt[have] = step_wt[pos]
+        edge[have] = step_edge[pos]
+        return nxt, wt, edge
+
+    parent_next, parent_wt, parent_edge = _resolve(parent_port)
+    heavy_next, heavy_wt, heavy_edge = _resolve(heavy_port)
+
+    # Entry-to-entry links: resolve each transition's target vertex back
+    # to its entry row in the same tree (one sorted lookup at compile
+    # time saves one per hop at route time).
+    entry_tree = entry_keys // n if entry_keys.size else entry_keys
+
+    def _link(nxt: np.ndarray) -> np.ndarray:
+        link = np.full(nxt.shape[0], -1, dtype=np.int64)
+        have = nxt >= 0
+        if have.any() and entry_keys.size:
+            keys = entry_tree[have] * n + nxt[have]
+            pos = np.minimum(
+                np.searchsorted(entry_keys, keys), entry_keys.shape[0] - 1
+            )
+            found = entry_keys[pos] == keys
+            link[have] = np.where(found, pos, -2)
+        elif have.any():
+            link[have] = -2
+        return link
+
+    parent_epos = _link(parent_next)
+    heavy_epos = _link(heavy_next)
+
+    root_epos = np.full(n, -1, dtype=np.int64)
+    if entry_keys.size:
+        verts = np.arange(n, dtype=np.int64)
+        keys = verts * n + verts
+        pos = np.minimum(
+            np.searchsorted(entry_keys, keys), entry_keys.shape[0] - 1
+        )
+        found = entry_keys[pos] == keys
+        root_epos[found] = pos[found]
+
+    ent_label_bits = _label_bits_vectorized(f_width, lp_indptr, lp_data)
+
+    # -- level-0 member maps (the source-side cluster check) -------------
+    mem_key_list, mem_pos_list = [], []
+    for u in range(n):
+        members = scheme.tables[u].members
+        if not members:
+            continue
+        targets = np.fromiter(sorted(members), dtype=np.int64, count=len(members))
+        mem_key_list.append(u * np.int64(n) + targets)
+        pos = np.searchsorted(entry_keys, u * np.int64(n) + targets)
+        mem_pos_list.append(pos)
+    mem_keys = _cat(mem_key_list)
+    mem_epos = _cat(mem_pos_list)
+
+    pivot = np.ascontiguousarray(scheme.hierarchy.pivot, dtype=np.int64)
+
+    id_bits = max(1, (max(n - 1, 1)).bit_length())
+
+    return CompiledScheme(
+        n=n,
+        k=scheme.k,
+        id_bits=id_bits,
+        handshake=False,
+        entry_keys=entry_keys,
+        ent_vertex=ent_u,
+        ent_f=ent_f,
+        ent_finish=ent_finish,
+        ent_heavy_finish=ent_heavy_finish,
+        ent_light_depth=ent_light_depth,
+        ent_parent_next=parent_next,
+        ent_parent_wt=parent_wt,
+        ent_parent_edge=parent_edge,
+        ent_heavy_next=heavy_next,
+        ent_heavy_wt=heavy_wt,
+        ent_heavy_edge=heavy_edge,
+        ent_parent_epos=parent_epos,
+        ent_heavy_epos=heavy_epos,
+        ent_label_bits=ent_label_bits,
+        root_epos=root_epos,
+        lp_indptr=lp_indptr,
+        lp_data=lp_data,
+        mem_keys=mem_keys,
+        mem_epos=mem_epos,
+        pivot=pivot,
+        g_indptr=graph.indptr,
+        step_next=step_next,
+        step_wt=step_wt,
+        step_edge=step_edge,
+    )

@@ -33,7 +33,7 @@ from ..errors import RoutingError
 from ..graphs.graph import Graph
 from ..graphs.ports import PortedGraph
 from ..rng import RngLike, make_rng
-from .network import Network, RouteResult
+from .network import SCHEME_FAULTS, Network, RouteResult
 
 
 def _canon(u: int, v: int) -> Tuple[int, int]:
@@ -95,7 +95,7 @@ class FaultyNetwork(Network):
                 u = v
                 path.append(u)
             raise RoutingError(f"TTL of {ttl} hops exhausted")
-        except RoutingError as exc:
+        except SCHEME_FAULTS as exc:
             if strict:
                 raise
             return RouteResult(
@@ -154,24 +154,42 @@ def survivability(
     scheme: RoutingScheme,
     dead: Iterable[Tuple[int, int]],
     pairs: np.ndarray,
+    *,
+    engine: str = "auto",
 ) -> SurvivabilityReport:
-    """Delivered fraction under failures, over still-connected pairs."""
+    """Delivered fraction under failures, over still-connected pairs.
+
+    ``engine="auto"`` routes the still-connected pairs through the batch
+    engine (dead edges are dropped at the same point the hop-by-hop
+    :class:`FaultyNetwork` drops them) when the scheme compiles, and
+    falls back to the reference simulator otherwise;
+    ``engine="reference"`` forces the hop-by-hop path.
+    """
     dead = tuple(_canon(int(a), int(b)) for a, b in dead)
     remaining = surviving_graph(ported.graph, dead)
     _, labels = remaining.connected_components()
-    net = FaultyNetwork(ported, scheme, dead)
-    connected = 0
-    delivered = 0
-    for s, t in pairs:
-        s, t = int(s), int(t)
-        if labels[s] != labels[t]:
-            continue  # no scheme could deliver; excluded by definition
-        connected += 1
-        if net.route(s, t).delivered:
-            delivered += 1
+    pair_arr = np.asarray(pairs, dtype=np.int64)
+    if pair_arr.size == 0:
+        return SurvivabilityReport(dead, 0, 0, 0)
+    conn_mask = labels[pair_arr[:, 0]] == labels[pair_arr[:, 1]]
+    connected = int(conn_mask.sum())
+
+    from .runner import _resolve_engine
+
+    router = _resolve_engine(scheme, ported, engine)
+    if router is not None:
+        batch = router.route_pairs(pair_arr[conn_mask], dead_edges=dead)
+        delivered = batch.delivered_count
+    else:
+        net = FaultyNetwork(ported, scheme, dead)
+        delivered = sum(
+            1
+            for s, t in pair_arr[conn_mask]
+            if net.route(int(s), int(t)).delivered
+        )
     return SurvivabilityReport(
         failed_edges=dead,
-        attempted=len(pairs),
+        attempted=len(pair_arr),
         connected_pairs=connected,
         delivered=delivered,
     )

@@ -15,13 +15,24 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..core.router import RoutingScheme
-from ..errors import DeliveryError, RoutingError
+from ..errors import DeliveryError, LabelError, PortError, RoutingError
 from ..graphs.ports import PortedGraph
+
+#: A scheme with inconsistent tables/labels surfaces as any of these at
+#: route time; all three are recorded as a delivery failure (module
+#: docstring), matching the batch engine's failure codes bit-for-bit.
+SCHEME_FAULTS = (RoutingError, LabelError, PortError)
 
 
 @dataclass
 class RouteResult:
-    """Outcome of routing one message."""
+    """Outcome of routing one message.
+
+    ``path`` is the full vertex sequence when the hop-by-hop simulator
+    produced the result; the batch engine does not materialize paths and
+    instead records the crossing count in ``hop_count`` (with an empty
+    ``path``).  ``hops`` reads the same either way.
+    """
 
     source: int
     dest: int
@@ -30,9 +41,12 @@ class RouteResult:
     weight: float
     failure: Optional[str] = None
     max_header_bits: int = 0
+    hop_count: Optional[int] = None
 
     @property
     def hops(self) -> int:
+        if self.hop_count is not None:
+            return self.hop_count
         return max(0, len(self.path) - 1)
 
 
@@ -83,7 +97,7 @@ class Network:
                 u = self.ported.step(u, port)
                 path.append(u)
             raise DeliveryError(f"TTL of {ttl} hops exhausted (routing loop?)")
-        except RoutingError as exc:
+        except SCHEME_FAULTS as exc:
             if strict:
                 raise
             return RouteResult(

@@ -10,7 +10,13 @@ import numpy as np
 
 @dataclass
 class StretchStats:
-    """Distribution summary of per-pair multiplicative stretch."""
+    """Distribution summary of per-pair multiplicative stretch.
+
+    Means alone hide the tail (the batch engine makes million-pair
+    samples cheap, and worst-case guarantees live in the tail), so the
+    summary carries p50/p95/p99 stretch and, when the caller provides
+    per-pair hop counts, the hop-count distribution as well.
+    """
 
     count: int
     delivered: int
@@ -21,22 +27,44 @@ class StretchStats:
     p99: float
     violations: int  # pairs exceeding the scheme's proven bound
     bound: float
+    hop_mean: float = 0.0
+    hop_p50: float = 0.0
+    hop_p95: float = 0.0
+    hop_p99: float = 0.0
+    hop_max: int = 0
+
+    @property
+    def p50(self) -> float:
+        """Median stretch (alias, matching the p95/p99 naming)."""
+        return self.median
 
     @classmethod
     def empty(cls, bound: float = float("inf")) -> "StretchStats":
         return cls(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, bound)
 
     def row(self) -> Dict[str, float]:
-        return {
+        row: Dict[str, float] = {
             "pairs": self.count,
             "delivered": self.delivered,
             "max_stretch": self.max,
             "avg_stretch": self.mean,
+            "p50_stretch": self.median,
             "p95_stretch": self.p95,
             "p99_stretch": self.p99,
             "bound": self.bound,
             "violations": self.violations,
         }
+        if self.hop_max:
+            row.update(
+                {
+                    "avg_hops": self.hop_mean,
+                    "p50_hops": self.hop_p50,
+                    "p95_hops": self.hop_p95,
+                    "p99_hops": self.hop_p99,
+                    "max_hops": self.hop_max,
+                }
+            )
+        return row
 
 
 def stretch_stats(
@@ -46,17 +74,33 @@ def stretch_stats(
     attempted: Optional[int] = None,
     bound: float = float("inf"),
     tol: float = 1e-9,
+    hops: Optional[Sequence[int]] = None,
 ) -> StretchStats:
     """Summarize per-pair stretch values against a proven ``bound``.
 
     ``tol`` absorbs float rounding when comparing to the bound (distance
     arithmetic is exact for integer weights, but stretch is a ratio).
+    ``hops`` optionally carries the delivered pairs' hop counts; when
+    given, the summary includes the hop-count distribution.
     """
     arr = np.asarray(list(stretches), dtype=np.float64)
     count = attempted if attempted is not None else arr.size
     deliv = delivered if delivered is not None else arr.size
+    hop_stats = {}
+    if hops is not None:
+        harr = np.asarray(list(hops), dtype=np.float64)
+        if harr.size:
+            hop_stats = {
+                "hop_mean": float(harr.mean()),
+                "hop_p50": float(np.median(harr)),
+                "hop_p95": float(np.percentile(harr, 95)),
+                "hop_p99": float(np.percentile(harr, 99)),
+                "hop_max": int(harr.max()),
+            }
     if arr.size == 0:
-        return StretchStats(count, deliv, 0.0, 0.0, 0.0, 0.0, 0.0, 0, bound)
+        return StretchStats(
+            count, deliv, 0.0, 0.0, 0.0, 0.0, 0.0, 0, bound, **hop_stats
+        )
     return StretchStats(
         count=count,
         delivered=deliv,
@@ -67,6 +111,7 @@ def stretch_stats(
         p99=float(np.percentile(arr, 99)),
         violations=int((arr > bound * (1 + tol)).sum()),
         bound=bound,
+        **hop_stats,
     )
 
 

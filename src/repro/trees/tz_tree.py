@@ -27,7 +27,9 @@ The same machinery serves two deployments:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..bitio import uint_cost
 from ..errors import LabelError, RoutingError
@@ -130,6 +132,35 @@ def decide_from_record(record: TreeLocalRecord, target: TreeLabel) -> Optional[i
             f"need index {idx}: label/tree mismatch"
         )
     return target.light_ports[idx]
+
+
+def records_to_arrays(
+    records: Sequence[TreeLocalRecord],
+) -> Dict[str, np.ndarray]:
+    """Columnar export of tree records for the batch routing engine.
+
+    Returns one int64 array per :class:`TreeLocalRecord` field, aligned
+    with the input order, so the §2 forwarding rule can run as array
+    comparisons over every in-flight message at once (see
+    :mod:`repro.sim.engine.compile`).
+    """
+    count = len(records)
+    return {
+        "f": np.fromiter((r.f for r in records), np.int64, count),
+        "finish": np.fromiter((r.finish for r in records), np.int64, count),
+        "parent_port": np.fromiter(
+            (r.parent_port for r in records), np.int64, count
+        ),
+        "heavy_port": np.fromiter(
+            (r.heavy_port for r in records), np.int64, count
+        ),
+        "heavy_finish": np.fromiter(
+            (r.heavy_finish for r in records), np.int64, count
+        ),
+        "light_depth": np.fromiter(
+            (r.light_depth for r in records), np.int64, count
+        ),
+    }
 
 
 def build_tree_router(
