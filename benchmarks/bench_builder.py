@@ -1,0 +1,207 @@
+"""Vectorized scheme builder vs the per-node reference: construction time.
+
+The acceptance gate of the builder PR: on a 20k-node G(n, p) graph
+(k = 2, Bernoulli hierarchy) the array-program pipeline of
+:mod:`repro.core.build.vectorized` must construct the complete scheme —
+clusters, bunches, heavy-light trees, ports, label structures —
+**≥ 10×** faster than the per-node reference (truncated Dijkstra + tree
+compile per center).
+
+At 20k vertices the reference needs minutes, so its rate is measured on
+a sampled subset of centers per hierarchy level and extrapolated by
+center count, exactly like the router benchmark extrapolates the hop
+loop.  The extrapolation is conservative: it only charges the reference
+for cluster growth and tree compilation, not for the label/table
+assembly it would also pay.  Before any clock is trusted, the sampled
+reference clusters and records are cross-checked bit-for-bit against
+the vectorized arrays.  Results land in ``BENCH_builder.json`` (the CI
+artifact tracking construction throughput across commits).
+
+``REPRO_BENCH_N`` overrides the vertex count for local iteration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import best_of
+
+from repro.core.build.vectorized import vectorized_arrays
+from repro.core.clusters import compute_cluster
+from repro.core.landmarks import build_hierarchy
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.trees.tz_tree import build_tree_router
+
+SPEEDUP_FLOOR = 10.0
+N_DEFAULT = 20_000
+K = 2
+#: Reference centers actually built per level (rate extrapolates).
+SAMPLE_PER_LEVEL = {0: 120, 1: 6}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    n = int(os.environ.get("REPRO_BENCH_N", N_DEFAULT))
+    graph = gen.gnp(n, 10.0 / n, rng=2025, weights=(1, 8)).largest_component()
+    ported = assign_ports(graph, "sorted")
+    hierarchy = build_hierarchy(graph, K, rng=7)
+    return graph, ported, hierarchy
+
+
+def _reference_sample(graph, ported, hierarchy, rng):
+    """Per-node construction cost, measured on sampled centers and
+    extrapolated by level population.  Returns (seconds, sampled).
+
+    Charges the reference for what :func:`repro.core.build.reference
+    .reference_arrays` actually does per center: cluster growth, tree
+    compilation, and the per-entry packing into arrays (extrapolated by
+    entry count).  Label/table assembly is *not* charged — the estimate
+    is conservative in the reference's favor.
+    """
+    total = 0.0
+    sampled = []
+    packed_entries = 0
+    t_pack = 0.0
+    for level in range(hierarchy.k):
+        lvl = hierarchy.levels[level]
+        centers = lvl[hierarchy.level_of[lvl] == level]
+        if centers.size == 0:
+            continue
+        take = min(centers.size, SAMPLE_PER_LEVEL.get(level, 4))
+        pick = centers[rng.choice(centers.size, size=take, replace=False)]
+        thr = hierarchy.dist[level + 1]
+        t0 = time.perf_counter()
+        built = [
+            (int(w), compute_cluster(graph, int(w), thr)) for w in pick
+        ]
+        routers = [
+            (w, c, build_tree_router(c.tree(), ported, port_model="fixed"))
+            for w, c in built
+        ]
+        elapsed = time.perf_counter() - t0
+        total += elapsed * (centers.size / take)
+        sampled.extend(routers)
+        # Packing rate: the reference builder's per-entry append loop.
+        t0 = time.perf_counter()
+        for w, cluster, router in routers:
+            tree = cluster.tree()
+            rows = []
+            for v in cluster.members():
+                rec = router.records[v]
+                rows.append(
+                    (
+                        v,
+                        cluster.dist[v],
+                        cluster.parent[v],
+                        tree.heavy[v],
+                        rec.f,
+                        rec.finish,
+                        rec.heavy_finish,
+                        rec.light_depth,
+                        router.labels[v].light_ports,
+                    )
+                )
+            packed_entries += len(rows)
+        t_pack += time.perf_counter() - t0
+    return total, t_pack / max(packed_entries, 1), sampled
+
+
+def _cross_check(arrays, sampled):
+    """Sampled per-node output must match the vectorized arrays exactly."""
+    for w, cluster, router in sampled:
+        lo, hi = int(arrays.cl_indptr[w]), int(arrays.cl_indptr[w + 1])
+        members = arrays.ent_member[lo:hi]
+        assert np.array_equal(members, np.array(cluster.members())), w
+        assert np.array_equal(
+            arrays.ent_dist[lo:hi], np.array([cluster.dist[int(v)] for v in members])
+        ), w
+        assert np.array_equal(
+            arrays.ent_parent[lo:hi],
+            np.array([cluster.parent[int(v)] for v in members]),
+        ), w
+        for idx, v in enumerate(members.tolist()):
+            rec = router.records[v]
+            e = lo + idx
+            assert (
+                rec.f,
+                rec.finish,
+                rec.parent_port,
+                rec.heavy_port,
+                rec.heavy_finish,
+                rec.light_depth,
+            ) == (
+                int(arrays.tr_f[e]),
+                int(arrays.tr_finish[e]),
+                int(arrays.tr_parent_port[e]),
+                int(arrays.tr_heavy_port[e]),
+                int(arrays.tr_heavy_finish[e]),
+                int(arrays.tr_light_depth[e]),
+            ), (w, v)
+            assert router.labels[v].light_ports == tuple(
+                arrays.lp_data[arrays.lp_indptr[e] : arrays.lp_indptr[e + 1]].tolist()
+            ), (w, v)
+
+
+def test_builder_speedup(setup):
+    graph, ported, hierarchy = setup
+
+    # Interleave best-of-2 rounds of the two builders: a transient CPU
+    # stall (shared runners, noisy neighbors) then cannot penalize one
+    # side of the ratio only.  Both passes sample the same centers — any
+    # spread between them is the machine, not the algorithm.
+    t_vec = np.inf
+    t_grow = pack_rate = np.inf
+    sampled = None
+    for _ in range(2):
+        t_vec = min(
+            t_vec, best_of(lambda: vectorized_arrays(graph, ported, hierarchy))
+        )
+        grow, rate, sampled = _reference_sample(
+            graph, ported, hierarchy, np.random.default_rng(3)
+        )
+        t_grow, pack_rate = min(t_grow, grow), min(pack_rate, rate)
+    arrays = vectorized_arrays(graph, ported, hierarchy)
+    _cross_check(arrays, sampled)
+    t_ref = t_grow + pack_rate * arrays.entry_count
+
+    speedup = t_ref / t_vec
+    bunch = arrays.bunch_sizes()
+    print(
+        f"\nscheme builder (n={graph.n}, m={graph.m}, k={K}, "
+        f"entries={arrays.entry_count:,}): vectorized {t_vec:.2f}s; "
+        f"reference ~{t_ref:.1f}s (extrapolated from {len(sampled)} "
+        f"sampled centers); speedup {speedup:.1f}x"
+    )
+
+    out = os.environ.get("BENCH_BUILDER_JSON", "BENCH_builder.json")
+    with open(out, "w") as fh:
+        json.dump(
+            {
+                "n": graph.n,
+                "m": graph.m,
+                "k": K,
+                "entries": arrays.entry_count,
+                "bunch_mean": round(float(bunch.mean()), 2),
+                "bunch_max": int(bunch.max()),
+                "landmarks": int(hierarchy.top_level().size),
+                "vectorized_seconds": round(t_vec, 3),
+                "reference_seconds_extrapolated": round(t_ref, 2),
+                "reference_grow_seconds": round(t_grow, 2),
+                "reference_pack_seconds": round(pack_rate * arrays.entry_count, 2),
+                "sample_per_level": SAMPLE_PER_LEVEL,
+                "speedup": round(speedup, 1),
+                "floor": SPEEDUP_FLOOR,
+            },
+            fh,
+            indent=2,
+        )
+    print(f"wrote {out}")
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"builder speedup {speedup:.1f}x below the {SPEEDUP_FLOOR}x floor"
+    )

@@ -12,8 +12,12 @@ from .router import RouteHeader, RoutingScheme
 from .scheme_k import TZRoutingScheme, build_tz_scheme
 from .scheme_k2 import build_stretch3_scheme
 from .handshake import HandshakeRoutingScheme
+from .build import SchemeArrays, build_arrays, build_scheme
 
 __all__ = [
+    "SchemeArrays",
+    "build_arrays",
+    "build_scheme",
     "Cluster",
     "compute_cluster",
     "compute_all_clusters",

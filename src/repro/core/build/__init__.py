@@ -1,0 +1,175 @@
+"""Scheme construction: the vectorized builder and its per-node reference.
+
+Two interchangeable builders construct the Thorup–Zwick scheme:
+
+* ``method="reference"`` — the original per-node path: one truncated
+  Dijkstra per cluster center, one heavy-light tree compilation per
+  cluster (:mod:`repro.core.build.reference` packs its output).
+* ``method="vectorized"`` — the array-program pipeline
+  (:mod:`repro.core.build.vectorized`): per-level batched cluster
+  sweeps, one tight-arc parent pass, all heavy-light trees decomposed at
+  once by pointer doubling and global lexsorts.
+
+Both produce the **same scheme bit-for-bit** (clusters, bunch distances,
+tree parents and ports, encoded label bits) on float64-exact weights;
+``tests/test_builder_equivalence.py`` differences them structure by
+structure.
+
+Array layout (:class:`~repro.core.build.arrays.SchemeArrays`)
+-------------------------------------------------------------
+Every vertex ``w`` owns exactly one cluster (grown at its top hierarchy
+level), so clusters form a CSR over centers::
+
+    cl_indptr : (n+1,)  entries of C(w) at [cl_indptr[w], cl_indptr[w+1])
+    entry_keys: (E,)    sorted  w * n + v   — one entry per (center, member)
+    ent_member / ent_dist / ent_parent      — member id, exact d(w, v),
+                                              SPT parent (-1 at the center)
+
+Aligned with the entries are the §2 tree-record columns (``tr_f``,
+``tr_finish``, ``tr_heavy_finish``, ``tr_light_depth``,
+``tr_parent_port``, ``tr_heavy_port``), the light-port sequences as a
+nested CSR (``lp_indptr``/``lp_data``, root-to-leaf order), and the
+entry-to-entry links ``ent_parent_epos``/``ent_heavy_epos``.  Derived
+from those, shared by both builders:
+
+* **bunches** — the transpose CSR ``bunch_indptr`` / ``bunch_centers`` /
+  ``bunch_dist``: ``B(v) = {w : v ∈ C(w)}`` with distances (bunch/cluster
+  duality is ``bunch_epos`` being a permutation of the entries);
+* **member maps** — ``mem_keys``/``mem_epos``: the source-side level-0
+  cluster check;
+* **labels** — ``lab_epos[i, v]``: the entry of ``v`` in its level-``i``
+  pivot's tree (row 0 = ``v``'s own root entry).
+
+Sorted keys make every membership question ("does ``u`` have a record
+for ``T_w``?") a batched ``searchsorted`` — the same trick the batch
+routing engine uses, which is why :func:`compile_scheme
+<repro.sim.engine.compile.compile_scheme>` can export these arrays
+directly without touching the dict world.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...errors import PreprocessingError
+from ...graphs.graph import Graph
+from ...graphs.ports import PortedGraph
+from ...rng import RngLike, make_rng
+from ..landmarks import Hierarchy, build_hierarchy, hierarchy_from_levels
+from .arrays import SchemeArrays, assemble_arrays, scheme_from_arrays
+from .reference import reference_arrays
+from .vectorized import vectorized_arrays
+
+__all__ = [
+    "SchemeArrays",
+    "assemble_arrays",
+    "build_arrays",
+    "build_scheme",
+    "reference_arrays",
+    "scheme_from_arrays",
+    "vectorized_arrays",
+]
+
+METHODS = ("vectorized", "reference")
+
+
+def _resolve_inputs(
+    graph: Graph,
+    k: int,
+    ported: Optional[PortedGraph],
+    rng: RngLike,
+    sampling: str,
+    levels: Optional[Sequence[np.ndarray]],
+    consistent_pivots: bool,
+):
+    from ...graphs.ports import assign_ports
+
+    if not graph.is_connected():
+        raise PreprocessingError(
+            "TZ routing requires a connected graph; take "
+            "graph.largest_component() first"
+        )
+    if ported is None:
+        ported = assign_ports(graph, "sorted")
+    if levels is not None:
+        hierarchy = hierarchy_from_levels(graph, levels, consistent=consistent_pivots)
+    else:
+        hierarchy = build_hierarchy(
+            graph, k, make_rng(rng), sampling=sampling, consistent_pivots=consistent_pivots
+        )
+    return ported, hierarchy
+
+
+def build_arrays(
+    graph: Graph,
+    k: int = 2,
+    *,
+    ported: Optional[PortedGraph] = None,
+    method: str = "vectorized",
+    mode: str = "auto",
+    rng: RngLike = None,
+    sampling: str = "bernoulli",
+    levels: Optional[Sequence[np.ndarray]] = None,
+    consistent_pivots: bool = True,
+    hierarchy: Optional[Hierarchy] = None,
+) -> SchemeArrays:
+    """Construct a scheme and return its array form (no dict world).
+
+    The same ``rng`` yields the same hierarchy for either ``method``, so
+    ``build_arrays(g, k, method="vectorized", rng=s)`` and
+    ``...method="reference", rng=s`` are directly comparable.  Pass
+    ``hierarchy`` to share one across calls.  ``mode`` is forwarded to
+    :func:`vectorized_arrays`.
+    """
+    if method not in METHODS:
+        raise PreprocessingError(f"unknown builder method {method!r}")
+    if hierarchy is not None:
+        from ...graphs.ports import assign_ports
+
+        if ported is None:
+            ported = assign_ports(graph, "sorted")
+    else:
+        ported, hierarchy = _resolve_inputs(
+            graph, k, ported, rng, sampling, levels, consistent_pivots
+        )
+    if method == "reference":
+        return reference_arrays(graph, ported, hierarchy)
+    return vectorized_arrays(graph, ported, hierarchy, mode=mode)
+
+
+def build_scheme(
+    graph: Graph,
+    k: int = 2,
+    *,
+    ported: Optional[PortedGraph] = None,
+    method: str = "vectorized",
+    rng: RngLike = None,
+    sampling: str = "bernoulli",
+    levels: Optional[Sequence[np.ndarray]] = None,
+    consistent_pivots: bool = True,
+):
+    """Build a routable :class:`~repro.core.scheme_k.TZRoutingScheme`.
+
+    ``method="vectorized"`` runs the array pipeline and materializes the
+    object world from it (the compiled batch-engine export then reads
+    the arrays directly); ``method="reference"`` runs the original
+    per-node path.  Outputs are bit-identical either way.
+    """
+    from ..scheme_k import build_tz_scheme
+
+    if method not in METHODS:
+        raise PreprocessingError(f"unknown builder method {method!r}")
+    builder = "vectorized" if method == "vectorized" else "pernode"
+    return build_tz_scheme(
+        graph,
+        ported,
+        k=k,
+        rng=rng,
+        sampling=sampling,
+        levels=levels,
+        consistent_pivots=consistent_pivots,
+        cluster_method="sparse",
+        builder=builder,
+    )

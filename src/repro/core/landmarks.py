@@ -210,6 +210,23 @@ def compute_pivots(
     return dist, pivot
 
 
+def hierarchy_from_levels(
+    graph: Graph,
+    levels: Sequence[np.ndarray],
+    *,
+    consistent: bool = True,
+) -> Hierarchy:
+    """Resolve explicit level sets into a full :class:`Hierarchy`
+    (distances, consistent pivots, top level per vertex)."""
+    levels = [np.asarray(a, dtype=np.int64) for a in levels]
+    k = len(levels)
+    dist, pivot = compute_pivots(graph, levels, consistent=consistent)
+    level_of = np.zeros(graph.n, dtype=np.int64)
+    for i in range(1, k):
+        level_of[levels[i]] = i
+    return Hierarchy(k=k, levels=levels, dist=dist, pivot=pivot, level_of=level_of)
+
+
 def build_hierarchy(
     graph: Graph,
     k: int,
@@ -234,11 +251,7 @@ def build_hierarchy(
     n = graph.n
 
     def resolve(levels: List[np.ndarray]) -> Hierarchy:
-        dist, pivot = compute_pivots(graph, levels, consistent=consistent_pivots)
-        level_of = np.zeros(n, dtype=np.int64)
-        for i in range(1, len(levels)):
-            level_of[levels[i]] = i
-        return Hierarchy(k=k, levels=levels, dist=dist, pivot=pivot, level_of=level_of)
+        return hierarchy_from_levels(graph, levels, consistent=consistent_pivots)
 
     if sampling == "bernoulli":
         return resolve(sample_hierarchy(n, k, gen))

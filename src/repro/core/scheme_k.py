@@ -79,6 +79,9 @@ class TZRoutingScheme(RoutingScheme):
         self.n = graph.n
         self.k = hierarchy.k
         self.name = f"tz-k{self.k}"
+        #: Array form of the scheme (set by the vectorized builder); lets
+        #: the batch engine compile without walking the dict tables.
+        self._arrays = None
         degs = graph.degrees()
         self._max_port = int(degs.max()) if degs.size else 1
 
@@ -201,6 +204,7 @@ def build_tz_scheme(
     levels: Optional[Sequence[np.ndarray]] = None,
     consistent_pivots: bool = True,
     cluster_method: str = "auto",
+    builder: str = "pernode",
 ) -> TZRoutingScheme:
     """Preprocess ``graph`` into a :class:`TZRoutingScheme`.
 
@@ -216,9 +220,17 @@ def build_tz_scheme(
         explicit ``levels`` are given (used by the §3 specialization).
     consistent_pivots:
         Must stay ``True`` for correctness; exposed for ablation A2.
+    builder:
+        ``"pernode"`` (the reference construction below) or
+        ``"vectorized"`` — the array-program pipeline of
+        :mod:`repro.core.build`, which produces a bit-identical scheme
+        (and caches its array form for the batch-engine compile);
+        ``cluster_method`` only applies to the per-node path.
     """
     from ..graphs.ports import assign_ports
 
+    if builder not in ("pernode", "vectorized"):
+        raise PreprocessingError(f"unknown builder {builder!r}")
     if not graph.is_connected():
         raise PreprocessingError(
             "TZ routing requires a connected graph; take "
@@ -229,17 +241,9 @@ def build_tz_scheme(
     gen = make_rng(rng)
 
     if levels is not None:
-        from .landmarks import compute_pivots
+        from .landmarks import hierarchy_from_levels
 
-        levels = [np.asarray(a, dtype=np.int64) for a in levels]
-        k = len(levels)
-        dist, pivot = compute_pivots(graph, levels, consistent=consistent_pivots)
-        level_of = np.zeros(graph.n, dtype=np.int64)
-        for i in range(1, k):
-            level_of[levels[i]] = i
-        hierarchy = Hierarchy(
-            k=k, levels=levels, dist=dist, pivot=pivot, level_of=level_of
-        )
+        hierarchy = hierarchy_from_levels(graph, levels, consistent=consistent_pivots)
     else:
         hierarchy = build_hierarchy(
             graph,
@@ -248,6 +252,15 @@ def build_tz_scheme(
             sampling=sampling,
             consistent_pivots=consistent_pivots,
         )
+
+    if builder == "vectorized":
+        from .build.arrays import scheme_from_arrays
+        from .build.vectorized import vectorized_arrays
+
+        arrays = vectorized_arrays(graph, ported, hierarchy)
+        scheme = scheme_from_arrays(graph, ported, arrays)
+        scheme._arrays = arrays
+        return scheme
 
     # --- clusters, level by level (shared threshold row per level) -----
     clusters: Dict[int, Cluster] = {}

@@ -47,6 +47,7 @@ def build_stretch3_scheme(
     rng: RngLike = None,
     landmark_method: str = "center",
     cluster_method: str = "auto",
+    builder: str = "pernode",
     precompile_engine: bool = False,
 ) -> TZRoutingScheme:
     """Compile the §3 stretch-3 scheme.
@@ -55,6 +56,9 @@ def build_stretch3_scheme(
 
     * ``"center"`` — Theorem 3.1 selection (default; hard cluster cap).
     * ``"bernoulli"`` — plain rate-``s/n`` sampling, for the A1 ablation.
+
+    ``builder="vectorized"`` constructs clusters/trees/labels through the
+    array pipeline of :mod:`repro.core.build` (bit-identical output).
 
     ``precompile_engine`` eagerly builds the batch engine's dense-array
     export (:meth:`~repro.core.scheme_k.TZRoutingScheme.compile_batch`)
@@ -83,6 +87,7 @@ def build_stretch3_scheme(
         levels=levels,
         rng=gen,
         cluster_method=cluster_method,
+        builder=builder,
     )
     scheme.name = "tz-stretch3"
     if precompile_engine:

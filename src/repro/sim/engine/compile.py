@@ -38,29 +38,43 @@ import numpy as np
 
 from ...errors import RoutingError
 from ...graphs.ports import PortedGraph
+from ...trees.label_codec import tree_label_bits_array
 from ...trees.tz_tree import records_to_arrays
 
 
-def _bit_length(a: np.ndarray) -> np.ndarray:
-    """Vectorized ``int.bit_length`` for non-negative int64 (< 2^53)."""
-    return np.frexp(a.astype(np.float64))[1].astype(np.int64)
+def _resolve_ports(
+    graph, ent_vertex: np.ndarray, port: np.ndarray, step_next, step_wt, step_edge
+):
+    """Resolve per-entry port numbers to ``(neighbor, weight, edge)``
+    through the target port assignment's step tables (0 = no port)."""
+    count = port.shape[0]
+    nxt = np.full(count, -1, dtype=np.int64)
+    wt = np.zeros(count)
+    edge = np.full(count, -1, dtype=np.int64)
+    have = port > 0
+    pos = graph.indptr[ent_vertex[have]] + port[have] - 1
+    nxt[have] = step_next[pos]
+    wt[have] = step_wt[pos]
+    edge[have] = step_edge[pos]
+    return nxt, wt, edge
 
 
-def _label_bits_vectorized(
-    f_width: np.ndarray, lp_indptr: np.ndarray, lp_data: np.ndarray
+def _link_entries(
+    entry_keys: np.ndarray, entry_tree: np.ndarray, n: int, nxt: np.ndarray
 ) -> np.ndarray:
-    """Per-entry :func:`repro.trees.label_codec.tree_label_bits`, batched.
-
-    Mirrors the scalar formula exactly: fixed-width DFS field, Elias-delta
-    coded ``len(light_ports) + 1``, then one Elias-gamma code per port.
-    """
-    counts = np.diff(lp_indptr)
-    # delta_cost(c + 1) = gamma_cost(bl) + bl - 1 with bl = bit_length(c+1)
-    bl = _bit_length(counts + 1)
-    delta = (2 * (_bit_length(bl) - 1) + 1) + bl - 1
-    gamma = 2 * (_bit_length(lp_data) - 1) + 1
-    gsum = np.concatenate(([0], np.cumsum(gamma)))
-    return f_width + delta + gsum[lp_indptr[1:]] - gsum[lp_indptr[:-1]]
+    """Entry index of each resolved neighbor in the same tree: ``-1`` for
+    no transition, ``-2`` when the neighbor has no record there (only
+    possible under a foreign port assignment)."""
+    link = np.full(nxt.shape[0], -1, dtype=np.int64)
+    have = nxt >= 0
+    if have.any() and entry_keys.size:
+        keys = entry_tree[have] * np.int64(n) + nxt[have]
+        pos = np.minimum(np.searchsorted(entry_keys, keys), entry_keys.shape[0] - 1)
+        found = entry_keys[pos] == keys
+        link[have] = np.where(found, pos, -2)
+    elif have.any():
+        link[have] = -2
+    return link
 
 
 @dataclass
@@ -250,6 +264,11 @@ def compile_scheme(
         )
     if ported is None:
         ported = scheme.ported
+    if getattr(scheme, "_arrays", None) is not None:
+        # Vectorized-builder schemes carry their array form already; the
+        # export is a resolution pass over those arrays instead of a
+        # Python walk of every (tree, member) dict entry.
+        return compile_from_arrays(scheme._arrays, ported)
     graph = ported.graph
     n = scheme.n
 
@@ -307,41 +326,19 @@ def compile_scheme(
     lp_data = _cat(lp_chunks)
 
     # -- resolve parent/heavy ports to neighbors through the ports ------
-    def _resolve(port: np.ndarray):
-        nxt = np.full(port.shape[0], -1, dtype=np.int64)
-        wt = np.zeros(port.shape[0])
-        edge = np.full(port.shape[0], -1, dtype=np.int64)
-        have = port > 0
-        pos = graph.indptr[ent_u[have]] + port[have] - 1
-        nxt[have] = step_next[pos]
-        wt[have] = step_wt[pos]
-        edge[have] = step_edge[pos]
-        return nxt, wt, edge
-
-    parent_next, parent_wt, parent_edge = _resolve(parent_port)
-    heavy_next, heavy_wt, heavy_edge = _resolve(heavy_port)
+    parent_next, parent_wt, parent_edge = _resolve_ports(
+        graph, ent_u, parent_port, step_next, step_wt, step_edge
+    )
+    heavy_next, heavy_wt, heavy_edge = _resolve_ports(
+        graph, ent_u, heavy_port, step_next, step_wt, step_edge
+    )
 
     # Entry-to-entry links: resolve each transition's target vertex back
     # to its entry row in the same tree (one sorted lookup at compile
     # time saves one per hop at route time).
     entry_tree = entry_keys // n if entry_keys.size else entry_keys
-
-    def _link(nxt: np.ndarray) -> np.ndarray:
-        link = np.full(nxt.shape[0], -1, dtype=np.int64)
-        have = nxt >= 0
-        if have.any() and entry_keys.size:
-            keys = entry_tree[have] * n + nxt[have]
-            pos = np.minimum(
-                np.searchsorted(entry_keys, keys), entry_keys.shape[0] - 1
-            )
-            found = entry_keys[pos] == keys
-            link[have] = np.where(found, pos, -2)
-        elif have.any():
-            link[have] = -2
-        return link
-
-    parent_epos = _link(parent_next)
-    heavy_epos = _link(heavy_next)
+    parent_epos = _link_entries(entry_keys, entry_tree, n, parent_next)
+    heavy_epos = _link_entries(entry_keys, entry_tree, n, heavy_next)
 
     root_epos = np.full(n, -1, dtype=np.int64)
     if entry_keys.size:
@@ -353,7 +350,7 @@ def compile_scheme(
         found = entry_keys[pos] == keys
         root_epos[found] = pos[found]
 
-    ent_label_bits = _label_bits_vectorized(f_width, lp_indptr, lp_data)
+    ent_label_bits = tree_label_bits_array(f_width, lp_indptr, lp_data)
 
     # -- level-0 member maps (the source-side cluster check) -------------
     mem_key_list, mem_pos_list = [], []
@@ -398,6 +395,67 @@ def compile_scheme(
         mem_keys=mem_keys,
         mem_epos=mem_epos,
         pivot=pivot,
+        g_indptr=graph.indptr,
+        step_next=step_next,
+        step_wt=step_wt,
+        step_edge=step_edge,
+    )
+
+
+def compile_from_arrays(arrays, ported: PortedGraph) -> CompiledScheme:
+    """Export a :class:`~repro.core.build.arrays.SchemeArrays` scheme.
+
+    The array form already *is* the entry layout the engine routes on
+    (sorted ``tree * n + vertex`` keys, record columns, light-port CSR,
+    member maps, pivots); what remains is resolving the stored parent and
+    heavy ports through ``ported``'s step tables — the same pass
+    :func:`compile_scheme` runs, so routing over a foreign port
+    assignment crosses exactly the same physical links either way.
+    """
+    graph = ported.graph
+    n = arrays.n
+    arc = ported.arc_of_port
+    step_next = graph.adj[arc]
+    step_wt = graph.adj_weights[arc]
+    step_edge = graph.arc_edge[arc]
+
+    entry_keys = arrays.entry_keys
+    ent_u = arrays.ent_member
+
+    parent_next, parent_wt, parent_edge = _resolve_ports(
+        graph, ent_u, arrays.tr_parent_port, step_next, step_wt, step_edge
+    )
+    heavy_next, heavy_wt, heavy_edge = _resolve_ports(
+        graph, ent_u, arrays.tr_heavy_port, step_next, step_wt, step_edge
+    )
+    entry_tree = arrays.ent_center
+
+    return CompiledScheme(
+        n=n,
+        k=arrays.k,
+        id_bits=max(1, (max(n - 1, 1)).bit_length()),
+        handshake=False,
+        entry_keys=entry_keys,
+        ent_vertex=ent_u,
+        ent_f=arrays.tr_f,
+        ent_finish=arrays.tr_finish,
+        ent_heavy_finish=arrays.tr_heavy_finish,
+        ent_light_depth=arrays.tr_light_depth,
+        ent_parent_next=parent_next,
+        ent_parent_wt=parent_wt,
+        ent_parent_edge=parent_edge,
+        ent_heavy_next=heavy_next,
+        ent_heavy_wt=heavy_wt,
+        ent_heavy_edge=heavy_edge,
+        ent_parent_epos=_link_entries(entry_keys, entry_tree, n, parent_next),
+        ent_heavy_epos=_link_entries(entry_keys, entry_tree, n, heavy_next),
+        ent_label_bits=arrays.entry_label_bits(),
+        root_epos=np.ascontiguousarray(arrays.lab_epos[0]),
+        lp_indptr=arrays.lp_indptr,
+        lp_data=arrays.lp_data,
+        mem_keys=arrays.mem_keys,
+        mem_epos=arrays.mem_epos,
+        pivot=np.ascontiguousarray(arrays.hierarchy.pivot, dtype=np.int64),
         g_indptr=graph.indptr,
         step_next=step_next,
         step_wt=step_wt,

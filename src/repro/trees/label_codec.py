@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+import numpy as np
+
 from ..bitio import BitReader, BitWriter, delta_cost, gamma_cost, uint_cost
 from ..errors import LabelError
 
@@ -78,3 +80,27 @@ def tree_label_bits(label: TreeLabel, tree_size: int) -> int:
         + delta_cost(len(label.light_ports) + 1)
         + sum(gamma_cost(p) for p in label.light_ports)
     )
+
+
+def _bit_length_array(a: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` for positive int64 (< 2^53)."""
+    return np.frexp(a.astype(np.float64))[1].astype(np.int64)
+
+
+def tree_label_bits_array(
+    f_width: np.ndarray, lp_indptr: np.ndarray, lp_data: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`tree_label_bits` over a light-port CSR.
+
+    ``f_width[e]`` is the fixed DFS-field width of entry ``e``'s tree;
+    the formula mirrors the scalar one exactly: Elias-delta coded
+    ``len(light_ports) + 1``, then one Elias-gamma code per port
+    (``delta_cost(c + 1) = gamma_cost(bl) + bl - 1`` with
+    ``bl = bit_length(c + 1)``).
+    """
+    counts = np.diff(lp_indptr)
+    bl = _bit_length_array(counts + 1)
+    delta = (2 * (_bit_length_array(bl) - 1) + 1) + bl - 1
+    gamma = 2 * (_bit_length_array(lp_data) - 1) + 1
+    gsum = np.concatenate(([0], np.cumsum(gamma)))
+    return f_width + delta + gsum[lp_indptr[1:]] - gsum[lp_indptr[:-1]]

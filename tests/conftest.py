@@ -10,6 +10,21 @@ from repro.graphs.ports import assign_ports
 from repro.graphs.shortest_paths import all_pairs_shortest_paths
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden scheme fixtures under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(scope="session")
 def small_weighted_graph() -> Graph:
     """Connected G(n, p) with integer weights — the workhorse instance."""

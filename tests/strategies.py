@@ -1,0 +1,121 @@
+"""Shared hypothesis strategies and seed→instance builders for the suite.
+
+Randomized tests across the suite follow one idiom: hypothesis draws a
+*seed*, and a deterministic builder turns it into a graph/tree instance
+(so failures shrink to a single reproducible integer).  The builders and
+the strategy wrappers both live here; individual test modules pick the
+graph family, size and weight range that stresses their subject.
+
+Weight ranges are integer ``(lo, hi)`` pairs — integer-valued weights
+keep all distance arithmetic exact in float64, which the deterministic
+tie-breaking (and the builder-equivalence contract) relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from hypothesis import strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import dijkstra
+from repro.graphs.trees import RootedTree, tree_from_parents
+
+SEED_MAX = 10**6
+
+WeightSpec = Optional[Tuple[int, int]]
+
+#: Graph families used by family-sweep tests (builder equivalence et al.).
+FAMILIES = ("gnp", "ba", "grid", "tree", "geometric")
+
+
+def seeds(max_value: int = SEED_MAX) -> st.SearchStrategy[int]:
+    """The canonical seed strategy: a shrink-friendly non-negative int."""
+    return st.integers(min_value=0, max_value=max_value)
+
+
+def ks(lo: int = 1, hi: int = 4) -> st.SearchStrategy[int]:
+    """Hierarchy level counts."""
+    return st.integers(min_value=lo, max_value=hi)
+
+
+# ----------------------------------------------------------------------
+# Deterministic seed -> instance builders
+# ----------------------------------------------------------------------
+def gnp_from_seed(
+    seed: int,
+    *,
+    n: int = 40,
+    p: float = 0.12,
+    weights: WeightSpec = (1, 7),
+    connected: bool = True,
+) -> Graph:
+    """The workhorse G(n, p) instance used by property tests."""
+    return gen.gnp(n, p, rng=seed, connected=connected, weights=weights)
+
+
+def family_from_seed(
+    seed: int,
+    family: str,
+    *,
+    n: int = 48,
+    weights: WeightSpec = (1, 7),
+) -> Graph:
+    """A connected instance of one of :data:`FAMILIES`, sized ~``n``."""
+    if family == "gnp":
+        return gen.gnp(n, 2.5 / max(n - 1, 1), rng=seed, weights=weights)
+    if family == "ba":
+        return gen.barabasi_albert(n, 2, rng=seed, weights=weights)
+    if family == "grid":
+        side = max(2, int(round(n**0.5)))
+        return gen.grid2d(side, side, rng=seed, weights=weights)
+    if family == "tree":
+        return gen.random_tree(n, rng=seed, weights=weights)
+    if family == "geometric":
+        return gen.random_geometric(n, 1.8 * (1.0 / n) ** 0.5, rng=seed, weights=weights)
+    raise ValueError(f"unknown graph family {family!r}")
+
+
+def rooted_from_graph(tree_graph: Graph, root: int = 0) -> RootedTree:
+    """Root a tree-shaped graph at ``root`` via its SPT parents."""
+    _, parent = dijkstra(tree_graph, root)
+    pmap = {v: int(parent[v]) for v in range(tree_graph.n)}
+    pmap[root] = -1
+    return tree_from_parents(root, pmap)
+
+
+def random_rooted(seed: int, n: int = 60) -> RootedTree:
+    """A random rooted tree — the heavy-light test workhorse."""
+    return rooted_from_graph(gen.random_tree(n, rng=seed))
+
+
+# ----------------------------------------------------------------------
+# Strategy wrappers
+# ----------------------------------------------------------------------
+def gnp_graphs(
+    *,
+    n: int = 40,
+    p: float = 0.12,
+    weights: WeightSpec = (1, 7),
+    connected: bool = True,
+) -> st.SearchStrategy[Graph]:
+    return seeds().map(
+        lambda s: gnp_from_seed(s, n=n, p=p, weights=weights, connected=connected)
+    )
+
+
+def family_graphs(
+    *,
+    n: int = 48,
+    weights: WeightSpec = (1, 7),
+    families: Tuple[str, ...] = FAMILIES,
+) -> st.SearchStrategy[Graph]:
+    """A connected graph drawn across generator families."""
+    return st.tuples(seeds(), st.sampled_from(families)).map(
+        lambda sf: family_from_seed(sf[0], sf[1], n=n, weights=weights)
+    )
+
+
+def rooted_trees(*, n: int = 60) -> st.SearchStrategy[RootedTree]:
+    return seeds().map(lambda s: random_rooted(s, n=n))

@@ -31,3 +31,40 @@ class TestCli:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_build_both_methods(self, capsys, tmp_path):
+        out_json = tmp_path / "builder.json"
+        assert (
+            main(
+                [
+                    "build",
+                    "--graph",
+                    "gnp",
+                    "--n",
+                    "256",
+                    "--k",
+                    "2",
+                    "--method",
+                    "both",
+                    "--materialize",
+                    "--json",
+                    str(out_json),
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "speedup" in out and "entries" in out
+        import json
+
+        stats = json.loads(out_json.read_text())
+        assert stats["n"] <= 256 and stats["entries"] > 0
+        assert "vectorized_build_seconds" in stats
+        assert "reference_build_seconds" in stats
+        assert "materialize_seconds" in stats
+
+    def test_build_unknown_graph_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["build", "--graph", "nope"])

@@ -11,10 +11,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
+from strategies import gnp_from_seed, seeds
 
 from repro.errors import GraphError
-from repro.graphs import generators as gen
 from repro.graphs.csr import CSRKernel
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import (
@@ -174,10 +173,10 @@ class TestBatchedMultiSource:
         assert np.array_equal(d_wrap, d_kern)
         assert np.array_equal(w_wrap, w_kern)
 
-    @given(st.integers(min_value=0, max_value=10**6))
+    @given(seeds())
     @settings(max_examples=25, deadline=None)
     def test_property_fast_equals_reference(self, seed):
-        g = gen.gnp(40, 0.08, rng=seed, connected=False, weights=(1, 7))
+        g = gnp_from_seed(seed, n=40, p=0.08, connected=False, weights=(1, 7))
         rng = np.random.default_rng(seed)
         k = int(rng.integers(1, 6))
         sources = np.unique(rng.integers(0, g.n, size=k))

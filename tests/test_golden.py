@@ -1,0 +1,100 @@
+"""Golden-file regression tests for scheme encodings.
+
+Construction refactors must not silently change what a compiled scheme
+*is*: the encoded label bit streams, the measured table/label sizes and
+the stretch a fixed workload observes are pinned, for three fixed seeds,
+in JSON fixtures under ``tests/golden/``.  A legitimate encoding change
+regenerates them with::
+
+    pytest tests/test_golden.py --update-golden
+
+The fixtures are built through ``build_scheme(method="reference")`` (the
+per-node path with deterministic sparse clusters); the differential
+suite guarantees the vectorized builder matches it bit-for-bit, and
+``test_vectorized_matches_golden`` closes the loop by checking the
+vectorized output against the same files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.build import build_scheme
+from repro.core.labels import encode_label
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.rng import all_pairs
+from repro.sim.runner import run_pairs
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SEEDS = (0, 1, 2)
+
+
+def _instance(seed: int):
+    graph = gen.gnp(40, 0.2, rng=seed, weights=(1, 6))
+    ported = assign_ports(graph, "random", rng=seed + 100)
+    return graph, ported
+
+
+def _snapshot(seed: int, method: str) -> dict:
+    graph, ported = _instance(seed)
+    scheme = build_scheme(graph, 3, ported=ported, method=method, rng=seed + 1000)
+    labels_hex = {
+        str(v): encode_label(scheme.labels[v], graph.n, scheme.tree_sizes)
+        .getvalue()
+        .hex()
+        for v in range(graph.n)
+    }
+    pairs = all_pairs(graph.n, limit=600, rng=seed)
+    from repro.graphs.shortest_paths import all_pairs_shortest_paths
+
+    results, stretches = run_pairs(
+        ported, scheme, pairs, true_dist=all_pairs_shortest_paths(graph)
+    )
+    return {
+        "seed": seed,
+        "n": graph.n,
+        "m": graph.m,
+        "k": scheme.k,
+        "landmarks": scheme.landmark_count(),
+        "labels_hex": labels_hex,
+        "label_bits": [scheme.label_bits(v) for v in range(graph.n)],
+        "table_bits": [scheme.table_bits(v) for v in range(graph.n)],
+        "stretch": {
+            "delivered": sum(r.delivered for r in results),
+            "pairs": len(results),
+            "max": round(max(stretches), 9),
+            "mean": round(sum(stretches) / len(stretches), 9),
+        },
+    }
+
+
+def _golden_path(seed: int) -> Path:
+    return GOLDEN_DIR / f"scheme_k3_seed{seed}.json"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reference_matches_golden(seed, update_golden):
+    snapshot = _snapshot(seed, "reference")
+    path = _golden_path(seed)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"rewrote {path.name}")
+    assert path.exists(), "golden fixture missing — run with --update-golden"
+    golden = json.loads(path.read_text())
+    assert snapshot == golden, (
+        f"scheme encoding drifted from {path.name}; if intentional, "
+        "refresh with --update-golden"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_vectorized_matches_golden(seed):
+    path = _golden_path(seed)
+    assert path.exists(), "golden fixture missing — run with --update-golden"
+    golden = json.loads(path.read_text())
+    assert _snapshot(seed, "vectorized") == golden

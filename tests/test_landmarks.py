@@ -7,7 +7,7 @@ import math
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
+from strategies import ks
 
 from repro.core.landmarks import (
     build_hierarchy,
@@ -54,7 +54,7 @@ class TestSampling:
         for x, y in zip(a, b):
             assert np.array_equal(x, y)
 
-    @given(st.integers(min_value=2, max_value=5))
+    @given(ks(2, 5))
     @settings(max_examples=10, deadline=None)
     def test_expected_level_sizes(self, k):
         n = 1024

@@ -5,10 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
+from strategies import gnp_from_seed, seeds
 
 from repro.errors import PreprocessingError
-from repro.graphs import generators as gen
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import all_pairs_shortest_paths
 from repro.oracles.distance_oracle import build_distance_oracle
@@ -53,10 +52,10 @@ class TestQueries:
             for t in range(0, oracle.n, 11):
                 assert oracle.query(s, t) == pytest.approx(dist_small[s, t])
 
-    @given(st.integers(min_value=0, max_value=10**6))
+    @given(seeds())
     @settings(max_examples=10, deadline=None)
     def test_property_random_graphs(self, seed):
-        g = gen.gnp(40, 0.15, rng=seed, weights=(1, 6))
+        g = gnp_from_seed(seed, n=40, p=0.15, weights=(1, 6))
         D = all_pairs_shortest_paths(g)
         k = 2 + seed % 2
         oracle = build_distance_oracle(g, k, rng=seed)

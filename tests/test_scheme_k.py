@@ -5,14 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
+from strategies import gnp_from_seed, seeds
 
 from repro.bitio import BitReader
 from repro.core.labels import decode_label, encode_label, label_size_bits
 from repro.core.router import RouteHeader
 from repro.core.scheme_k import build_tz_scheme
 from repro.errors import PreprocessingError, RoutingError
-from repro.graphs import generators as gen
 from repro.graphs.graph import Graph
 from repro.graphs.ports import assign_ports
 from repro.graphs.shortest_paths import all_pairs_shortest_paths
@@ -56,10 +55,10 @@ class TestDeliveryAndStretch:
         _, stretches = run_pairs(pg, scheme, pairs, true_dist=D)
         assert max(stretches) <= scheme.stretch_bound() + 1e-9
 
-    @given(st.integers(min_value=0, max_value=10**6))
+    @given(seeds())
     @settings(max_examples=8, deadline=None)
     def test_property_random_instances(self, seed):
-        g = gen.gnp(45, 0.12, rng=seed, weights=(1, 5))
+        g = gnp_from_seed(seed, n=45, p=0.12, weights=(1, 5))
         pg = assign_ports(g, "random", rng=seed)
         k = 2 + seed % 2
         scheme = build_tz_scheme(g, pg, k=k, rng=seed)

@@ -7,23 +7,11 @@ import math
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
+from strategies import random_rooted, rooted_from_graph, seeds
 
 from repro.errors import GraphError
 from repro.graphs import generators as gen
-from repro.graphs.shortest_paths import dijkstra
 from repro.graphs.trees import RootedTree, tree_from_parents, tree_from_predecessors
-
-
-def rooted_from_graph(tree_graph, root: int = 0) -> RootedTree:
-    _, parent = dijkstra(tree_graph, root)
-    pmap = {v: int(parent[v]) for v in range(tree_graph.n)}
-    pmap[root] = -1
-    return tree_from_parents(root, pmap)
-
-
-def random_rooted(seed: int, n: int = 60) -> RootedTree:
-    return rooted_from_graph(gen.random_tree(n, rng=seed))
 
 
 class TestConstruction:
@@ -73,19 +61,19 @@ class TestConstruction:
 
 
 class TestHeavyLight:
-    @given(st.integers(min_value=0, max_value=10**6))
+    @given(seeds())
     @settings(max_examples=30, deadline=None)
     def test_invariants_on_random_trees(self, seed):
         t = random_rooted(seed)
         t.validate()
 
-    @given(st.integers(min_value=0, max_value=10**6))
+    @given(seeds())
     @settings(max_examples=30, deadline=None)
     def test_light_depth_log_bound(self, seed):
         t = random_rooted(seed, n=100)
         assert t.max_light_depth() <= math.log2(len(t)) + 1
 
-    @given(st.integers(min_value=0, max_value=10**6))
+    @given(seeds())
     @settings(max_examples=20, deadline=None)
     def test_rank_product_at_most_n(self, seed):
         t = random_rooted(seed, n=80)
