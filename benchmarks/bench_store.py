@@ -1,0 +1,114 @@
+"""Persistent scheme store: mmap-load vs vectorized rebuild.
+
+The acceptance gate of the store PR: on a 20k-node G(n, p) graph
+(k = 2), opening a saved scheme from the content-addressed store —
+header parse + zero-copy memory map, ready to route — must be **≥ 50×**
+faster than re-running the vectorized builder, which is itself the 11–
+13× fast path.  This is the whole point of persisting: the paper's
+"preprocess once, answer forever" stops being gated on a cold start in
+every process.
+
+Before any clock is trusted, a 10k-pair sample routed through the
+mmap-loaded scheme is compared bit-for-bit (delivered, weight, hops,
+header bits) against the freshly built one.  Results land in
+``BENCH_store.json`` (CI artifact, uploaded next to the builder and
+router benches).
+
+``REPRO_BENCH_N`` overrides the vertex count for local iteration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import best_of
+
+from repro.core.build import build_arrays
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.rng import make_rng, sample_pairs
+from repro.sim.engine.batch import BatchRouter
+from repro.sim.engine.compile import compile_from_arrays
+from repro.store import SchemeStore
+
+SPEEDUP_FLOOR = 50.0
+N_DEFAULT = 20_000
+K = 2
+SEED = 2025
+LOAD_ROUNDS = 5
+
+
+@pytest.fixture(scope="module")
+def setup():
+    n = int(os.environ.get("REPRO_BENCH_N", N_DEFAULT))
+    graph = gen.gnp(n, 10.0 / n, rng=SEED, weights=(1, 8)).largest_component()
+    ported = assign_ports(graph, "sorted")
+    return graph, ported
+
+
+def test_store_load_speedup(setup, tmp_path):
+    graph, ported = setup
+    store = SchemeStore(tmp_path)
+
+    # -- the cost a cold process pays today: rebuild + compile ----------
+    t0 = time.perf_counter()
+    arrays = build_arrays(graph, K, ported=ported, rng=SEED)
+    compiled = compile_from_arrays(arrays, ported)
+    t_rebuild = time.perf_counter() - t0
+
+    path = store.save(graph, ported, arrays, seed=SEED, compiled=compiled)
+    size_mb = path.stat().st_size / 1e6
+
+    # -- the cost with the store: open + mmap, ready to route -----------
+    t_load = best_of(
+        lambda: store.load(path).router(), repeats=LOAD_ROUNDS
+    )
+
+    # -- no clock is trusted before the answers match bit-for-bit -------
+    stored = store.load(path)
+    pairs = sample_pairs(make_rng(7), graph.n, 100_000)
+    fresh = BatchRouter.from_compiled(compiled).route_pairs(pairs)
+    loaded = stored.router().route_pairs(pairs)
+    for name in ("delivered", "weight", "hops", "max_header_bits", "failure_code"):
+        assert np.array_equal(getattr(fresh, name), getattr(loaded, name)), name
+    t0 = time.perf_counter()
+    loaded_again = store.load(path).router().route_pairs(pairs)
+    t_cold_route = time.perf_counter() - t0
+    assert np.array_equal(loaded_again.delivered, fresh.delivered)
+
+    speedup = t_rebuild / max(t_load, 1e-9)
+    print(
+        f"\nscheme store (n={graph.n}, m={graph.m}, k={K}, "
+        f"entries={arrays.entry_count:,}, file {size_mb:.1f} MB): "
+        f"rebuild {t_rebuild:.2f}s; mmap load {t_load * 1e3:.1f}ms; "
+        f"speedup {speedup:.0f}x; cold load+100k-pair route "
+        f"{t_cold_route * 1e3:.0f}ms"
+    )
+
+    out = os.environ.get("BENCH_STORE_JSON", "BENCH_store.json")
+    with open(out, "w") as fh:
+        json.dump(
+            {
+                "n": graph.n,
+                "m": graph.m,
+                "k": K,
+                "entries": arrays.entry_count,
+                "file_mb": round(size_mb, 1),
+                "rebuild_seconds": round(t_rebuild, 3),
+                "mmap_load_seconds": round(t_load, 5),
+                "cold_load_route_100k_seconds": round(t_cold_route, 4),
+                "speedup": round(speedup, 1),
+                "floor": SPEEDUP_FLOOR,
+            },
+            fh,
+            indent=2,
+        )
+    print(f"wrote {out}")
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"store load speedup {speedup:.1f}x below the {SPEEDUP_FLOOR}x floor"
+    )

@@ -34,6 +34,21 @@ def bit_length(x: int) -> int:
     return max(1, int(x).bit_length())
 
 
+def code_width(count: int) -> int:
+    """Fixed field width for values drawn from ``range(count)``:
+    ``ceil(log2(count))`` bits.
+
+    A one-value domain (``count == 1``) genuinely needs **0** bits — the
+    decoder knows the value is 0 without reading anything.  Clamping the
+    width to 1 here (as this codebase once did) writes a spurious bit for
+    every degenerate field: vertex ids on a single-vertex graph, DFS
+    numbers in single-vertex cluster trees.
+    """
+    if count < 1:
+        raise EncodingError(f"field domain must be non-empty, got {count}")
+    return int(count - 1).bit_length()
+
+
 class BitWriter:
     """Append-only bit buffer.
 

@@ -134,6 +134,71 @@ def _cmd_route(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import numpy as np
+
+    from .analysis.experiments import reference_graph
+    from .graphs.ports import assign_ports
+    from .rng import derive
+    from .sim import workloads
+    from .sim.runner import pair_true_distances, _stretch_values
+    from .sim.stats import stretch_stats
+    from .store import RouteService, SchemeStore
+
+    graph = reference_graph(args.graph, args.n, args.seed).largest_component()
+    ported = assign_ports(graph, "random", rng=derive(args.seed, "serve-ports"))
+
+    store = SchemeStore(args.store)
+    key = store.key_for(graph, args.k, args.seed, ported)
+    hit = key in store
+    t0 = time.time()
+    stored = store.get_or_build(
+        graph, args.k, args.seed, ported=ported, strict=args.strict_verify
+    )
+    t_open = time.time() - t0
+    print(
+        f"store {'hit' if hit else 'miss (built and saved)'}: "
+        f"{stored.path.name} ({stored.path.stat().st_size / 1e6:.1f} MB, "
+        f"{stored.meta['entries']:,} entries) opened in {t_open:.3f}s"
+        + (" [strict-verified]" if args.strict_verify else "")
+    )
+
+    rng = derive(args.seed, "serve-pairs")
+    if args.workload == "uniform":
+        pairs = workloads.uniform_pairs(graph, args.pairs, rng)
+    elif args.workload == "gravity":
+        pairs = workloads.gravity_pairs(graph, args.pairs, rng)
+    else:  # all-to-one
+        pairs = workloads.all_to_one(graph, rng=rng)
+
+    service = RouteService(stored.path)
+    t0 = time.time()
+    result = service.route(pairs, shards=args.shards)
+    t_route = time.time() - t0
+
+    true_d = pair_true_distances(graph, pairs)
+    stats = stretch_stats(
+        _stretch_values(result.weight, true_d)[result.delivered],
+        delivered=result.delivered_count,
+        attempted=result.attempted,
+        bound=float(4 * args.k - 5) if args.k > 1 else 1.0,
+        hops=result.hops[result.delivered],
+    )
+    print(
+        render_stretch_summary(
+            stats,
+            title=f"stored tz-k{args.k} on {args.graph} "
+            f"(n={graph.n}, m={graph.m}, workload={args.workload})",
+        )
+    )
+    rate = len(np.asarray(pairs)) / max(t_route, 1e-9)
+    print(
+        f"\nserve: route {t_route:.2f}s ({rate:,.0f} pairs/s, "
+        f"shards={args.shards})"
+    )
+    return 0
+
+
 def _cmd_build(args) -> int:
     import json
 
@@ -257,6 +322,54 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_route.add_argument("--seed", type=int, default=0)
     p_route.set_defaults(func=_cmd_route)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a traffic matrix from the persistent scheme store",
+        description=(
+            "Answer a traffic matrix from a persisted scheme: the store "
+            "is checked first (content-addressed by graph, k, seed and "
+            "port assignment) and only a miss pays the build; hits "
+            "memory-map the saved arrays and route immediately."
+        ),
+        epilog=(
+            "The store keeps one .tzs container per scheme, holding "
+            "both the canonical array form and the compiled batch-"
+            "engine form; --shards N splits the matrix by source "
+            "across N worker processes that all mmap the same file. "
+            "--strict-verify replays the bit-exact core.serialize "
+            "codec over the loaded arrays and compares the recorded "
+            "digest before serving."
+        ),
+    )
+    p_serve.add_argument("--graph", default="gnp", choices=ROUTE_GRAPHS)
+    p_serve.add_argument("--n", type=int, default=1024, help="vertex count")
+    p_serve.add_argument("--k", type=int, default=2, help="hierarchy levels")
+    p_serve.add_argument(
+        "--store", default=".tzstore", help="scheme store directory"
+    )
+    p_serve.add_argument(
+        "--pairs", type=int, default=100_000, help="traffic matrix size"
+    )
+    p_serve.add_argument(
+        "--workload",
+        default="uniform",
+        choices=["uniform", "gravity", "all-to-one"],
+        help="traffic model (see repro.sim.workloads)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes source-sharding the matrix (1 = in-process)",
+    )
+    p_serve.add_argument(
+        "--strict-verify",
+        action="store_true",
+        help="replay the bit-exact serialization codec before serving",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_build = sub.add_parser(
         "build",

@@ -127,13 +127,15 @@ class SchemeArrays:
     def entry_label_bits(self) -> np.ndarray:
         """Encoded tree-label bits of every entry-as-destination, ``(E,)``."""
         sizes = self.tree_sizes()[self.ent_center]
-        f_width = np.frexp(np.maximum(sizes - 1, 1).astype(np.float64))[1].astype(np.int64)
+        # frexp exponent == bit_length; sizes - 1 == 0 -> 0-bit DFS field
+        # (single-vertex trees), matching label_codec._f_width.
+        f_width = np.frexp((sizes - 1).astype(np.float64))[1].astype(np.int64)
         return tree_label_bits_array(f_width, self.lp_indptr, self.lp_data)
 
     def label_bits(self) -> np.ndarray:
         """Per-vertex encoded TZ-label bits, ``(n,)`` — the vectorized
         counterpart of :func:`repro.core.labels.label_size_bits`."""
-        id_bits = max(1, (max(self.n - 1, 1)).bit_length())
+        id_bits = (max(self.n - 1, 0)).bit_length()
         elb = self.entry_label_bits()
         bits = np.full(self.n, id_bits, dtype=np.int64)
         pivot = self.hierarchy.pivot

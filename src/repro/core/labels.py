@@ -70,7 +70,7 @@ def label_size_bits(
     encoded tree label.  ``tree_sizes[w]`` is ``|C(w)|``, needed for the
     fixed-width DFS field of each tree label.
     """
-    id_bits = max(1, (max(n - 1, 1)).bit_length())
+    id_bits = (max(n - 1, 0)).bit_length()
     bits = id_bits
     prev: LabelEntry = None  # type: ignore[assignment]
     for e in label.entries:
@@ -86,7 +86,7 @@ def label_size_bits(
 
 def encode_label(label: TZLabel, n: int, tree_sizes: Dict[int, int]) -> BitWriter:
     """Materialize the label as actual bits (round-trip tested)."""
-    id_bits = max(1, (max(n - 1, 1)).bit_length())
+    id_bits = (max(n - 1, 0)).bit_length()
     w = BitWriter()
     w.write_uint(label.v, id_bits)
     prev: LabelEntry = None  # type: ignore[assignment]
@@ -105,7 +105,7 @@ def decode_label(
     reader: BitReader, n: int, k: int, tree_sizes: Dict[int, int]
 ) -> TZLabel:
     """Inverse of :func:`encode_label` (needs the shared ``tree_sizes``)."""
-    id_bits = max(1, (max(n - 1, 1)).bit_length())
+    id_bits = (max(n - 1, 0)).bit_length()
     v = reader.read_uint(id_bits)
     entries = []
     prev: LabelEntry = None  # type: ignore[assignment]

@@ -90,7 +90,7 @@ class RoutingScheme(ABC):
         n = getattr(self, "n", None)
         if n is None:
             return 64
-        return max(1, (max(int(n) - 1, 1)).bit_length())
+        return (max(int(n) - 1, 0)).bit_length()
 
     def max_table_bits(self) -> int:
         return max(self.table_bits(u) for u in range(int(getattr(self, "n"))))

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..bitio import BitReader, BitWriter, delta_cost
+from ..bitio import BitReader, BitWriter, code_width, delta_cost
 from ..errors import EncodingError
 from ..trees.label_codec import TreeLabel, decode_tree_label, encode_tree_label
 from ..trees.tz_tree import TreeLocalRecord
@@ -33,11 +33,11 @@ from .tables import VertexTable
 
 
 def _id_width(n: int) -> int:
-    return max(1, (max(n - 1, 1)).bit_length())
+    return code_width(max(n, 1))
 
 
 def _f_width(tree_size: int) -> int:
-    return max(1, (max(tree_size - 1, 1)).bit_length())
+    return code_width(max(tree_size, 1))
 
 
 def encode_record(

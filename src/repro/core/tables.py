@@ -58,7 +58,7 @@ class VertexTable:
         label in that tree; each ``members`` entry costs an id plus the
         member's encoded tree label; pivots cost one id each.
         """
-        id_bits = max(1, (max(n - 1, 1)).bit_length())
+        id_bits = (max(n - 1, 0)).bit_length()
         bits = 0
         for w, record in self.trees.items():
             bits += id_bits

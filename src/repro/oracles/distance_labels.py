@@ -56,7 +56,7 @@ class DistanceLabel:
     def size_bits(self, n: int, dist_bits: int = 32) -> int:
         """Measured label size: ids at ⌈log n⌉ bits, distances at
         ``dist_bits`` (32 covers integer weights up to 2³² here)."""
-        id_bits = max(1, (max(n - 1, 1)).bit_length())
+        id_bits = (max(n - 1, 0)).bit_length()
         entry = id_bits + dist_bits
         return id_bits + entry * (len(self.pivots) + len(self.bunch))
 

@@ -110,7 +110,7 @@ class DistanceOracle:
         return sum(len(b) for b in self.bunch.values()) + 2 * self.k * self.n
 
     def size_bits(self, dist_bits: int = 32) -> int:
-        id_bits = max(1, (max(self.n - 1, 1)).bit_length())
+        id_bits = (max(self.n - 1, 0)).bit_length()
         entry = id_bits + dist_bits
         return self.size_words() * entry
 

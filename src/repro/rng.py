@@ -36,12 +36,22 @@ def make_rng(seed: RngLike = None) -> np.random.Generator:
 
 
 def spawn(rng: np.random.Generator, n: int) -> list:
-    """Derive ``n`` statistically independent child generators from ``rng``.
+    """Derive ``n`` provably independent child generators from ``rng``.
 
-    The parent generator is advanced; children are independent of each
-    other and of the parent's future output.
+    Children come from the parent bit generator's
+    :class:`~numpy.random.SeedSequence` spawn tree, so they are
+    independent of each other and of the parent's stream by
+    construction — unlike drawing child seeds from the parent's output,
+    which can collide and cannot cover the full seed space.  Repeated
+    calls advance the spawn tree (never re-issue a child); the parent's
+    own output stream is left untouched.
     """
-    return [np.random.Generator(np.random.PCG64(s)) for s in rng.integers(0, 2**63 - 1, size=n)]
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if not isinstance(seed_seq, np.random.SeedSequence):
+        # Foreign bit generators without a seed sequence: derive one from
+        # the parent's stream (best effort, not collision-free).
+        seed_seq = np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+    return [np.random.Generator(np.random.PCG64(child)) for child in seed_seq.spawn(n)]
 
 
 def derive(seed: RngLike, *tags: Union[int, str]) -> np.random.Generator:

@@ -131,12 +131,28 @@ class BatchRouter:
     """
 
     def __init__(self, ported: PortedGraph, scheme: RoutingScheme) -> None:
-        self.ported = ported
-        self.scheme = scheme
+        self.ported: Optional[PortedGraph] = ported
+        self.scheme: Optional[RoutingScheme] = scheme
         compiled = scheme.compile_batch(ported)
         if compiled is None:
             compiled = compile_scheme(scheme, ported)  # raises RoutingError
         self.compiled: CompiledScheme = compiled
+
+    @classmethod
+    def from_compiled(
+        cls, compiled: CompiledScheme, ported: Optional[PortedGraph] = None
+    ) -> "BatchRouter":
+        """A router over an already-compiled (e.g. mmap-loaded) scheme.
+
+        The compiled arrays carry the resolved step tables, so no graph
+        or scheme object is needed to route; ``ported`` is only required
+        for ``dead_edges`` simulation (edge ids come from the graph).
+        """
+        router = cls.__new__(cls)
+        router.ported = ported
+        router.scheme = None
+        router.compiled = compiled
+        return router
 
     def route_pairs(
         self,
@@ -152,7 +168,6 @@ class BatchRouter:
         a listed edge, mirroring :class:`~repro.sim.failures.FaultyNetwork`.
         """
         cs = self.compiled
-        graph = self.ported.graph
         pair_arr = np.asarray(pairs, dtype=np.int64)
         if pair_arr.size == 0:
             pair_arr = pair_arr.reshape(0, 2)
@@ -181,6 +196,12 @@ class BatchRouter:
         if dead_edges is not None:
             dead_list = list(dead_edges)
             if dead_list:
+                if self.ported is None:
+                    raise RoutingError(
+                        "dead_edges needs the ported graph (edge ids); "
+                        "construct the router with one"
+                    )
+                graph = self.ported.graph
                 dead_mask = np.zeros(graph.m, dtype=bool)
                 for a, b in dead_list:
                     dead_mask[graph.edge_id(int(a), int(b))] = True

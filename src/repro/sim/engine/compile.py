@@ -296,7 +296,7 @@ def compile_scheme(
         )
         pport_parts.append(recs["parent_port"])
         hport_parts.append(recs["heavy_port"])
-        fw = max(1, (max(scheme.tree_sizes[w] - 1, 1)).bit_length())
+        fw = (max(scheme.tree_sizes[w] - 1, 0)).bit_length()
         fwidth_parts.append(np.full(members.shape[0], fw, dtype=np.int64))
         counts = np.empty(members.shape[0], dtype=np.int64)
         for i, u in enumerate(members):
@@ -367,7 +367,7 @@ def compile_scheme(
 
     pivot = np.ascontiguousarray(scheme.hierarchy.pivot, dtype=np.int64)
 
-    id_bits = max(1, (max(n - 1, 1)).bit_length())
+    id_bits = (max(n - 1, 0)).bit_length()
 
     return CompiledScheme(
         n=n,
@@ -433,7 +433,7 @@ def compile_from_arrays(arrays, ported: PortedGraph) -> CompiledScheme:
     return CompiledScheme(
         n=n,
         k=arrays.k,
-        id_bits=max(1, (max(n - 1, 1)).bit_length()),
+        id_bits=(max(n - 1, 0)).bit_length(),
         handshake=False,
         entry_keys=entry_keys,
         ent_vertex=ent_u,

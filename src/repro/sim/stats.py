@@ -32,6 +32,11 @@ class StretchStats:
     hop_p95: float = 0.0
     hop_p99: float = 0.0
     hop_max: int = 0
+    #: Whether the caller supplied per-pair hop counts at all.  The hop
+    #: columns are gated on this, not on ``hop_max`` — a delivered
+    #: workload whose routes all took 0 hops (self-pairs, single-node
+    #: graphs) is still a measured hop distribution.
+    has_hops: bool = False
 
     @property
     def p50(self) -> float:
@@ -54,7 +59,7 @@ class StretchStats:
             "bound": self.bound,
             "violations": self.violations,
         }
-        if self.hop_max:
+        if self.has_hops or self.hop_max:
             row.update(
                 {
                     "avg_hops": self.hop_mean,
@@ -88,15 +93,16 @@ def stretch_stats(
     deliv = delivered if delivered is not None else arr.size
     hop_stats = {}
     if hops is not None:
+        hop_stats = {"has_hops": True}
         harr = np.asarray(list(hops), dtype=np.float64)
         if harr.size:
-            hop_stats = {
-                "hop_mean": float(harr.mean()),
-                "hop_p50": float(np.median(harr)),
-                "hop_p95": float(np.percentile(harr, 95)),
-                "hop_p99": float(np.percentile(harr, 99)),
-                "hop_max": int(harr.max()),
-            }
+            hop_stats.update(
+                hop_mean=float(harr.mean()),
+                hop_p50=float(np.median(harr)),
+                hop_p95=float(np.percentile(harr, 95)),
+                hop_p99=float(np.percentile(harr, 99)),
+                hop_max=int(harr.max()),
+            )
     if arr.size == 0:
         return StretchStats(
             count, deliv, 0.0, 0.0, 0.0, 0.0, 0.0, 0, bound, **hop_stats

@@ -1,0 +1,41 @@
+"""Persistent scheme store and zero-copy serving layer.
+
+Preprocess once, answer forever — on disk.  This package persists both
+scheme forms (:class:`~repro.core.build.arrays.SchemeArrays` and the
+batch engine's :class:`~repro.sim.engine.compile.CompiledScheme`) in a
+single mmap-friendly container, caches them content-addressed by
+``(graph, k, seed, ports)``, and serves traffic matrices straight off
+the file mapping:
+
+* :mod:`repro.store.format` — the binary container (JSON header +
+  aligned array blobs, zero-copy open, strict corruption detection);
+* :mod:`repro.store.store` — :class:`SchemeStore`, the
+  ``get_or_build`` memo table, plus the bit-exact strict-verify replay
+  against :mod:`repro.core.serialize`;
+* :mod:`repro.store.service` — :class:`RouteService`, the serving
+  front door with optional source-sharding across worker processes.
+"""
+
+from .format import FORMAT_VERSION, read_container, write_container
+from .service import RouteService
+from .store import (
+    SchemeStore,
+    StoredScheme,
+    graph_content_hash,
+    port_hash,
+    scheme_key,
+    serialize_digest,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "RouteService",
+    "SchemeStore",
+    "StoredScheme",
+    "graph_content_hash",
+    "port_hash",
+    "read_container",
+    "scheme_key",
+    "serialize_digest",
+    "write_container",
+]

@@ -1,0 +1,210 @@
+"""The on-disk container: a JSON header plus aligned raw array blobs.
+
+One ``.tzs`` file holds a named set of numpy arrays (an *array
+manifest*) and a small JSON header.  The layout is append-free and
+mmap-friendly::
+
+    magic   b"TZSCHEME"                      (8 bytes)
+    version uint32 LE                        (4 bytes)
+    hlen    uint64 LE                        (8 bytes)  header byte length
+    hcrc    uint32 LE                        (4 bytes)  crc32 of the header
+    header  JSON (UTF-8), ``hlen`` bytes
+    ...pad to a 64-byte boundary...
+    blobs   each array's raw little-endian bytes, 64-byte aligned
+
+The header carries, per array, ``(dtype, shape, offset, nbytes)`` with
+offsets relative to the data section, plus caller metadata (``meta``),
+the total data size, and a SHA-256 of the data section.  Opening a file
+is therefore O(header): :func:`read_container` parses the header and
+returns **views into one memory map** — no array byte is copied or even
+paged in until routing touches it.  That is what makes a saved scheme
+usable in milliseconds regardless of size.
+
+Every malformed-input path raises :class:`~repro.errors.EncodingError`
+(bad magic, unsupported version, header corruption, truncation, arrays
+pointing outside the file), so a damaged store file can never be
+mistaken for a scheme.  Flipped bits *inside* array blobs are invisible
+to the zero-copy open by design; pass ``verify_data=True`` (or use the
+store's strict mode) to pay one sequential read and check the data
+SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from ..errors import EncodingError
+
+MAGIC = b"TZSCHEME"
+FORMAT_VERSION = 1
+_ALIGN = 64
+_PREAMBLE = len(MAGIC) + 4 + 8 + 4
+_tmp_counter = itertools.count().__next__
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _le(array: np.ndarray) -> np.ndarray:
+    """The array in little-endian byte order (no copy when already LE)."""
+    dt = array.dtype.newbyteorder("<")
+    return np.ascontiguousarray(array, dtype=dt)
+
+
+def write_container(
+    path: Union[str, Path],
+    arrays: Dict[str, np.ndarray],
+    meta: dict,
+) -> dict:
+    """Write ``arrays`` + ``meta`` to ``path``; returns the full header.
+
+    Arrays are laid out 64-byte aligned in sorted-name order; the header
+    records the manifest and a SHA-256 over the whole data section.
+    """
+    manifest = {}
+    offset = 0
+    ordered = sorted(arrays)
+    digest = hashlib.sha256()
+    blobs = []
+    for name in ordered:
+        arr = _le(np.asarray(arrays[name]))
+        offset = _align(offset)
+        manifest[name] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "offset": offset,
+            "nbytes": int(arr.nbytes),
+        }
+        blobs.append((offset, arr))
+        offset += arr.nbytes
+    data_bytes = offset
+
+    pos = 0
+    for off, arr in blobs:
+        if off > pos:
+            digest.update(bytes(off - pos))
+        digest.update(arr.tobytes())
+        pos = off + arr.nbytes
+
+    header = {
+        "format_version": FORMAT_VERSION,
+        "meta": meta,
+        "arrays": manifest,
+        "data_bytes": data_bytes,
+        "data_sha256": digest.hexdigest(),
+    }
+    hjson = json.dumps(header, sort_keys=True).encode("utf-8")
+    data_start = _align(_PREAMBLE + len(hjson))
+
+    path = Path(path)
+    # Unique per-writer tmp name: concurrent writers of the same key each
+    # publish a complete file via rename; last replace wins, and no
+    # reader ever maps a half-written container.
+    tmp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}.{_tmp_counter()}")
+    with open(tmp, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(np.uint32(FORMAT_VERSION).tobytes())
+        fh.write(np.uint64(len(hjson)).tobytes())
+        fh.write(np.uint32(zlib.crc32(hjson)).tobytes())
+        fh.write(hjson)
+        fh.write(bytes(data_start - _PREAMBLE - len(hjson)))
+        pos = 0
+        for off, arr in blobs:
+            if off > pos:
+                fh.write(bytes(off - pos))
+            fh.write(arr.tobytes())
+            pos = off + arr.nbytes
+        fh.write(bytes(data_bytes - pos))
+    tmp.replace(path)  # atomic: readers never observe a half-written store
+    return header
+
+
+def _fail(path: Path, why: str) -> EncodingError:
+    return EncodingError(f"cannot open scheme store {path}: {why}")
+
+
+def read_container(
+    path: Union[str, Path],
+    *,
+    mmap: bool = True,
+    verify_data: bool = False,
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Open a container; returns ``(header, {name: array})``.
+
+    With ``mmap=True`` every array is a read-only view into one shared
+    memory map (zero-copy); otherwise the file is read into memory once.
+    ``verify_data=True`` additionally checks the data section against the
+    stored SHA-256 (a full sequential read).  Raises
+    :class:`~repro.errors.EncodingError` on any structural damage.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError as exc:
+        raise _fail(path, str(exc)) from exc
+    if size < _PREAMBLE:
+        raise _fail(path, f"file is {size} bytes, shorter than the preamble")
+    if mmap:
+        raw = np.memmap(path, dtype=np.uint8, mode="r")
+    else:
+        raw = np.frombuffer(path.read_bytes(), dtype=np.uint8)
+
+    if bytes(raw[: len(MAGIC)]) != MAGIC:
+        raise _fail(path, "bad magic (not a TZ scheme store)")
+    version = int.from_bytes(bytes(raw[8:12]), "little")
+    if version != FORMAT_VERSION:
+        raise _fail(
+            path,
+            f"format version {version} is not the supported {FORMAT_VERSION}",
+        )
+    hlen = int.from_bytes(bytes(raw[12:20]), "little")
+    hcrc = int.from_bytes(bytes(raw[20:24]), "little")
+    if _PREAMBLE + hlen > size:
+        raise _fail(path, "truncated header")
+    hjson = bytes(raw[_PREAMBLE : _PREAMBLE + hlen])
+    if zlib.crc32(hjson) != hcrc:
+        raise _fail(path, "header checksum mismatch (corrupted file)")
+    try:
+        header = json.loads(hjson.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _fail(path, f"header is not valid JSON: {exc}") from exc
+
+    data_start = _align(_PREAMBLE + hlen)
+    data_bytes = int(header.get("data_bytes", -1))
+    if data_bytes < 0 or data_start + data_bytes > size:
+        raise _fail(
+            path,
+            f"truncated data section: header promises {data_bytes} bytes "
+            f"at {data_start}, file has {size}",
+        )
+    if verify_data:
+        digest = hashlib.sha256(
+            bytes(raw[data_start : data_start + data_bytes])
+        ).hexdigest()
+        if digest != header.get("data_sha256"):
+            raise _fail(path, "data checksum mismatch (corrupted arrays)")
+
+    arrays: Dict[str, np.ndarray] = {}
+    for name, spec in header.get("arrays", {}).items():
+        try:
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(s) for s in spec["shape"])
+            off = int(spec["offset"])
+            nbytes = int(spec["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _fail(path, f"malformed manifest entry {name!r}") from exc
+        want = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if nbytes != want or off < 0 or off + nbytes > data_bytes:
+            raise _fail(path, f"array {name!r} points outside the data section")
+        start = data_start + off
+        arrays[name] = raw[start : start + nbytes].view(dtype).reshape(shape)
+    return header, arrays

@@ -1,0 +1,129 @@
+"""Manifests: ``SchemeArrays``/``CompiledScheme`` <-> named array dicts.
+
+Both scheme forms are already columnar dataclasses, so persistence is a
+field walk: every ndarray field becomes one named blob in the container
+(prefixed ``arr_`` for the canonical :class:`SchemeArrays` form,
+``cs_`` for the port-resolved :class:`CompiledScheme` form), scalars
+ride in the JSON header, and the hierarchy's ragged level sets flatten
+into one ``(data, indptr)`` CSR pair.  Loading reverses the walk over
+memory-mapped views — the reconstructed objects are backed by the file,
+byte for byte, with nothing copied.
+
+Field sets are validated both ways: a container that is missing a field
+(or carries an unknown one) raises
+:class:`~repro.errors.EncodingError` instead of building a half-formed
+scheme.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from ..core.build.arrays import SchemeArrays
+from ..core.landmarks import Hierarchy
+from ..errors import EncodingError
+from ..sim.engine.compile import CompiledScheme
+
+ARRAYS_PREFIX = "arr_"
+COMPILED_PREFIX = "cs_"
+_HIERARCHY_FIELDS = ("h_dist", "h_pivot", "h_level_of", "h_levels_data", "h_levels_indptr")
+
+
+def _ndarray_fields(cls) -> tuple:
+    return tuple(
+        f.name for f in dataclasses.fields(cls) if f.type in ("np.ndarray", np.ndarray)
+    )
+
+
+ARRAYS_FIELDS = _ndarray_fields(SchemeArrays)
+COMPILED_FIELDS = _ndarray_fields(CompiledScheme)
+
+
+def _check_fields(found, expected, what: str) -> None:
+    missing = sorted(set(expected) - set(found))
+    unknown = sorted(set(found) - set(expected))
+    if missing or unknown:
+        raise EncodingError(
+            f"stored {what} does not match this build: "
+            f"missing fields {missing}, unknown fields {unknown}"
+        )
+
+
+def hierarchy_to_manifest(hierarchy: Hierarchy) -> Dict[str, np.ndarray]:
+    levels = [np.asarray(a, dtype=np.int64) for a in hierarchy.levels]
+    indptr = np.zeros(len(levels) + 1, dtype=np.int64)
+    np.cumsum([a.size for a in levels], out=indptr[1:])
+    data = (
+        np.concatenate(levels) if levels else np.zeros(0, dtype=np.int64)
+    )
+    return {
+        "h_dist": hierarchy.dist,
+        "h_pivot": hierarchy.pivot,
+        "h_level_of": hierarchy.level_of,
+        "h_levels_data": data,
+        "h_levels_indptr": indptr,
+    }
+
+
+def hierarchy_from_manifest(blobs: Dict[str, np.ndarray]) -> Hierarchy:
+    indptr = blobs["h_levels_indptr"]
+    data = blobs["h_levels_data"]
+    k = indptr.shape[0] - 1
+    levels = [data[indptr[i] : indptr[i + 1]] for i in range(k)]
+    return Hierarchy(
+        k=k,
+        levels=levels,
+        dist=blobs["h_dist"],
+        pivot=blobs["h_pivot"],
+        level_of=blobs["h_level_of"],
+    )
+
+
+def arrays_to_manifest(arrays: SchemeArrays) -> Dict[str, np.ndarray]:
+    out = {
+        ARRAYS_PREFIX + name: getattr(arrays, name) for name in ARRAYS_FIELDS
+    }
+    for name, blob in hierarchy_to_manifest(arrays.hierarchy).items():
+        out[ARRAYS_PREFIX + name] = blob
+    return out
+
+
+def arrays_from_manifest(blobs: Dict[str, np.ndarray], n: int, k: int) -> SchemeArrays:
+    found = {
+        name[len(ARRAYS_PREFIX) :]: blob
+        for name, blob in blobs.items()
+        if name.startswith(ARRAYS_PREFIX)
+    }
+    _check_fields(found, ARRAYS_FIELDS + _HIERARCHY_FIELDS, "SchemeArrays")
+    hierarchy = hierarchy_from_manifest(found)
+    if hierarchy.k != k or hierarchy.n != n:
+        raise EncodingError(
+            f"stored hierarchy is ({hierarchy.n}, k={hierarchy.k}), "
+            f"header says ({n}, k={k})"
+        )
+    kwargs = {name: found[name] for name in ARRAYS_FIELDS}
+    return SchemeArrays(n=n, k=k, hierarchy=hierarchy, **kwargs)
+
+
+def compiled_to_manifest(compiled: CompiledScheme) -> Dict[str, np.ndarray]:
+    return {
+        COMPILED_PREFIX + name: getattr(compiled, name)
+        for name in COMPILED_FIELDS
+    }
+
+
+def compiled_from_manifest(
+    blobs: Dict[str, np.ndarray], n: int, k: int, id_bits: int, handshake: bool
+) -> CompiledScheme:
+    found = {
+        name[len(COMPILED_PREFIX) :]: blob
+        for name, blob in blobs.items()
+        if name.startswith(COMPILED_PREFIX)
+    }
+    _check_fields(found, COMPILED_FIELDS, "CompiledScheme")
+    return CompiledScheme(
+        n=n, k=k, id_bits=id_bits, handshake=handshake, **found
+    )

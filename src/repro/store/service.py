@@ -1,0 +1,121 @@
+"""The serving front door: answer traffic matrices from a stored scheme.
+
+:class:`RouteService` opens one ``.tzs`` container (zero-copy, see
+:mod:`repro.store.format`) and serves whole traffic matrices through
+the vectorized :class:`~repro.sim.engine.batch.BatchRouter`.  Because
+the compiled arrays live in a shared file mapping, *any number of
+processes can serve the same scheme against the same physical pages* —
+the OS page cache is the only copy in the machine.
+
+``route(pairs, shards=N)`` exploits exactly that: the traffic matrix is
+partitioned by source vertex across ``N`` worker processes, each worker
+memory-maps the same store file, routes its shard, and the per-pair
+results are scattered back into the caller's row order.  Rows are
+routed independently by construction, so the sharded result is
+bit-for-bit the single-process result (tested) — sharding changes wall
+time, never answers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import RoutingError
+from ..sim.engine.batch import BatchResult, BatchRouter
+
+
+def _shard_results(parts, order, count):
+    """Scatter per-shard column arrays back into input-row order."""
+    out = {}
+    for name in ("source", "dest", "delivered", "weight", "hops", "tree",
+                 "max_header_bits", "failure_code"):
+        column = np.concatenate([getattr(p, name) for p in parts])
+        scattered = np.empty(count, dtype=column.dtype)
+        scattered[order] = column
+        out[name] = scattered
+    return BatchResult(**out)
+
+
+def _route_shard(path: str, pairs: np.ndarray, ttl: Optional[int]):
+    """Worker entry point: mmap the store file and route one shard."""
+    service = RouteService(path)
+    result = service.route(pairs, ttl=ttl)
+    return (
+        result.source,
+        result.dest,
+        result.delivered,
+        result.weight,
+        result.hops,
+        result.tree,
+        result.max_header_bits,
+        result.failure_code,
+    )
+
+
+class RouteService:
+    """Serve traffic matrices from one stored scheme (see module doc)."""
+
+    def __init__(self, path: Union[str, Path], *, mmap: bool = True) -> None:
+        from .store import SchemeStore
+
+        self.path = Path(path)
+        stored = SchemeStore(self.path.parent).load(self.path, mmap=mmap)
+        self.meta = stored.meta
+        self.compiled = stored.compiled
+        self._router = BatchRouter.from_compiled(stored.compiled)
+
+    @property
+    def n(self) -> int:
+        return self.compiled.n
+
+    @property
+    def k(self) -> int:
+        return self.compiled.k
+
+    def route(
+        self,
+        pairs: np.ndarray,
+        *,
+        ttl: Optional[int] = None,
+        shards: int = 1,
+    ) -> BatchResult:
+        """Route every ``(s, t)`` row of ``pairs``.
+
+        ``shards > 1`` source-shards the matrix across that many worker
+        processes, each memory-mapping this service's store file; the
+        result is bit-identical to ``shards=1`` in the input row order.
+        """
+        pair_arr = np.asarray(pairs, dtype=np.int64)
+        if pair_arr.size == 0:
+            pair_arr = pair_arr.reshape(0, 2)
+        if pair_arr.ndim != 2 or pair_arr.shape[1] != 2:
+            raise RoutingError("pairs must be an (m, 2) integer array")
+        if shards <= 1 or pair_arr.shape[0] < 2:
+            return self._router.route_pairs(pair_arr, ttl=ttl)
+
+        import concurrent.futures as cf
+
+        shards = min(int(shards), pair_arr.shape[0])
+        # Source-sharding: all traffic from one source lands in one
+        # worker (stable argsort keeps row order within a shard).
+        shard_of = pair_arr[:, 0] % shards
+        order = np.argsort(shard_of, kind="stable")
+        bounds = np.searchsorted(shard_of[order], np.arange(shards + 1))
+        chunks = [
+            pair_arr[order[bounds[i] : bounds[i + 1]]] for i in range(shards)
+        ]
+        with cf.ProcessPoolExecutor(max_workers=shards) as pool:
+            futures = [
+                pool.submit(_route_shard, str(self.path), chunk, ttl)
+                for chunk in chunks
+                if chunk.shape[0]
+            ]
+            parts = [BatchResult(*f.result()) for f in futures]
+        kept = np.concatenate(
+            [order[bounds[i] : bounds[i + 1]] for i in range(shards)
+             if bounds[i + 1] > bounds[i]]
+        )
+        return _shard_results(parts, kept, pair_arr.shape[0])

@@ -1,0 +1,357 @@
+"""A persistent, content-addressed cache of compiled TZ schemes.
+
+The Thorup–Zwick value proposition is *preprocess once, answer
+forever* — so the preprocessing result must outlive the process.
+:class:`SchemeStore` is a directory of ``.tzs`` containers keyed by the
+SHA-256 of everything the scheme is a pure function of::
+
+    key = H(graph content, k, seed, port assignment, format version)
+
+``get_or_build(graph, k, seed)`` therefore behaves like a memo table
+over construction itself: a hit opens the file and returns a
+memory-mapped :class:`StoredScheme` in milliseconds; a miss runs the
+vectorized builder, compiles the batch-engine form, saves both, and
+re-opens the file (so the returned object is always file-backed, hit or
+miss).
+
+Each container holds the two scheme forms side by side:
+
+* the canonical :class:`~repro.core.build.arrays.SchemeArrays` — what
+  both builders emit and the differential suite compares; enough to
+  re-materialize the dict-based scheme or re-resolve against a
+  different port assignment;
+* the port-resolved :class:`~repro.sim.engine.compile.CompiledScheme` —
+  exactly what :class:`~repro.sim.engine.batch.BatchRouter` routes on,
+  ready to serve with no further work.
+
+Strict-verify mode (``strict=True``) closes the loop against the
+package's independent bit-exact codec: at save time the dict scheme is
+materialized from the arrays and every vertex table is serialized
+through :mod:`repro.core.serialize`; the SHA-256 of that bit stream is
+recorded in the header.  At load time the same replay runs over the
+*memory-mapped* arrays and must reproduce the digest bit for bit — any
+disagreement between the array form and the bitstream form (or any
+silent corruption of the blobs) raises
+:class:`~repro.errors.EncodingError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.build import build_arrays
+from ..core.build.arrays import SchemeArrays, scheme_from_arrays
+from ..errors import EncodingError
+from ..graphs.graph import Graph
+from ..graphs.ports import PortedGraph, assign_ports
+from ..sim.engine.compile import CompiledScheme, compile_from_arrays
+from .format import FORMAT_VERSION, read_container, write_container
+from .schemes import (
+    arrays_from_manifest,
+    arrays_to_manifest,
+    compiled_from_manifest,
+    compiled_to_manifest,
+)
+
+STORE_SUFFIX = ".tzs"
+
+
+def graph_content_hash(graph: Graph) -> str:
+    """SHA-256 of the graph's content (vertices, edges, weights)."""
+    h = hashlib.sha256()
+    h.update(f"graph:{graph.n}:{graph.m}:".encode())
+    h.update(np.ascontiguousarray(graph.edges, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(graph.edge_weights, dtype=np.float64).tobytes())
+    return h.hexdigest()
+
+
+def port_hash(ported: PortedGraph) -> str:
+    """SHA-256 of the port assignment (the fixed-port adversary's choice)."""
+    h = hashlib.sha256()
+    h.update(b"ports:")
+    h.update(np.ascontiguousarray(ported.port_of_arc, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def scheme_key(
+    graph_sha: str,
+    k: int,
+    seed: Optional[int],
+    port_sha: str,
+    *,
+    handshake: bool = False,
+) -> str:
+    """The content address of one scheme build (see module docstring).
+
+    ``handshake`` is part of the address: the §4 handshake variant
+    selects different trees than the plain 4k−5 scheme, so the two must
+    never share a store entry.
+    """
+    payload = json.dumps(
+        {
+            "format": FORMAT_VERSION,
+            "graph": graph_sha,
+            "k": int(k),
+            "seed": None if seed is None else int(seed),
+            "ports": port_sha,
+            "handshake": bool(handshake),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:40]
+
+
+def serialize_digest(graph: Graph, ported: PortedGraph, arrays: SchemeArrays) -> str:
+    """SHA-256 of the scheme's bit-exact serialization.
+
+    Replays the :mod:`repro.core.serialize` codec over the dict scheme
+    materialized from ``arrays``: every vertex table becomes an actual
+    bit stream, and the streams are hashed in vertex order with
+    self-delimiting length prefixes.  Two array forms digest equal iff
+    the codec encodes them to identical bits.
+    """
+    from ..core.serialize import serialize_scheme
+
+    scheme = scheme_from_arrays(graph, ported, arrays)
+    blobs = serialize_scheme(scheme)
+    h = hashlib.sha256()
+    for u in range(scheme.n):
+        blob = blobs[u]
+        h.update(len(blob).to_bytes(8, "little"))
+        h.update(blob)
+    return h.hexdigest()
+
+
+@dataclass
+class StoredScheme:
+    """A scheme opened from (or just written to) the store.
+
+    ``compiled`` and ``arrays`` are backed by one shared memory map of
+    ``path`` — dropping all references releases the mapping.
+    """
+
+    path: Path
+    meta: dict
+    compiled: CompiledScheme
+    arrays: SchemeArrays
+
+    @property
+    def key(self) -> str:
+        return self.meta["key"]
+
+    def router(self, ported: Optional[PortedGraph] = None):
+        """A :class:`~repro.sim.engine.batch.BatchRouter` over this
+        scheme.  ``ported`` is only needed for dead-edge simulation."""
+        from ..sim.engine.batch import BatchRouter
+
+        return BatchRouter.from_compiled(self.compiled, ported)
+
+    def scheme(self, graph: Graph, ported: PortedGraph):
+        """Materialize the dict-based scheme (reference-simulator world)."""
+        return scheme_from_arrays(graph, ported, self.arrays)
+
+
+class SchemeStore:
+    """Directory-backed scheme cache (see module docstring)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}{STORE_SUFFIX}"
+
+    def key_for(
+        self,
+        graph: Graph,
+        k: int,
+        seed: Optional[int],
+        ported: PortedGraph,
+        *,
+        handshake: bool = False,
+    ) -> str:
+        return scheme_key(
+            graph_content_hash(graph), k, seed, port_hash(ported), handshake=handshake
+        )
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def keys(self):
+        return sorted(p.stem for p in self.root.glob(f"*{STORE_SUFFIX}"))
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        graph: Graph,
+        ported: PortedGraph,
+        arrays: SchemeArrays,
+        *,
+        seed: Optional[int] = None,
+        compiled: Optional[CompiledScheme] = None,
+        strict: bool = False,
+        builder: str = "vectorized",
+    ) -> Path:
+        """Persist one built scheme; returns the container path.
+
+        ``strict=True`` additionally records the bit-exact serialization
+        digest (see :func:`serialize_digest`) so strict loads can replay
+        and compare it.
+        """
+        if compiled is None:
+            compiled = compile_from_arrays(arrays, ported)
+        graph_sha = graph_content_hash(graph)
+        port_sha = port_hash(ported)
+        key = scheme_key(
+            graph_sha, arrays.k, seed, port_sha, handshake=compiled.handshake
+        )
+        meta = {
+            "kind": "tz-scheme",
+            "key": key,
+            "graph_sha256": graph_sha,
+            "port_sha256": port_sha,
+            "n": int(arrays.n),
+            "m": int(graph.m),
+            "k": int(arrays.k),
+            "seed": None if seed is None else int(seed),
+            "builder": builder,
+            "id_bits": int(compiled.id_bits),
+            "handshake": bool(compiled.handshake),
+            "entries": int(arrays.entry_count),
+        }
+        if strict:
+            meta["serialize_sha256"] = serialize_digest(graph, ported, arrays)
+        blobs = arrays_to_manifest(arrays)
+        blobs.update(compiled_to_manifest(compiled))
+        path = self.path_for(key)
+        write_container(path, blobs, meta)
+        return path
+
+    def load(
+        self,
+        key_or_path: Union[str, Path],
+        *,
+        mmap: bool = True,
+        strict: bool = False,
+        verify_data: bool = False,
+        graph: Optional[Graph] = None,
+        ported: Optional[PortedGraph] = None,
+    ) -> StoredScheme:
+        """Open a stored scheme, zero-copy by default.
+
+        ``verify_data=True`` checks the data-section checksum (one
+        sequential read).  ``strict=True`` implies that and additionally
+        replays the bit-exact serialization codec over the loaded arrays
+        (requires ``graph`` and ``ported``, which are also checked
+        against the stored content hashes).  Raises
+        :class:`~repro.errors.EncodingError` on any mismatch.
+        """
+        path = (
+            Path(key_or_path)
+            if isinstance(key_or_path, Path) or str(key_or_path).endswith(STORE_SUFFIX)
+            else self.path_for(str(key_or_path))
+        )
+        header, blobs = read_container(
+            path, mmap=mmap, verify_data=strict or verify_data
+        )
+        meta = header.get("meta", {})
+        if meta.get("kind") != "tz-scheme":
+            raise EncodingError(f"{path} is not a scheme container")
+        n, k = int(meta["n"]), int(meta["k"])
+        arrays = arrays_from_manifest(blobs, n, k)
+        compiled = compiled_from_manifest(
+            blobs, n, k, int(meta["id_bits"]), bool(meta["handshake"])
+        )
+        stored = StoredScheme(path=path, meta=meta, compiled=compiled, arrays=arrays)
+        if strict:
+            self._verify_strict(stored, graph, ported)
+        return stored
+
+    def _verify_strict(
+        self,
+        stored: StoredScheme,
+        graph: Optional[Graph],
+        ported: Optional[PortedGraph],
+    ) -> None:
+        if graph is None or ported is None:
+            raise EncodingError(
+                "strict verification needs the graph and port assignment "
+                "to replay the serialization codec"
+            )
+        if graph_content_hash(graph) != stored.meta["graph_sha256"]:
+            raise EncodingError(
+                "stored scheme was built on a different graph "
+                "(content hash mismatch)"
+            )
+        if port_hash(ported) != stored.meta["port_sha256"]:
+            raise EncodingError(
+                "stored scheme was built on a different port assignment"
+            )
+        expect = stored.meta.get("serialize_sha256")
+        if expect is None:
+            raise EncodingError(
+                "store file carries no serialization digest; re-save with "
+                "strict=True to enable strict verification"
+            )
+        got = serialize_digest(graph, ported, stored.arrays)
+        if got != expect:
+            raise EncodingError(
+                "bit-exact serialization replay disagrees with the stored "
+                f"digest ({got[:12]}… != {expect[:12]}…): the array form "
+                "and the bitstream form have diverged"
+            )
+
+    # ------------------------------------------------------------------
+    def get_or_build(
+        self,
+        graph: Graph,
+        k: int = 2,
+        seed: Optional[int] = None,
+        *,
+        ported: Optional[PortedGraph] = None,
+        method: str = "vectorized",
+        strict: bool = False,
+        mmap: bool = True,
+    ) -> StoredScheme:
+        """The front door: a memo table over scheme construction.
+
+        Returns the mmap-backed stored scheme for ``(graph, k, seed,
+        ported)``, building, compiling and saving it first if the store
+        has no entry.  The build threads ``seed`` through the same
+        hierarchy-sampling path as :func:`repro.core.build.build_arrays`,
+        so a store hit is bit-identical to what the miss would build.
+        """
+        if ported is None:
+            ported = assign_ports(graph, "sorted")
+        key = self.key_for(graph, k, seed, ported)
+        path = self.path_for(key)
+        if path.exists() and strict:
+            header, _ = read_container(path)
+            if header.get("meta", {}).get("serialize_sha256") is None:
+                # Saved without a digest: upgrade in place.  The data
+                # checksum (verify_data) proves the blobs are the ones
+                # the original save wrote, so digesting the stored
+                # arrays is equivalent to having digested at save time —
+                # no rebuild needed.
+                prior = self.load(path, verify_data=True)
+                self.save(
+                    graph,
+                    ported,
+                    prior.arrays,
+                    seed=seed,
+                    compiled=prior.compiled,
+                    strict=True,
+                    builder=prior.meta.get("builder", method),
+                )
+        if not path.exists():
+            arrays = build_arrays(graph, k, ported=ported, method=method, rng=seed)
+            self.save(
+                graph, ported, arrays, seed=seed, strict=strict, builder=method
+            )
+        return self.load(path, mmap=mmap, strict=strict, graph=graph, ported=ported)

@@ -38,7 +38,7 @@ class IntervalRecord:
     entries: Tuple[IntervalEntry, ...]
 
     def size_bits(self, tree_size: int, max_port: int) -> int:
-        fw = max(1, (max(tree_size - 1, 1)).bit_length())
+        fw = (max(tree_size - 1, 0)).bit_length()
         pw = max(1, max_port.bit_length())
         bits = 2 * fw + pw
         for e in self.entries:
@@ -73,7 +73,7 @@ class IntervalRoutingScheme:
         return self.records[v].f
 
     def label_bits(self) -> int:
-        return max(1, (max(self.tree_size - 1, 1)).bit_length())
+        return (max(self.tree_size - 1, 0)).bit_length()
 
     def decide(self, u: int, target_f: int) -> Optional[int]:
         record = self.records.get(u)

@@ -47,10 +47,13 @@ class TreeLabel:
 
 
 def _f_width(tree_size: int) -> int:
-    """Fixed width used for the DFS number: ``ceil(log2(tree_size))``."""
+    """Fixed width used for the DFS number: ``ceil(log2(tree_size))``.
+
+    A single-vertex tree needs 0 bits — its only DFS number is 0.
+    """
     if tree_size < 1:
         raise LabelError(f"tree size must be positive, got {tree_size}")
-    return max(1, (tree_size - 1).bit_length())
+    return (tree_size - 1).bit_length()
 
 
 def encode_tree_label(label: TreeLabel, tree_size: int) -> BitWriter:

@@ -58,7 +58,7 @@ class TreeLocalRecord:
 
     def size_bits(self, tree_size: int, max_port: int) -> int:
         """Measured size of this record with fixed-width fields."""
-        fw = max(1, (max(tree_size - 1, 1)).bit_length())
+        fw = (max(tree_size - 1, 0)).bit_length()
         pw = max(1, max_port.bit_length())
         return (
             uint_cost(self.f, fw)

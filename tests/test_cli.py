@@ -68,3 +68,26 @@ class TestCli:
     def test_build_unknown_graph_rejected(self):
         with pytest.raises(SystemExit):
             main(["build", "--graph", "nope"])
+
+    def test_serve_miss_then_hit(self, capsys, tmp_path):
+        args = [
+            "serve",
+            "--graph",
+            "gnp",
+            "--n",
+            "128",
+            "--k",
+            "2",
+            "--pairs",
+            "2000",
+            "--seed",
+            "4",
+            "--store",
+            str(tmp_path / "tzstore"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "store miss" in out and "pairs/s" in out
+        assert main(args + ["--strict-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "store hit" in out and "strict-verified" in out

@@ -55,6 +55,42 @@ class TestSpawn:
         for x, y in zip(a_kids, b_kids):
             assert x.integers(0, 10**9) == y.integers(0, 10**9)
 
+    def test_children_pinned(self):
+        """Child streams are pinned: spawn must stay SeedSequence-based
+        (provably independent, full seed space) and reproducible."""
+        kids = spawn(make_rng(5), 3)
+        assert [int(k.integers(0, 2**32)) for k in kids] == [
+            946400021,
+            2312582142,
+            3453382619,
+        ]
+
+    def test_repeated_spawns_yield_fresh_children(self):
+        parent = make_rng(5)
+        first = spawn(parent, 2)
+        second = spawn(parent, 2)
+        vals = [int(k.integers(0, 2**32)) for k in first + second]
+        assert len(set(vals)) == 4
+
+    def test_spawn_leaves_parent_stream_untouched(self):
+        """SeedSequence spawning must not consume the parent's output
+        stream — existing consumers' draws cannot shift."""
+        parent = make_rng(5)
+        spawn(parent, 3)
+        assert int(parent.integers(0, 2**32)) == int(
+            make_rng(5).integers(0, 2**32)
+        )
+
+    def test_children_match_seed_sequence_spawn(self):
+        """spawn() == the SeedSequence spawn tree, by construction."""
+        expect = [
+            np.random.Generator(np.random.PCG64(child))
+            for child in np.random.SeedSequence(5).spawn(2)
+        ]
+        got = spawn(make_rng(5), 2)
+        for x, y in zip(expect, got):
+            assert x.integers(0, 2**63) == y.integers(0, 2**63)
+
 
 class TestPairHelpers:
     def test_sample_pairs_shape_and_range(self):

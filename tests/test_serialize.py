@@ -108,6 +108,80 @@ class TestTableCodec:
             )
 
 
+class TestDegenerateWidths:
+    """Regression: ``n == 1`` and ``tree_size == 1`` fields need 0 bits.
+
+    The width formula used to clamp to 1 bit, writing a spurious bit per
+    degenerate field; widths and accounting must agree at exactly
+    ``ceil(log2(domain))``."""
+
+    def test_single_vertex_record_round_trip(self):
+        from repro.trees.tz_tree import TreeLocalRecord
+
+        record = TreeLocalRecord(
+            f=0, finish=0, parent_port=0, heavy_port=0, heavy_finish=0, light_depth=0
+        )
+        w = BitWriter()
+        encode_record(w, record, 1, 1)
+        # 4 zero-width f-fields + two 1-bit port fields.
+        assert w.n_bits == 2 == record.size_bits(1, 1)
+        assert decode_record(BitReader(w), 1, 1) == record
+
+    def test_single_vertex_scheme_round_trip(self):
+        """A 1-vertex graph: ids and DFS numbers all cost 0 bits, and the
+        whole table/label machinery still round-trips bit-exactly."""
+        from repro.graphs.graph import Graph
+        from repro.core.labels import decode_label, encode_label
+
+        g = Graph(1, [])
+        for k in (1, 2):
+            scheme = build_tz_scheme(g, k=k, rng=0)
+            blobs = serialize_scheme(scheme)
+            back = deserialize_scheme_tables(blobs, scheme)
+            assert back[0].trees == scheme.tables[0].trees
+            assert back[0].members == scheme.tables[0].members
+            assert back[0].pivots == scheme.tables[0].pivots
+            enc = encode_label(scheme.labels[0], 1, scheme.tree_sizes)
+            dec = decode_label(BitReader(enc), 1, k, scheme.tree_sizes)
+            assert dec == scheme.labels[0]
+            # id (0 bits) + per level: repeat flag + pivot id (0 bits) +
+            # tree label (0-bit f + 1-bit empty port count).
+            assert scheme.label_bits(0) == 2 * (k - 1)
+
+    def test_singleton_tree_label_bits_agree_with_array_form(self):
+        """Schemes with singleton clusters: the scalar codec, the bit
+        accounting and the vectorized array accounting must all agree."""
+        from repro.core.build import build_arrays
+        from repro.core.build.arrays import scheme_from_arrays
+        from repro.graphs import generators as gen
+        from repro.graphs.ports import assign_ports
+
+        graph = gen.gnp(24, 0.15, rng=11, weights=(1, 5)).largest_component()
+        ported = assign_ports(graph, "sorted")
+        arrays = build_arrays(graph, 2, ported=ported, rng=4)
+        assert int(arrays.tree_sizes().min()) >= 1
+        scheme = scheme_from_arrays(graph, ported, arrays)
+        assert arrays.label_bits().tolist() == [
+            scheme.label_bits(v) for v in range(graph.n)
+        ]
+        blobs = serialize_scheme(scheme)
+        back = deserialize_scheme_tables(blobs, scheme)
+        for u in range(graph.n):
+            assert back[u].trees == scheme.tables[u].trees
+
+    def test_stream_length_zero_width_fields(self):
+        """encode_table on a 1-vertex scheme matches the accounting."""
+        from repro.graphs.graph import Graph
+
+        g = Graph(1, [])
+        scheme = build_tz_scheme(g, k=2, rng=0)
+        table = scheme.tables[0]
+        w = encode_table(table, 1, scheme.tree_sizes, scheme.tree_sizes[0], 1)
+        assert w.n_bits == table.size_bits(
+            1, scheme.tree_sizes, scheme.tree_sizes[0], 1
+        ) + table_prefix_overhead(table)
+
+
 class TestSchemeSerialization:
     def test_whole_scheme_round_trip(self, compiled):
         blobs = serialize_scheme(compiled)

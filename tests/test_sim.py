@@ -141,6 +141,26 @@ class TestStats:
         row = stretch_stats([1.0, 2.0], bound=3.0).row()
         assert {"pairs", "max_stretch", "avg_stretch", "violations"} <= set(row)
 
+    HOP_KEYS = {"avg_hops", "p50_hops", "p95_hops", "p99_hops", "max_hops"}
+
+    def test_all_zero_hops_still_reported(self):
+        """Regression: a delivered workload whose routes all took 0 hops
+        (self-pairs, single-node graphs) must still emit hop columns —
+        the gate is "were hops provided", not ``hop_max != 0``."""
+        st = stretch_stats([1.0, 1.0, 1.0], hops=[0, 0, 0])
+        assert st.has_hops
+        row = st.row()
+        assert self.HOP_KEYS <= set(row)
+        assert row["max_hops"] == 0 and row["avg_hops"] == 0.0
+
+    def test_hops_omitted_when_not_provided(self):
+        row = stretch_stats([1.0, 2.0]).row()
+        assert not (self.HOP_KEYS & set(row))
+
+    def test_empty_hops_provided(self):
+        st = stretch_stats([], delivered=0, attempted=5, hops=[])
+        assert st.has_hops and self.HOP_KEYS <= set(st.row())
+
     def test_space_stats(self, small_weighted_graph, ported_small):
         from repro.core.scheme_k2 import build_stretch3_scheme
 

@@ -1,0 +1,351 @@
+"""The persistent scheme store: round trips, corruption, serving.
+
+The contract under test is the acceptance bar of the store PR: a scheme
+saved by :class:`SchemeStore` and loaded via mmap must route **bit-for-
+bit identically** to the freshly built in-memory scheme (delivered,
+weight, hops, header bits), across generator families; and a damaged
+store file must raise a clean :class:`EncodingError` — never return
+wrong routes.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.build import build_arrays
+from repro.errors import EncodingError
+from repro.graphs.ports import assign_ports
+from repro.rng import make_rng, sample_pairs
+from repro.sim.engine.batch import BatchRouter
+from repro.sim.engine.compile import compile_from_arrays
+from repro.store import (
+    FORMAT_VERSION,
+    RouteService,
+    SchemeStore,
+    graph_content_hash,
+    port_hash,
+    read_container,
+    scheme_key,
+    write_container,
+)
+from strategies import FAMILIES, family_from_seed
+
+ROUTE_FIELDS = ("delivered", "weight", "hops", "max_header_bits", "failure_code")
+
+
+def _build_instance(family: str, seed: int, k: int):
+    graph = family_from_seed(seed, family, n=36)
+    ported = assign_ports(graph, "random", rng=seed + 9)
+    return graph, ported
+
+
+def _assert_routes_equal(a, b):
+    for name in ROUTE_FIELDS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+
+# ----------------------------------------------------------------------
+# Container format
+# ----------------------------------------------------------------------
+class TestContainer:
+    def test_round_trip_arrays_and_meta(self, tmp_path):
+        path = tmp_path / "x.tzs"
+        arrays = {
+            "a": np.arange(7, dtype=np.int64),
+            "b": np.linspace(0, 1, 5),
+            "c": np.zeros((2, 3), dtype=np.int64),
+            "empty": np.zeros(0, dtype=np.float64),
+            "flags": np.array([True, False]),
+        }
+        write_container(path, arrays, {"hello": "world"})
+        header, back = read_container(path, verify_data=True)
+        assert header["meta"] == {"hello": "world"}
+        assert set(back) == set(arrays)
+        for name, arr in arrays.items():
+            assert np.array_equal(back[name], arr)
+            assert back[name].dtype == arr.dtype
+
+    def test_mmap_views_share_one_map(self, tmp_path):
+        path = tmp_path / "x.tzs"
+        write_container(
+            path, {"a": np.arange(4, dtype=np.int64), "b": np.ones(3)}, {}
+        )
+        _, back = read_container(path, mmap=True)
+        bases = {a.base.base if a.base.base is not None else a.base for a in back.values()}
+        assert len(bases) == 1  # zero-copy: every array views one mmap
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x.tzs"
+        write_container(path, {"a": np.arange(3)}, {})
+        data = bytearray(path.read_bytes())
+        data[:4] = b"NOPE"
+        path.write_bytes(data)
+        with pytest.raises(EncodingError, match="magic"):
+            read_container(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "x.tzs"
+        write_container(path, {"a": np.arange(3)}, {})
+        data = bytearray(path.read_bytes())
+        data[8] = FORMAT_VERSION + 1
+        path.write_bytes(data)
+        with pytest.raises(EncodingError, match="version"):
+            read_container(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "x.tzs"
+        write_container(path, {"a": np.arange(100, dtype=np.int64)}, {})
+        data = path.read_bytes()
+        for cut in (4, len(data) // 2, len(data) - 8):
+            path.write_bytes(data[:cut])
+            with pytest.raises(EncodingError):
+                read_container(path)
+
+    def test_header_corruption(self, tmp_path):
+        path = tmp_path / "x.tzs"
+        write_container(path, {"a": np.arange(3)}, {})
+        data = bytearray(path.read_bytes())
+        data[30] ^= 0xFF  # inside the JSON header
+        path.write_bytes(data)
+        with pytest.raises(EncodingError, match="checksum"):
+            read_container(path)
+
+    def test_data_corruption_detected_on_verify(self, tmp_path):
+        path = tmp_path / "x.tzs"
+        write_container(path, {"a": np.arange(64, dtype=np.int64)}, {})
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0x40  # inside the array blob
+        path.write_bytes(data)
+        read_container(path)  # zero-copy open cannot see it...
+        with pytest.raises(EncodingError, match="data checksum"):
+            read_container(path, verify_data=True)  # ...verification must
+
+    def test_not_a_file(self, tmp_path):
+        with pytest.raises(EncodingError):
+            read_container(tmp_path / "missing.tzs")
+
+
+# ----------------------------------------------------------------------
+# Store round trips: mmap-loaded must route bit-identically
+# ----------------------------------------------------------------------
+class TestStoreRoundTrip:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_route_bit_identical_across_families(self, tmp_path, family, k):
+        graph, ported = _build_instance(family, seed=17, k=k)
+        arrays = build_arrays(graph, k, ported=ported, rng=5)
+        compiled = compile_from_arrays(arrays, ported)
+
+        store = SchemeStore(tmp_path)
+        store.save(graph, ported, arrays, seed=5, compiled=compiled)
+        stored = store.load(store.key_for(graph, k, 5, ported))
+
+        # Stored arrays are the built arrays, byte for byte.
+        from repro.store.schemes import ARRAYS_FIELDS
+
+        for name in ARRAYS_FIELDS:
+            assert np.array_equal(
+                getattr(stored.arrays, name), getattr(arrays, name)
+            ), name
+
+        pairs = sample_pairs(make_rng(2), graph.n, 2000)
+        pairs = np.vstack([pairs, np.repeat(np.arange(4), 2).reshape(-1, 2)])
+        fresh = BatchRouter.from_compiled(compiled).route_pairs(pairs)
+        loaded = stored.router().route_pairs(pairs)
+        _assert_routes_equal(fresh, loaded)
+
+    def test_get_or_build_caches(self, tmp_path):
+        graph, ported = _build_instance("gnp", seed=3, k=2)
+        store = SchemeStore(tmp_path)
+        key = store.key_for(graph, 2, 7, ported)
+        assert key not in store
+        first = store.get_or_build(graph, 2, 7, ported=ported)
+        assert key in store and first.key == key
+        mtime = first.path.stat().st_mtime_ns
+        again = store.get_or_build(graph, 2, 7, ported=ported)
+        assert again.path.stat().st_mtime_ns == mtime  # hit: no rewrite
+        pairs = sample_pairs(make_rng(0), graph.n, 500)
+        _assert_routes_equal(
+            first.router().route_pairs(pairs), again.router().route_pairs(pairs)
+        )
+
+    def test_key_separates_inputs(self, tmp_path):
+        graph, ported = _build_instance("gnp", seed=3, k=2)
+        other_ports = assign_ports(graph, "sorted")
+        g_sha, p_sha = graph_content_hash(graph), port_hash(ported)
+        assert scheme_key(g_sha, 2, 7, p_sha) != scheme_key(g_sha, 3, 7, p_sha)
+        assert scheme_key(g_sha, 2, 7, p_sha) != scheme_key(g_sha, 2, 8, p_sha)
+        assert scheme_key(g_sha, 2, 7, p_sha) != scheme_key(
+            g_sha, 2, 7, port_hash(other_ports)
+        )
+
+    def test_handshake_variant_gets_its_own_key(self, tmp_path):
+        """The §4 handshake selects different trees; its compiled form
+        must never share a store entry with the plain scheme."""
+        graph, ported = _build_instance("gnp", seed=3, k=2)
+        arrays = build_arrays(graph, 2, ported=ported, rng=7)
+        plain = compile_from_arrays(arrays, ported)
+        store = SchemeStore(tmp_path)
+        p_plain = store.save(graph, ported, arrays, seed=7, compiled=plain)
+        p_hand = store.save(
+            graph, ported, arrays, seed=7, compiled=plain.with_handshake()
+        )
+        assert p_plain != p_hand
+        assert store.load(p_plain).compiled.handshake is False
+        assert store.load(p_hand).compiled.handshake is True
+        # get_or_build (plain) must hit the plain entry.
+        assert store.get_or_build(graph, 2, 7, ported=ported).path == p_plain
+
+    def test_strict_upgrade_keeps_stored_arrays(self, tmp_path):
+        """A digest-less entry served strictly is upgraded in place from
+        the checksum-verified stored arrays — not rebuilt."""
+        graph, ported = _build_instance("gnp", seed=12, k=2)
+        store = SchemeStore(tmp_path)
+        first = store.get_or_build(graph, 2, 9, ported=ported)
+        assert "serialize_sha256" not in first.meta
+        before = np.array(first.arrays.ent_dist)
+        upgraded = store.get_or_build(graph, 2, 9, ported=ported, strict=True)
+        assert "serialize_sha256" in upgraded.meta
+        assert upgraded.path == first.path
+        assert np.array_equal(np.array(upgraded.arrays.ent_dist), before)
+        # And the upgraded file now passes a plain strict load.
+        store.load(upgraded.path, strict=True, graph=graph, ported=ported)
+
+    def test_graph_hash_sees_weights(self):
+        from repro.graphs.graph import Graph
+
+        a = Graph(3, [(0, 1), (1, 2)], [1.0, 1.0])
+        b = Graph(3, [(0, 1), (1, 2)], [1.0, 2.0])
+        assert graph_content_hash(a) != graph_content_hash(b)
+
+    def test_fresh_process_routes_identically(self, tmp_path):
+        """The acceptance-criterion shape: save here, mmap-load in a
+        brand-new interpreter, compare routed columns bit-for-bit."""
+        graph, ported = _build_instance("gnp", seed=23, k=2)
+        store = SchemeStore(tmp_path)
+        stored = store.get_or_build(graph, 2, 11, ported=ported)
+        pairs = sample_pairs(make_rng(4), graph.n, 1500)
+        mine = stored.router().route_pairs(pairs)
+        ref = tmp_path / "expected.npz"
+        np.savez(
+            ref,
+            pairs=pairs,
+            **{name: getattr(mine, name) for name in ROUTE_FIELDS},
+        )
+        script = (
+            "import numpy as np, sys\n"
+            "from repro.store import RouteService\n"
+            "exp = np.load(sys.argv[2])\n"
+            "res = RouteService(sys.argv[1]).route(exp['pairs'])\n"
+            f"names = {ROUTE_FIELDS!r}\n"
+            "for name in names:\n"
+            "    assert np.array_equal(getattr(res, name), exp[name]), name\n"
+            "print('OK')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script, str(stored.path), str(ref)],
+            capture_output=True,
+            text=True,
+            cwd=str(Path(__file__).parent.parent),
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert out.returncode == 0 and out.stdout.strip() == "OK", out.stderr
+
+
+# ----------------------------------------------------------------------
+# Strict verification: the bit-exact codec replay
+# ----------------------------------------------------------------------
+class TestStrictVerify:
+    def test_strict_round_trip(self, tmp_path):
+        graph, ported = _build_instance("ba", seed=5, k=2)
+        store = SchemeStore(tmp_path)
+        stored = store.get_or_build(graph, 2, 1, ported=ported, strict=True)
+        assert "serialize_sha256" in stored.meta
+        # Explicit strict load over the same file also passes.
+        store.load(stored.path, strict=True, graph=graph, ported=ported)
+
+    def test_strict_needs_context(self, tmp_path):
+        graph, ported = _build_instance("ba", seed=5, k=2)
+        store = SchemeStore(tmp_path)
+        stored = store.get_or_build(graph, 2, 1, ported=ported, strict=True)
+        with pytest.raises(EncodingError, match="strict"):
+            store.load(stored.path, strict=True)
+
+    def test_strict_rejects_wrong_graph(self, tmp_path):
+        graph, ported = _build_instance("ba", seed=5, k=2)
+        other = family_from_seed(6, "ba", n=36)
+        store = SchemeStore(tmp_path)
+        stored = store.get_or_build(graph, 2, 1, ported=ported, strict=True)
+        with pytest.raises(EncodingError, match="different graph"):
+            store.load(
+                stored.path,
+                strict=True,
+                graph=other,
+                ported=assign_ports(other, "sorted"),
+            )
+
+    def test_strict_catches_array_tampering(self, tmp_path):
+        """Flip one byte inside a distance array: the zero-copy open
+        stays silent, strict verification must refuse to serve."""
+        graph, ported = _build_instance("grid", seed=2, k=2)
+        store = SchemeStore(tmp_path)
+        stored = store.get_or_build(graph, 2, 3, ported=ported, strict=True)
+        path = stored.path
+        del stored  # release the mmap before rewriting
+        data = bytearray(path.read_bytes())
+        data[-7] ^= 0x08
+        path.write_bytes(data)
+        store.load(path)  # non-strict open cannot see it
+        with pytest.raises(EncodingError, match="checksum"):
+            store.load(path, strict=True, graph=graph, ported=ported)
+
+
+# ----------------------------------------------------------------------
+# Serving layer
+# ----------------------------------------------------------------------
+class TestRouteService:
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        graph, ported = _build_instance("gnp", seed=8, k=3)
+        store = SchemeStore(tmp_path_factory.mktemp("store"))
+        stored = store.get_or_build(graph, 3, 2, ported=ported)
+        return graph, stored
+
+    def test_service_metadata(self, served):
+        graph, stored = served
+        service = RouteService(stored.path)
+        assert service.n == graph.n and service.k == 3
+
+    def test_sharded_equals_single_process(self, served):
+        graph, stored = served
+        service = RouteService(stored.path)
+        pairs = sample_pairs(make_rng(9), graph.n, 4000)
+        single = service.route(pairs)
+        for shards in (2, 3):
+            sharded = service.route(pairs, shards=shards)
+            _assert_routes_equal(single, sharded)
+            assert np.array_equal(single.source, sharded.source)
+            assert np.array_equal(single.dest, sharded.dest)
+            assert np.array_equal(single.tree, sharded.tree)
+
+    def test_bad_pairs_shape(self, served):
+        _, stored = served
+        from repro.errors import RoutingError
+
+        with pytest.raises(RoutingError):
+            RouteService(stored.path).route(np.arange(9).reshape(3, 3))
+
+    def test_dead_edges_need_ported(self, served):
+        _, stored = served
+        from repro.errors import RoutingError
+
+        router = stored.router()  # no ported graph attached
+        with pytest.raises(RoutingError, match="dead_edges"):
+            router.route_pairs(
+                np.array([[0, 1]]), dead_edges=[(0, 1)]
+            )
