@@ -13,6 +13,13 @@ from .bounds import (
 from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
 from .reporting import render_markdown_table, render_table
 from .scaling import PowerLawFit, doubling_ratio, fit_power_law, polylog_corrected_fit
+from .scenario_report import (
+    render_scenario_markdown,
+    render_scenario_table,
+    scenario_report_dict,
+    write_scenario_json,
+    write_scenario_markdown,
+)
 
 __all__ = [
     "tz_stretch_bound",
@@ -31,4 +38,9 @@ __all__ = [
     "fit_power_law",
     "polylog_corrected_fit",
     "doubling_ratio",
+    "render_scenario_markdown",
+    "render_scenario_table",
+    "scenario_report_dict",
+    "write_scenario_json",
+    "write_scenario_markdown",
 ]

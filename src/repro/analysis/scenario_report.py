@@ -1,0 +1,80 @@
+"""Render scenario-lab sweeps as JSON documents and markdown reports.
+
+The scenario lab (:mod:`repro.scenarios`) produces
+:class:`~repro.scenarios.lab.ScenarioResult` lists; this module turns
+them into the two artifacts an evaluation campaign needs:
+
+* a **JSON document** (:func:`scenario_report_dict` /
+  :func:`write_scenario_json`) carrying every spec and every per-trial
+  delivery rate — the machine-readable record a later analysis can
+  re-aggregate without rerunning anything;
+* a **markdown report** (:func:`render_scenario_markdown` /
+  :func:`write_scenario_markdown`) with one summary row per scenario,
+  rendered through the same table renderer the experiment suite uses,
+  so scenario tables look exactly like the EXPERIMENTS.md tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .reporting import render_markdown_table, render_table
+
+
+def scenario_rows(results: Sequence) -> List[Dict[str, object]]:
+    """One summary table row per :class:`ScenarioResult`."""
+    return [r.row() for r in results]
+
+
+def scenario_report_dict(results: Sequence) -> Dict[str, object]:
+    """The full machine-readable report document."""
+    return {
+        "kind": "tz-scenario-report",
+        "scenarios": [r.to_dict() for r in results],
+    }
+
+
+def render_scenario_table(results: Sequence, *, title: Optional[str] = None) -> str:
+    """Aligned plain-text summary table (what the CLI prints)."""
+    return render_table(scenario_rows(results), title=title)
+
+
+def render_scenario_markdown(
+    results: Sequence, *, title: str = "Scenario sweep"
+) -> str:
+    """The markdown report: a heading, the summary table, per-trial tails.
+
+    Below the summary table, scenarios whose worst trial dipped below
+    their mean get a one-line callout with the worst trial's rate — the
+    tail is the point of running many trials.
+    """
+    lines = [f"# {title}", "", render_markdown_table(scenario_rows(results))]
+    tails = [
+        f"- `{r.spec.name}`: worst trial delivered "
+        f"{r.min_delivery:.1%} (mean {r.mean_delivery:.1%})"
+        for r in results
+        if r.min_delivery < r.mean_delivery
+    ]
+    if tails:
+        lines += ["", "## Worst-trial tails", ""] + tails
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_scenario_json(results: Sequence, path: Union[str, Path]) -> Path:
+    """Write the JSON report document; returns the path."""
+    p = Path(path)
+    with open(p, "w") as fh:
+        json.dump(scenario_report_dict(results), fh, indent=2)
+    return p
+
+
+def write_scenario_markdown(
+    results: Sequence, path: Union[str, Path], *, title: str = "Scenario sweep"
+) -> Path:
+    """Write the markdown report; returns the path."""
+    p = Path(path)
+    p.write_text(render_scenario_markdown(results, title=title))
+    return p

@@ -14,6 +14,15 @@ hop-by-hop ground-truth simulator) and prints stretch and hop-count
 percentiles plus throughput::
 
     repro route --graph gnp --n 1024 --pairs 100000 --scheme k2
+
+``repro scenarios`` expands a declarative grid of resilience scenarios
+(graph family × k × workload × failure model) and sweeps each one's
+failure trials simultaneously through the vectorized engine::
+
+    repro scenarios --graphs gnp grid --k 2 3 --failures iid-edges churn
+
+The full flag-by-flag reference of every subcommand lives in
+``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -81,8 +90,8 @@ def _cmd_route(args) -> int:
     from .core.scheme_k2 import build_stretch3_scheme
     from .graphs.ports import assign_ports
     from .rng import derive
-    from .sim import workloads
     from .sim.runner import measure_scheme
+    from .sim.workloads import make_workload
 
     graph = reference_graph(args.graph, args.n, args.seed).largest_component()
     ported = assign_ports(graph, "random", rng=derive(args.seed, "route-ports"))
@@ -100,13 +109,9 @@ def _cmd_route(args) -> int:
         scheme = HandshakeRoutingScheme(scheme)
     t_build = time.time() - t0
 
-    rng = derive(args.seed, "route-pairs")
-    if args.workload == "uniform":
-        pairs = workloads.uniform_pairs(graph, args.pairs, rng)
-    elif args.workload == "gravity":
-        pairs = workloads.gravity_pairs(graph, args.pairs, rng)
-    else:  # all-to-one
-        pairs = workloads.all_to_one(graph, rng=rng)
+    pairs = make_workload(
+        graph, args.workload, args.pairs, derive(args.seed, "route-pairs")
+    )
 
     t0 = time.time()
     if args.engine != "reference":
@@ -140,9 +145,9 @@ def _cmd_serve(args) -> int:
     from .analysis.experiments import reference_graph
     from .graphs.ports import assign_ports
     from .rng import derive
-    from .sim import workloads
     from .sim.runner import pair_true_distances, _stretch_values
     from .sim.stats import stretch_stats
+    from .sim.workloads import make_workload
     from .store import RouteService, SchemeStore
 
     graph = reference_graph(args.graph, args.n, args.seed).largest_component()
@@ -163,13 +168,9 @@ def _cmd_serve(args) -> int:
         + (" [strict-verified]" if args.strict_verify else "")
     )
 
-    rng = derive(args.seed, "serve-pairs")
-    if args.workload == "uniform":
-        pairs = workloads.uniform_pairs(graph, args.pairs, rng)
-    elif args.workload == "gravity":
-        pairs = workloads.gravity_pairs(graph, args.pairs, rng)
-    else:  # all-to-one
-        pairs = workloads.all_to_one(graph, rng=rng)
+    pairs = make_workload(
+        graph, args.workload, args.pairs, derive(args.seed, "serve-pairs")
+    )
 
     service = RouteService(stored.path)
     t0 = time.time()
@@ -196,6 +197,57 @@ def _cmd_serve(args) -> int:
         f"\nserve: route {t_route:.2f}s ({rate:,.0f} pairs/s, "
         f"shards={args.shards})"
     )
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from .analysis.scenario_report import (
+        render_scenario_table,
+        write_scenario_json,
+        write_scenario_markdown,
+    )
+    from .scenarios import expand_grid, run_scenarios
+
+    failure_params = {}
+    if args.rate is not None:
+        failure_params["iid-edges"] = {"rate": args.rate}
+    if args.radius is not None:
+        failure_params["geo-ball"] = {"radius": args.radius}
+    specs = expand_grid(
+        graphs=args.graphs,
+        ks=args.k,
+        workloads=args.workloads,
+        failure_models=args.failures,
+        n=args.n,
+        pairs=args.pairs,
+        trials=args.trials,
+        seed=args.seed,
+        handshake=args.handshake,
+        engine=args.engine,
+        failure_params=failure_params,
+    )
+
+    store = None
+    if args.store is not None:
+        from .store import SchemeStore
+
+        store = SchemeStore(args.store)
+
+    t0 = time.time()
+    results = run_scenarios(
+        specs,
+        store=store,
+        progress=lambda s: print(f"[{s.name}]", file=sys.stderr),
+    )
+    elapsed = time.time() - t0
+
+    print(render_scenario_table(results, title=f"scenario sweep ({len(results)} scenarios)"))
+    print(f"\n[{len(results)} scenarios, {sum(r.spec.trials for r in results)} "
+          f"trials total in {elapsed:.1f}s]")
+    if args.json:
+        print(f"wrote {write_scenario_json(results, args.json)}")
+    if args.markdown:
+        print(f"wrote {write_scenario_markdown(results, args.markdown)}")
     return 0
 
 
@@ -370,6 +422,76 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_scen = sub.add_parser(
+        "scenarios",
+        help="run declarative failure/churn scenario sweeps",
+        description=(
+            "Expand a scenario grid (graph families x k x workloads x "
+            "failure models), run every scenario's multi-trial failure "
+            "sweep through the vectorized resilience engine (all trials "
+            "advance simultaneously; schemes come from --store when "
+            "given), and report per-scenario delivery statistics."
+        ),
+        epilog=(
+            "Failure models: 'iid-edges' kills each edge independently "
+            "(--rate); 'geo-ball' kills one distance ball around a "
+            "random epicenter per trial (--radius); 'node-down' crashes "
+            "random vertices; 'churn' traces a progressive degradation "
+            "curve over nested failure sets. Delivery rates count only "
+            "pairs still connected in the surviving graph."
+        ),
+    )
+    p_scen.add_argument(
+        "--graphs", nargs="+", default=["gnp"], choices=ROUTE_GRAPHS,
+        help="graph families to sweep",
+    )
+    p_scen.add_argument("--n", type=int, default=512, help="vertex count")
+    p_scen.add_argument(
+        "--k", nargs="+", type=int, default=[2], help="hierarchy levels to sweep"
+    )
+    p_scen.add_argument(
+        "--handshake", action="store_true",
+        help="use the §4 handshake variant of each scheme",
+    )
+    p_scen.add_argument(
+        "--workloads", nargs="+", default=["uniform"],
+        choices=["uniform", "gravity", "all-to-one"],
+        help="traffic models to sweep (see repro.sim.workloads)",
+    )
+    p_scen.add_argument(
+        "--pairs", type=int, default=2000, help="traffic matrix size per scenario"
+    )
+    p_scen.add_argument(
+        "--failures", nargs="+", default=["iid-edges"],
+        choices=["iid-edges", "geo-ball", "node-down", "churn"],
+        help="failure models to sweep (see epilog)",
+    )
+    p_scen.add_argument(
+        "--trials", type=int, default=32, help="failure trials per scenario"
+    )
+    p_scen.add_argument(
+        "--rate", type=float, default=None,
+        help="iid-edges death probability (default 0.02)",
+    )
+    p_scen.add_argument(
+        "--radius", type=float, default=None,
+        help="geo-ball outage radius (default: the median edge weight)",
+    )
+    p_scen.add_argument(
+        "--store", default=None,
+        help="scheme store directory (schemes are fetched/saved there)",
+    )
+    p_scen.add_argument(
+        "--engine", default="auto", choices=["auto", "batch", "reference"],
+        help="sweep engine (reference = per-trial hop-by-hop ground truth)",
+    )
+    p_scen.add_argument("--json", default=None, help="write the JSON report here")
+    p_scen.add_argument(
+        "--markdown", default=None, help="write the markdown report here"
+    )
+    p_scen.add_argument("--seed", type=int, default=0)
+    p_scen.set_defaults(func=_cmd_scenarios)
 
     p_build = sub.add_parser(
         "build",

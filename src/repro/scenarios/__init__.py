@@ -1,0 +1,26 @@
+"""Scenario lab: declarative failure/churn sweeps through the full stack.
+
+The lab answers "what breaks, and how badly, when the network churns
+out from under a static Thorup–Zwick scheme" — at the scale the
+vectorized stack makes routine.  A sweep is declared as data
+(:class:`ScenarioSpec`: graph family × k × workload × failure model ×
+trial count), expanded from a grid (:func:`expand_grid`), executed
+end-to-end (:func:`run_scenario` — scheme from the
+:class:`~repro.store.SchemeStore` when one is given, all failure
+trials advanced simultaneously by the batch engine), and reported as
+JSON + markdown (:mod:`repro.analysis.scenario_report`).  CLI:
+``repro scenarios``.
+"""
+
+from .lab import ScenarioResult, default_failure_params, run_scenario, run_scenarios
+from .spec import ScenarioSpec, expand_grid, normalize_params
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioResult",
+    "expand_grid",
+    "normalize_params",
+    "default_failure_params",
+    "run_scenario",
+    "run_scenarios",
+]

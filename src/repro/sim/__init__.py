@@ -2,22 +2,40 @@
 the vectorized batch routing engine, traffic workloads, failure
 injection, and stretch/space statistics."""
 
-from .engine import BatchResult, BatchRouter, CompiledScheme, compile_scheme
+from .engine import (
+    BatchResult,
+    BatchRouter,
+    CompiledScheme,
+    TrialSweepResult,
+    compile_scheme,
+)
 from .network import Network, RouteResult
 from .runner import measure_scheme, pair_true_distances, run_pairs
 from .stats import SpaceStats, StretchStats, space_stats, stretch_stats
 from .workloads import (
+    WORKLOADS,
     adversarial_pairs,
     all_to_one,
     gravity_pairs,
     locality_pairs,
+    make_workload,
     uniform_pairs,
 )
 from .failures import (
+    FAILURE_MODELS,
     FaultyNetwork,
     SurvivabilityReport,
+    SweepResult,
+    churn_trials,
+    dead_edge_mask,
+    edges_from_mask,
+    failure_trials,
+    geographic_failure_trials,
+    iid_edge_trials,
+    node_failure_trials,
     sample_edge_failures,
     survivability,
+    survivability_sweep,
     surviving_graph,
 )
 
@@ -45,4 +63,17 @@ __all__ = [
     "sample_edge_failures",
     "survivability",
     "surviving_graph",
+    "TrialSweepResult",
+    "SweepResult",
+    "survivability_sweep",
+    "FAILURE_MODELS",
+    "failure_trials",
+    "iid_edge_trials",
+    "geographic_failure_trials",
+    "node_failure_trials",
+    "churn_trials",
+    "dead_edge_mask",
+    "edges_from_mask",
+    "WORKLOADS",
+    "make_workload",
 ]

@@ -10,9 +10,21 @@ adversarial ground truth: the engine is required (and tested) to agree
 with it bit-for-bit on ``(delivered, weight, hops)`` for every compiled
 scheme.  Use ``engine="reference"`` in :func:`repro.sim.runner.run_pairs`
 to route through the reference simulator instead.
+
+Failure sweeps ride the same loop with one extra array axis:
+:meth:`BatchRouter.route_trials` advances all trials of a multi-trial
+dead-edge experiment simultaneously (trial-axis convention documented
+in :mod:`repro.sim.engine.batch`), returning a :class:`TrialSweepResult`
+whose per-trial slices are bit-for-bit single-trial results.
 """
 
-from .batch import BatchResult, BatchRouter
+from .batch import BatchResult, BatchRouter, TrialSweepResult
 from .compile import CompiledScheme, compile_scheme
 
-__all__ = ["BatchResult", "BatchRouter", "CompiledScheme", "compile_scheme"]
+__all__ = [
+    "BatchResult",
+    "BatchRouter",
+    "CompiledScheme",
+    "TrialSweepResult",
+    "compile_scheme",
+]

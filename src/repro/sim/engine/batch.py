@@ -19,6 +19,20 @@ simulator, delivered/weight/hops are **bit-for-bit identical** to
 :meth:`Network.route` — enforced by the equivalence suite in
 ``tests/test_batch_engine.py``.  Failure *reasons* are coarser (codes,
 not the reference's prose), which is the only sanctioned difference.
+
+**Trial-axis convention.**  Failure sweeps add one more array axis:
+:meth:`BatchRouter.route_trials` routes the *same* pair set under ``T``
+independent dead-edge masks at once.  Internally the trials are
+flattened into ``T·P`` rows carrying a per-row trial index, the tree
+commitment is computed once per pair and tiled (it does not depend on
+the failure set), and the one hop loop advances every (trial, pair) row
+together — the dead-link check simply gathers
+``dead_masks[trial, edge]`` instead of ``dead_mask[edge]``.  Rows are
+independent, so each trial's slice of a :class:`TrialSweepResult` is
+bit-for-bit what :meth:`route_pairs` returns for that trial's dead-edge
+set alone (and hence bit-for-bit the reference
+:class:`~repro.sim.failures.FaultyNetwork` outcome) — enforced by
+``tests/test_scenarios.py``.
 """
 
 from __future__ import annotations
@@ -81,10 +95,12 @@ class BatchResult:
 
     @property
     def attempted(self) -> int:
+        """Number of routed pairs (rows of the input matrix)."""
         return int(self.source.shape[0])
 
     @property
     def delivered_count(self) -> int:
+        """Number of pairs that reached their destination."""
         return int(self.delivered.sum())
 
     def failure(self, row: int) -> Optional[str]:
@@ -115,6 +131,56 @@ class BatchResult:
         return out
 
 
+@dataclass
+class TrialSweepResult:
+    """Columnar outcome of one :meth:`BatchRouter.route_trials` call.
+
+    The trial axis comes first: every per-outcome array has shape
+    ``(T, P)`` for ``T`` dead-edge trials over ``P`` pairs, while
+    ``source``/``dest`` stay ``(P,)`` (the pair set is shared across
+    trials).  Row ``[t, i]`` is bit-for-bit what
+    :meth:`BatchRouter.route_pairs` would report for pair ``i`` under
+    trial ``t``'s dead edges alone.
+    """
+
+    source: np.ndarray  # (P,)
+    dest: np.ndarray  # (P,)
+    delivered: np.ndarray  # (T, P) bool
+    weight: np.ndarray  # (T, P) float64
+    hops: np.ndarray  # (T, P) int64
+    tree: np.ndarray  # (T, P) committed tree (trial-invariant)
+    max_header_bits: np.ndarray  # (T, P) int64
+    failure_code: np.ndarray  # (T, P) int8, FAIL_* values
+
+    @property
+    def trials(self) -> int:
+        """Number of failure trials (first axis)."""
+        return int(self.delivered.shape[0])
+
+    @property
+    def pair_count(self) -> int:
+        """Number of routed pairs per trial (second axis)."""
+        return int(self.source.shape[0])
+
+    @property
+    def delivered_per_trial(self) -> np.ndarray:
+        """Delivered pair count of each trial, shape ``(T,)``."""
+        return self.delivered.sum(axis=1)
+
+    def trial(self, t: int) -> BatchResult:
+        """One trial's slice as a plain :class:`BatchResult` (views)."""
+        return BatchResult(
+            source=self.source,
+            dest=self.dest,
+            delivered=self.delivered[t],
+            weight=self.weight[t],
+            hops=self.hops[t],
+            tree=self.tree[t],
+            max_header_bits=self.max_header_bits[t],
+            failure_code=self.failure_code[t],
+        )
+
+
 class BatchRouter:
     """Route traffic matrices through a compiled scheme, vectorized.
 
@@ -131,6 +197,7 @@ class BatchRouter:
     """
 
     def __init__(self, ported: PortedGraph, scheme: RoutingScheme) -> None:
+        """Compile ``scheme`` against ``ported`` (cached on the scheme)."""
         self.ported: Optional[PortedGraph] = ported
         self.scheme: Optional[RoutingScheme] = scheme
         compiled = scheme.compile_batch(ported)
@@ -154,20 +221,11 @@ class BatchRouter:
         router.compiled = compiled
         return router
 
-    def route_pairs(
-        self,
-        pairs: np.ndarray,
-        *,
-        ttl: Optional[int] = None,
-        dead_edges: Optional[Iterable[Tuple[int, int]]] = None,
-    ) -> BatchResult:
-        """Route every ``(s, t)`` row of ``pairs``; never raises per-pair.
-
-        ``ttl`` matches the reference default (``4·n + 16`` forwarding
-        decisions).  ``dead_edges`` drops any row whose next hop crosses
-        a listed edge, mirroring :class:`~repro.sim.failures.FaultyNetwork`.
-        """
-        cs = self.compiled
+    # ------------------------------------------------------------------
+    # Input validation / shared pieces
+    # ------------------------------------------------------------------
+    def _validate_pairs(self, pairs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(src, dst)`` columns of a checked ``(P, 2)`` pair matrix."""
         pair_arr = np.asarray(pairs, dtype=np.int64)
         if pair_arr.size == 0:
             pair_arr = pair_arr.reshape(0, 2)
@@ -175,38 +233,43 @@ class BatchRouter:
             raise RoutingError("pairs must be an (m, 2) integer array")
         src = np.ascontiguousarray(pair_arr[:, 0])
         dst = np.ascontiguousarray(pair_arr[:, 1])
-        count = src.shape[0]
-        n = cs.n
-        if count and (src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n):
+        n = self.compiled.n
+        if src.shape[0] and (
+            src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n
+        ):
             raise RoutingError("pair endpoint out of range")
-        if ttl is None:
-            ttl = 4 * n + 16
+        return src, dst
 
-        delivered = np.zeros(count, dtype=bool)
+    def _edge_mask(self, dead_edges: Iterable[Tuple[int, int]]) -> np.ndarray:
+        """``(m,)`` boolean mask of the listed edges (canonical ids)."""
+        from ..failures import dead_edge_mask
+
+        if self.ported is None:
+            raise RoutingError(
+                "dead_edges needs the ported graph (edge ids); "
+                "construct the router with one"
+            )
+        return dead_edge_mask(self.ported.graph, dead_edges)
+
+    def _commit(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> Tuple[np.ndarray, ...]:
+        """Commit every pair to a tree (the 4k−5 / §4 source strategy).
+
+        Returns the per-row routing state consumed by :meth:`_hop_loop`:
+        ``(fail, tree, header, dest_f, lp_lo, lp_hi, epos_src,
+        epos_dst)``.  Pure per row — the state of a pair does not depend
+        on any other row, which is what lets :meth:`route_trials`
+        compute it once and tile it across trials.
+        """
+        cs = self.compiled
+        count = src.shape[0]
         fail = np.zeros(count, dtype=np.int8)
-        weight = np.zeros(count)
-        hops = np.zeros(count, dtype=np.int64)
         header = np.full(count, 2 * cs.id_bits, dtype=np.int64)
         tree = np.full(count, -1, dtype=np.int64)
         dest_f = np.zeros(count, dtype=np.int64)
         lp_lo = np.zeros(count, dtype=np.int64)
         lp_hi = np.zeros(count, dtype=np.int64)
-
-        dead_mask: Optional[np.ndarray] = None
-        if dead_edges is not None:
-            dead_list = list(dead_edges)
-            if dead_list:
-                if self.ported is None:
-                    raise RoutingError(
-                        "dead_edges needs the ported graph (edge ids); "
-                        "construct the router with one"
-                    )
-                graph = self.ported.graph
-                dead_mask = np.zeros(graph.m, dtype=bool)
-                for a, b in dead_list:
-                    dead_mask[graph.edge_id(int(a), int(b))] = True
-
-        # --- commit every non-trivial pair to a tree --------------------
         # Routing state is entry-indexed: a message at vertex u inside
         # committed tree w is "at" the compiled entry (w, u); arrival is
         # entry equality with the destination's entry.  Trivial (s == t)
@@ -230,6 +293,126 @@ class BatchRouter:
             lp_hi[good] = cs.lp_indptr[epos + 1]
             epos_src[good] = sel_spos[sel_ok]
             epos_dst[good] = epos
+        return fail, tree, header, dest_f, lp_lo, lp_hi, epos_src, epos_dst
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def route_pairs(
+        self,
+        pairs: np.ndarray,
+        *,
+        ttl: Optional[int] = None,
+        dead_edges: Optional[Iterable[Tuple[int, int]]] = None,
+    ) -> BatchResult:
+        """Route every ``(s, t)`` row of ``pairs``; never raises per-pair.
+
+        ``ttl`` matches the reference default (``4·n + 16`` forwarding
+        decisions).  ``dead_edges`` drops any row whose next hop crosses
+        a listed edge, mirroring :class:`~repro.sim.failures.FaultyNetwork`.
+        """
+        src, dst = self._validate_pairs(pairs)
+        dead_masks: Optional[np.ndarray] = None
+        trial: Optional[np.ndarray] = None
+        if dead_edges is not None:
+            dead_list = list(dead_edges)
+            if dead_list:
+                dead_masks = self._edge_mask(dead_list)[None, :]
+                trial = np.zeros(src.shape[0], dtype=np.int64)
+        state = self._commit(src, dst)
+        return self._hop_loop(src, dst, state, ttl, dead_masks, trial)
+
+    def route_trials(
+        self,
+        pairs: np.ndarray,
+        dead_edge_masks: np.ndarray,
+        *,
+        ttl: Optional[int] = None,
+    ) -> TrialSweepResult:
+        """Route the same pairs under ``T`` dead-edge trials at once.
+
+        ``dead_edge_masks`` is a ``(T, m)`` boolean matrix — row ``t``
+        flags the canonical edge ids dead in trial ``t`` (build it with
+        :func:`repro.sim.failures.failure_trials` or
+        :func:`repro.sim.failures.dead_edge_mask`).  The scheme stays
+        compiled once and the tree commitment is computed once per pair;
+        only the hop loop carries the trial axis.  Slice ``t`` of the
+        result is bit-for-bit ``route_pairs(pairs, dead_edges=<trial
+        t's edges>)``.
+        """
+        cs = self.compiled
+        src, dst = self._validate_pairs(pairs)
+        masks = np.ascontiguousarray(np.asarray(dead_edge_masks, dtype=bool))
+        if masks.ndim != 2:
+            raise RoutingError(
+                "dead_edge_masks must be a (trials, m) boolean matrix"
+            )
+        if self.ported is not None and masks.shape[1] != self.ported.graph.m:
+            raise RoutingError(
+                f"dead_edge_masks has {masks.shape[1]} edge columns, "
+                f"graph has {self.ported.graph.m} edges"
+            )
+        # Every edge id the hop loop can gather must be in range: the
+        # step tables cover all graph edges, but guard the tree-link
+        # columns too for schemes compiled from foreign containers.
+        for edge_ids in (cs.step_edge, cs.ent_parent_edge, cs.ent_heavy_edge):
+            if edge_ids.size and masks.shape[1] <= int(edge_ids.max()):
+                raise RoutingError(
+                    "dead_edge_masks has fewer edge columns than the "
+                    "compiled scheme's edge ids"
+                )
+        T = masks.shape[0]
+        P = src.shape[0]
+        state = self._commit(src, dst)
+        tiled = tuple(np.tile(a, T) for a in state)
+        flat = self._hop_loop(
+            np.tile(src, T),
+            np.tile(dst, T),
+            tiled,
+            ttl,
+            masks,
+            np.repeat(np.arange(T, dtype=np.int64), P),
+        )
+        return TrialSweepResult(
+            source=src,
+            dest=dst,
+            delivered=flat.delivered.reshape(T, P),
+            weight=flat.weight.reshape(T, P),
+            hops=flat.hops.reshape(T, P),
+            tree=flat.tree.reshape(T, P),
+            max_header_bits=flat.max_header_bits.reshape(T, P),
+            failure_code=flat.failure_code.reshape(T, P),
+        )
+
+    # ------------------------------------------------------------------
+    # The synchronized hop loop
+    # ------------------------------------------------------------------
+    def _hop_loop(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        state: Tuple[np.ndarray, ...],
+        ttl: Optional[int],
+        dead_masks: Optional[np.ndarray],
+        trial: Optional[np.ndarray],
+    ) -> BatchResult:
+        """Advance all committed rows one synchronized hop per step.
+
+        ``state`` is :meth:`_commit`'s output (owned by this call — the
+        ``fail`` column is mutated in place).  ``dead_masks`` is a
+        ``(T, m)`` boolean matrix and ``trial`` the per-row trial index
+        into it (both ``None`` when no edges are dead); plain
+        single-failure-set routing passes a one-row matrix.
+        """
+        cs = self.compiled
+        count = src.shape[0]
+        n = cs.n
+        if ttl is None:
+            ttl = 4 * n + 16
+        fail, tree, header, dest_f, lp_lo, lp_hi, epos_src, epos_dst = state
+        delivered = np.zeros(count, dtype=bool)
+        weight = np.zeros(count)
+        hops = np.zeros(count, dtype=np.int64)
 
         # --- synchronized hop stepping (state compacted as rows retire) -
         rows = np.flatnonzero(fail == FAIL_NONE)
@@ -241,9 +424,11 @@ class BatchRouter:
         lo = lp_lo[rows]
         hi = lp_hi[rows]
         lost_v = np.full(rows.shape[0], -1, dtype=np.int64)
+        tri = trial[rows] if trial is not None else None
 
         def _compact(keep: np.ndarray) -> None:
-            nonlocal rows, cur, dst_e, dsts, target_f, trees, lo, hi, lost_v
+            """Drop retired rows from every live state column."""
+            nonlocal rows, cur, dst_e, dsts, target_f, trees, lo, hi, lost_v, tri
             rows = rows[keep]
             cur = cur[keep]
             dst_e = dst_e[keep]
@@ -253,6 +438,8 @@ class BatchRouter:
             lo = lo[keep]
             hi = hi[keep]
             lost_v = lost_v[keep]
+            if tri is not None:
+                tri = tri[keep]
 
         for _ in range(ttl):
             if rows.size == 0:
@@ -291,12 +478,12 @@ class BatchRouter:
             pe = cur[outside]
             nxt[outside] = cs.ent_parent_epos[pe]
             wts[outside] = cs.ent_parent_wt[pe]
-            if dead_mask is not None:
+            if dead_masks is not None:
                 edge[outside] = cs.ent_parent_edge[pe]
             he = cur[heavy]
             nxt[heavy] = cs.ent_heavy_epos[he]
             wts[heavy] = cs.ent_heavy_wt[he]
-            if dead_mask is not None:
+            if dead_masks is not None:
                 edge[heavy] = cs.ent_heavy_edge[he]
             code[outside & (nxt == -1)] = FAIL_ROOT_EXIT
             # heavy with no heavy child (-1) means a corrupted record
@@ -335,12 +522,12 @@ class BatchRouter:
                     nxt[li] = np.where(found, landed, _LOST)
                     new_lost[li] = np.where(found, -1, landed_v)
                     wts[li] = cs.step_wt[step]
-                    if dead_mask is not None:
+                    if dead_masks is not None:
                         edge[li] = cs.step_edge[step]
 
-            if dead_mask is not None:
+            if dead_masks is not None:
                 crossing = (code == FAIL_NONE) & (edge >= 0)
-                dead_hit = crossing & dead_mask[np.maximum(edge, 0)]
+                dead_hit = crossing & dead_masks[tri, np.maximum(edge, 0)]
                 code[dead_hit] = FAIL_DEAD_LINK
 
             bad = code != FAIL_NONE

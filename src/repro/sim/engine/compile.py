@@ -128,6 +128,7 @@ class CompiledScheme:
 
     @property
     def entry_count(self) -> int:
+        """Total number of (tree, member) entries in the scheme."""
         return int(self.entry_keys.shape[0])
 
     def with_handshake(self) -> "CompiledScheme":
@@ -307,6 +308,7 @@ def compile_scheme(
         lp_count_parts.append(counts)
 
     def _cat(parts, dtype=np.int64):
+        """Concatenate chunks (empty-safe) into one typed array."""
         if not parts:
             return np.zeros(0, dtype=dtype)
         return np.concatenate(parts).astype(dtype, copy=False)

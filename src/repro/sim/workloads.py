@@ -16,6 +16,10 @@ ask sharper questions:
   route such pairs exactly).
 * :func:`adversarial_pairs` — the pairs with the worst oracle estimate,
   a cheap proxy for where routing stretch concentrates.
+
+The generators that need only a graph, a count and randomness are also
+reachable by name through :func:`make_workload` (registry
+:data:`WORKLOADS`) — the dispatch the CLI and the scenario lab share.
 """
 
 from __future__ import annotations
@@ -96,6 +100,34 @@ def locality_pairs(
                 f"no vertex has a neighbor within radius {radius}"
             )
     return pairs
+
+
+#: Workload names accepted by :func:`make_workload` (the self-contained
+#: generators; ``locality``/``adversarial`` need extra inputs and are
+#: called directly).
+WORKLOADS = ("uniform", "gravity", "all-to-one")
+
+
+def make_workload(
+    graph: Graph, name: str, count: int, rng: RngLike = None, **params
+) -> np.ndarray:
+    """Generate a named traffic matrix: the CLI/scenario-lab dispatch.
+
+    ``name`` is a :data:`WORKLOADS` key; ``params`` forward to the
+    generator (e.g. ``alpha=`` for ``gravity``, ``target=`` for
+    ``all-to-one``).  ``all-to-one`` ignores ``count`` — it is always
+    the full n−1 sources (truncating would keep a biased low-id
+    prefix).
+    """
+    if name == "uniform":
+        return uniform_pairs(graph, count, rng, **params)
+    if name == "gravity":
+        return gravity_pairs(graph, count, rng, **params)
+    if name == "all-to-one":
+        return all_to_one(graph, rng=rng, **params)
+    raise ValueError(
+        f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}"
+    )
 
 
 def adversarial_pairs(

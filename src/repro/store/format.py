@@ -51,6 +51,7 @@ _tmp_counter = itertools.count().__next__
 
 
 def _align(offset: int) -> int:
+    """Round ``offset`` up to the container's 64-byte alignment."""
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
@@ -129,6 +130,7 @@ def write_container(
 
 
 def _fail(path: Path, why: str) -> EncodingError:
+    """A uniformly-worded corruption error for ``path``."""
     return EncodingError(f"cannot open scheme store {path}: {why}")
 
 

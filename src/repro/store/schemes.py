@@ -33,6 +33,7 @@ _HIERARCHY_FIELDS = ("h_dist", "h_pivot", "h_level_of", "h_levels_data", "h_leve
 
 
 def _ndarray_fields(cls) -> tuple:
+    """Names of the ndarray-typed fields of a columnar dataclass."""
     return tuple(
         f.name for f in dataclasses.fields(cls) if f.type in ("np.ndarray", np.ndarray)
     )
@@ -43,6 +44,7 @@ COMPILED_FIELDS = _ndarray_fields(CompiledScheme)
 
 
 def _check_fields(found, expected, what: str) -> None:
+    """Raise :class:`EncodingError` unless the field sets match exactly."""
     missing = sorted(set(expected) - set(found))
     unknown = sorted(set(found) - set(expected))
     if missing or unknown:
@@ -53,6 +55,7 @@ def _check_fields(found, expected, what: str) -> None:
 
 
 def hierarchy_to_manifest(hierarchy: Hierarchy) -> Dict[str, np.ndarray]:
+    """Flatten a hierarchy (ragged level sets included) into named blobs."""
     levels = [np.asarray(a, dtype=np.int64) for a in hierarchy.levels]
     indptr = np.zeros(len(levels) + 1, dtype=np.int64)
     np.cumsum([a.size for a in levels], out=indptr[1:])
@@ -69,6 +72,7 @@ def hierarchy_to_manifest(hierarchy: Hierarchy) -> Dict[str, np.ndarray]:
 
 
 def hierarchy_from_manifest(blobs: Dict[str, np.ndarray]) -> Hierarchy:
+    """Rebuild a hierarchy from its manifest blobs (zero-copy views)."""
     indptr = blobs["h_levels_indptr"]
     data = blobs["h_levels_data"]
     k = indptr.shape[0] - 1
@@ -83,6 +87,7 @@ def hierarchy_from_manifest(blobs: Dict[str, np.ndarray]) -> Hierarchy:
 
 
 def arrays_to_manifest(arrays: SchemeArrays) -> Dict[str, np.ndarray]:
+    """All ``arr_``-prefixed blobs of the canonical scheme-array form."""
     out = {
         ARRAYS_PREFIX + name: getattr(arrays, name) for name in ARRAYS_FIELDS
     }
@@ -92,6 +97,7 @@ def arrays_to_manifest(arrays: SchemeArrays) -> Dict[str, np.ndarray]:
 
 
 def arrays_from_manifest(blobs: Dict[str, np.ndarray], n: int, k: int) -> SchemeArrays:
+    """Rebuild :class:`SchemeArrays` from container blobs, validated."""
     found = {
         name[len(ARRAYS_PREFIX) :]: blob
         for name, blob in blobs.items()
@@ -109,6 +115,7 @@ def arrays_from_manifest(blobs: Dict[str, np.ndarray], n: int, k: int) -> Scheme
 
 
 def compiled_to_manifest(compiled: CompiledScheme) -> Dict[str, np.ndarray]:
+    """All ``cs_``-prefixed blobs of the port-resolved engine form."""
     return {
         COMPILED_PREFIX + name: getattr(compiled, name)
         for name in COMPILED_FIELDS
@@ -118,6 +125,7 @@ def compiled_to_manifest(compiled: CompiledScheme) -> Dict[str, np.ndarray]:
 def compiled_from_manifest(
     blobs: Dict[str, np.ndarray], n: int, k: int, id_bits: int, handshake: bool
 ) -> CompiledScheme:
+    """Rebuild the routable :class:`CompiledScheme` from container blobs."""
     found = {
         name[len(COMPILED_PREFIX) :]: blob
         for name, blob in blobs.items()

@@ -59,6 +59,7 @@ class RouteService:
     """Serve traffic matrices from one stored scheme (see module doc)."""
 
     def __init__(self, path: Union[str, Path], *, mmap: bool = True) -> None:
+        """Open the container at ``path`` (zero-copy mmap by default)."""
         from .store import SchemeStore
 
         self.path = Path(path)
@@ -69,10 +70,12 @@ class RouteService:
 
     @property
     def n(self) -> int:
+        """Vertex count of the served scheme."""
         return self.compiled.n
 
     @property
     def k(self) -> int:
+        """Hierarchy depth of the served scheme."""
         return self.compiled.k
 
     def route(

@@ -143,6 +143,7 @@ class StoredScheme:
 
     @property
     def key(self) -> str:
+        """The scheme's content address in the store."""
         return self.meta["key"]
 
     def router(self, ported: Optional[PortedGraph] = None):
@@ -161,10 +162,12 @@ class SchemeStore:
     """Directory-backed scheme cache (see module docstring)."""
 
     def __init__(self, root: Union[str, Path]) -> None:
+        """Open (creating if needed) the store directory at ``root``."""
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
     def path_for(self, key: str) -> Path:
+        """Container path of content address ``key``."""
         return self.root / f"{key}{STORE_SUFFIX}"
 
     def key_for(
@@ -176,14 +179,17 @@ class SchemeStore:
         *,
         handshake: bool = False,
     ) -> str:
+        """Content address of ``(graph, k, seed, ported)`` (see :func:`scheme_key`)."""
         return scheme_key(
             graph_content_hash(graph), k, seed, port_hash(ported), handshake=handshake
         )
 
     def __contains__(self, key: str) -> bool:
+        """Whether a container for content address ``key`` exists."""
         return self.path_for(key).exists()
 
     def keys(self):
+        """Sorted content addresses of every stored scheme."""
         return sorted(p.stem for p in self.root.glob(f"*{STORE_SUFFIX}"))
 
     # ------------------------------------------------------------------
@@ -279,6 +285,7 @@ class SchemeStore:
         graph: Optional[Graph],
         ported: Optional[PortedGraph],
     ) -> None:
+        """Replay the bit-exact codec digest over a loaded scheme."""
         if graph is None or ported is None:
             raise EncodingError(
                 "strict verification needs the graph and port assignment "

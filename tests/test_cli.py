@@ -1,10 +1,15 @@
-"""CLI smoke tests: list, run, markdown output."""
+"""CLI smoke tests: list, run, markdown output, docs/CLI sync."""
 
 from __future__ import annotations
+
+import re
+from pathlib import Path
 
 import pytest
 
 from repro.cli import main
+
+DOCS_CLI = Path(__file__).resolve().parent.parent / "docs" / "cli.md"
 
 
 class TestCli:
@@ -68,6 +73,59 @@ class TestCli:
     def test_build_unknown_graph_rejected(self):
         with pytest.raises(SystemExit):
             main(["build", "--graph", "nope"])
+
+    def test_help_mentions_every_documented_subcommand(self, capsys):
+        """docs/cli.md documents the CLI; --help must know every
+        subcommand the doc claims exists (the doc-drift tripwire)."""
+        documented = re.findall(r"^## `repro (\w[\w-]*)`", DOCS_CLI.read_text(), re.M)
+        assert sorted(documented) == sorted(
+            ["list", "run", "all", "build", "route", "serve", "scenarios"]
+        )
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        help_text = capsys.readouterr().out
+        for cmd in documented:
+            assert cmd in help_text, f"subcommand {cmd!r} documented but not in --help"
+
+    @pytest.mark.parametrize(
+        "cmd", ["list", "run", "all", "build", "route", "serve", "scenarios"]
+    )
+    def test_subcommand_help_exits_zero(self, cmd, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([cmd, "--help"])
+        assert exc.value.code == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_scenarios_sweep_writes_reports(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "report.json"
+        out_md = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "--graphs", "gnp",
+                    "--n", "96",
+                    "--k", "2",
+                    "--failures", "iid-edges", "churn",
+                    "--trials", "3",
+                    "--pairs", "200",
+                    "--store", str(tmp_path / "store"),
+                    "--json", str(out_json),
+                    "--markdown", str(out_md),
+                    "--seed", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "delivery_mean" in out and "scenario sweep" in out
+        doc = json.loads(out_json.read_text())
+        assert doc["kind"] == "tz-scenario-report"
+        assert len(doc["scenarios"]) == 2
+        assert all(len(s["delivery_rates"]) == 3 for s in doc["scenarios"])
+        assert "| scenario |" in out_md.read_text()
 
     def test_serve_miss_then_hit(self, capsys, tmp_path):
         args = [

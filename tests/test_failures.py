@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.baselines.tree_spanner import build_single_tree_scheme
@@ -11,6 +12,9 @@ from repro.graphs.ports import assign_ports
 from repro.rng import all_pairs, make_rng
 from repro.sim.failures import (
     FaultyNetwork,
+    dead_edge_mask,
+    iid_edge_trials,
+    node_failure_trials,
     sample_edge_failures,
     survivability,
     surviving_graph,
@@ -141,3 +145,134 @@ class TestSurvivability:
         assert report.attempted == len(pairs)
         assert 0 <= report.delivered <= report.connected_pairs <= len(pairs)
         assert len(report.failed_edges) == 3
+
+
+class TestSamplingEdgeCases:
+    """The corners of failure sampling: determinism, extremes, tiny graphs."""
+
+    def test_deterministic_under_spawn(self, setup):
+        """Spawned child streams re-derive the same failure sets: the
+        multi-trial models rely on spawn() being a pure function of the
+        parent seed and the spawn index."""
+        from repro.rng import make_rng, spawn
+
+        g = setup[0]
+        sets_a = [
+            sample_edge_failures(g, 4, child)
+            for child in spawn(make_rng(99), 5)
+        ]
+        sets_b = [
+            sample_edge_failures(g, 4, child)
+            for child in spawn(make_rng(99), 5)
+        ]
+        assert sets_a == sets_b
+        # and iid_edge_trials(f=) is exactly that, as masks
+        masks = iid_edge_trials(g, 5, f=4, rng=99)
+        for t, dead in enumerate(sets_a):
+            assert np.array_equal(masks[t], dead_edge_mask(g, dead)), t
+
+    def test_spawn_does_not_disturb_parent_stream(self, setup):
+        from repro.rng import make_rng, spawn
+
+        g = setup[0]
+        gen_a, gen_b = make_rng(7), make_rng(7)
+        spawn(gen_a, 3)  # must not advance the parent's own stream
+        assert sample_edge_failures(g, 5, gen_a) == sample_edge_failures(
+            g, 5, gen_b
+        )
+
+    def test_dead_edge_canonicalization_both_orientations(self, setup):
+        """(u,v) and (v,u) name the same undirected edge everywhere:
+        the mask builder, the FaultyNetwork dead set, and the batch
+        engine must all drop the same messages."""
+        g, pg, scheme, pairs = setup
+        from repro.sim.network import Network
+
+        res = Network(pg, scheme).route(0, g.n - 1, strict=True)
+        u, v = res.path[0], res.path[1]
+        assert np.array_equal(
+            dead_edge_mask(g, [(u, v)]), dead_edge_mask(g, [(v, u)])
+        )
+        for dead in ([(u, v)], [(v, u)]):
+            assert not FaultyNetwork(pg, scheme, dead).route(0, g.n - 1).delivered
+        rep_uv = survivability(pg, scheme, [(u, v)], pairs)
+        rep_vu = survivability(pg, scheme, [(v, u)], pairs)
+        assert rep_uv.delivered == rep_vu.delivered
+        assert rep_uv.failed_edges == rep_vu.failed_edges
+
+    def test_rate_extremes(self, setup):
+        g = setup[0]
+        none = iid_edge_trials(g, 3, rate=0.0, rng=1)
+        assert not none.any() and none.shape == (3, g.m)
+        everything = iid_edge_trials(g, 3, rate=1.0, rng=1)
+        assert everything.all()
+        with pytest.raises(ValueError):
+            iid_edge_trials(g, 3, rate=1.5, rng=1)
+        with pytest.raises(ValueError):
+            iid_edge_trials(g, 3, rng=1)  # neither f nor rate
+        with pytest.raises(ValueError):
+            iid_edge_trials(g, 3, f=1, rate=0.5, rng=1)  # both
+
+    def test_zero_failures_touch_no_stream_state(self, setup):
+        g = setup[0]
+        assert sample_edge_failures(g, 0, rng=5) == ()
+        with pytest.raises(ValueError):
+            sample_edge_failures(g, -1, rng=5)
+
+    def test_single_edge_graph(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph(2, [(0, 1)], [3.0])
+        assert sample_edge_failures(g, 1, rng=0) == ((0, 1),)
+        assert sample_edge_failures(g, 0, rng=0) == ()
+        masks = iid_edge_trials(g, 4, f=1, rng=0)
+        assert masks.shape == (4, 1) and masks.all()
+        # killing the only edge disconnects the only pair: rate is the
+        # vacuous 1.0 (no still-connected pair could have been served)
+        pg = assign_ports(g, "sorted")
+        scheme = build_stretch3_scheme(g, pg, rng=1)
+        report = survivability(pg, scheme, [(0, 1)], np.array([[0, 1], [1, 0]]))
+        assert report.connected_pairs == 0
+        assert report.delivery_rate == 1.0
+
+    def test_single_vertex_graph(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph(1, [])
+        assert sample_edge_failures(g, 0, rng=0) == ()
+        with pytest.raises(ValueError):
+            sample_edge_failures(g, 1, rng=0)
+        assert iid_edge_trials(g, 3, rate=0.5, rng=0).shape == (3, 0)
+        assert iid_edge_trials(g, 3, f=0, rng=0).shape == (3, 0)
+        assert node_failure_trials(g, 3, f=1, rng=0).shape == (3, 0)
+
+    def test_ttl_interacts_with_dead_edges(self, setup):
+        """A dead link must be discovered at the hop that crosses it,
+        whatever the TTL — and a TTL too small to reach the dead edge
+        reports TTL exhaustion, identically in both engines."""
+        from repro.sim.engine import BatchRouter
+        from repro.sim.engine.batch import FAIL_DEAD_LINK, FAIL_TTL
+
+        g, pg, scheme, pairs = setup
+        from repro.sim.network import Network
+
+        res = Network(pg, scheme).route(0, g.n - 1, strict=True)
+        assert len(res.path) >= 3, "need a multi-hop route for this test"
+        dead = [(res.path[1], res.path[2])]  # dies on the second hop
+        router = BatchRouter(pg, scheme)
+        pair = np.array([[0, g.n - 1]])
+
+        hit = router.route_pairs(pair, dead_edges=dead, ttl=10)
+        assert hit.failure_code[0] == FAIL_DEAD_LINK and hit.hops[0] == 1
+        ref_hit = FaultyNetwork(pg, scheme, dead).route(0, g.n - 1, ttl=10)
+        assert not ref_hit.delivered and "dead link" in ref_hit.failure
+        assert ref_hit.hops == hit.hops[0]
+        assert ref_hit.weight == hit.weight[0]
+
+        # TTL runs out on the first hop, before the dead edge is reached
+        starved = router.route_pairs(pair, dead_edges=dead, ttl=1)
+        assert starved.failure_code[0] == FAIL_TTL and starved.hops[0] == 1
+        ref_starved = FaultyNetwork(pg, scheme, dead).route(0, g.n - 1, ttl=1)
+        assert not ref_starved.delivered and "TTL" in ref_starved.failure
+        assert ref_starved.hops == starved.hops[0]
+        assert ref_starved.weight == starved.weight[0]

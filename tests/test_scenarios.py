@@ -1,0 +1,322 @@
+"""Scenario lab + multi-trial resilience engine differential suite.
+
+The load-bearing guarantee: one vectorized
+:meth:`BatchRouter.route_trials` call over ``T`` dead-edge masks is
+**bit-for-bit identical** — per (trial, pair), on (delivered, weight,
+hops) — to routing each trial separately through the hop-by-hop
+:class:`FaultyNetwork` reference.  Enforced here across graph families
+× k ∈ {2, 3} × failure models, as the acceptance criteria require.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.scheme_k import build_tz_scheme
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.rng import all_pairs, derive
+from repro.sim.engine import BatchRouter
+from repro.sim.failures import (
+    FAILURE_MODELS,
+    churn_trials,
+    dead_edge_mask,
+    edges_from_mask,
+    failure_trials,
+    geographic_failure_trials,
+    iid_edge_trials,
+    node_failure_trials,
+    survivability,
+    survivability_sweep,
+)
+
+FAMILIES = {
+    "gnp": lambda: gen.gnp(70, 0.09, rng=21, weights=(1, 6)),
+    "grid": lambda: gen.grid2d(8, 8, rng=22),
+    "ba": lambda: gen.barabasi_albert(70, 3, rng=23, weights=(1, 6)),
+}
+
+MODELS = {
+    "iid-edges": lambda g: iid_edge_trials(g, 3, f=5, rng=31),
+    "churn": lambda g: churn_trials(g, 3, f_final=max(1, g.m // 8), rng=32),
+    "geo-ball": lambda g: geographic_failure_trials(
+        g, 3, radius=float(np.median(g.edge_weights)), rng=33
+    ),
+    "node-down": lambda g: node_failure_trials(g, 3, f=2, rng=34),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(FAMILIES))
+def family(request):
+    g = FAMILIES[request.param]().largest_component()
+    pg = assign_ports(g, "random", rng=derive(7, "ports", request.param))
+    pairs = all_pairs(g.n, limit=220, rng=derive(7, "pairs", request.param))
+    schemes = {
+        k: build_tz_scheme(g, pg, k=k, rng=derive(7, "scheme", request.param, k))
+        for k in (2, 3)
+    }
+    return g, pg, schemes, pairs
+
+
+class TestSweepDifferential:
+    """Batch sweep == per-trial FaultyNetwork, bit for bit."""
+
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_bit_identical_to_reference(self, family, model, k):
+        g, pg, schemes, pairs = family
+        masks = MODELS[model](g)
+        fast = survivability_sweep(pg, schemes[k], masks, pairs, engine="batch")
+        slow = survivability_sweep(pg, schemes[k], masks, pairs, engine="reference")
+        assert fast.engine == "batch" and slow.engine == "reference"
+        np.testing.assert_array_equal(fast.delivered, slow.delivered)
+        np.testing.assert_array_equal(fast.weight, slow.weight)
+        np.testing.assert_array_equal(fast.hops, slow.hops)
+        np.testing.assert_array_equal(fast.connected, slow.connected)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_reports_match_survivability(self, family, k):
+        """Per-trial reports reproduce the classic survivability() path."""
+        g, pg, schemes, pairs = family
+        masks = iid_edge_trials(g, 4, f=6, rng=41)
+        sweep = survivability_sweep(pg, schemes[k], masks, pairs)
+        for t in range(sweep.trials):
+            old = survivability(
+                pg, schemes[k], edges_from_mask(g, masks[t]), pairs
+            )
+            rep = sweep.report(t)
+            assert rep.attempted == old.attempted
+            assert rep.connected_pairs == old.connected_pairs
+            assert rep.delivered == old.delivered
+            assert rep.delivery_rate == old.delivery_rate
+            assert set(rep.failed_edges) == set(old.failed_edges)
+        rates = sweep.delivery_rates
+        assert rates.shape == (4,)
+        assert np.all((rates >= 0) & (rates <= 1))
+
+
+class TestRouteTrials:
+    """The trial axis itself: slices, shapes, degenerate inputs."""
+
+    def test_trial_slices_equal_single_routes(self, family):
+        g, pg, schemes, pairs = family
+        router = BatchRouter(pg, schemes[2])
+        masks = iid_edge_trials(g, 4, f=4, rng=51)
+        sweep = router.route_trials(pairs, masks)
+        assert sweep.trials == 4 and sweep.pair_count == len(pairs)
+        for t in range(4):
+            single = router.route_pairs(
+                pairs, dead_edges=edges_from_mask(g, masks[t])
+            )
+            sl = sweep.trial(t)
+            for name in (
+                "delivered", "weight", "hops", "tree",
+                "max_header_bits", "failure_code",
+            ):
+                np.testing.assert_array_equal(
+                    getattr(single, name), getattr(sl, name), err_msg=name
+                )
+
+    def test_zero_trials_and_zero_pairs(self, family):
+        g, pg, schemes, pairs = family
+        router = BatchRouter(pg, schemes[2])
+        empty_t = router.route_trials(pairs, np.zeros((0, g.m), dtype=bool))
+        assert empty_t.trials == 0
+        assert empty_t.delivered.shape == (0, len(pairs))
+        empty_p = router.route_trials(
+            np.zeros((0, 2), dtype=np.int64), np.zeros((2, g.m), dtype=bool)
+        )
+        assert empty_p.trials == 2 and empty_p.pair_count == 0
+        assert np.array_equal(empty_p.delivered_per_trial, [0, 0])
+
+    def test_all_edges_dead_delivers_nothing_nontrivial(self, family):
+        g, pg, schemes, pairs = family
+        router = BatchRouter(pg, schemes[2])
+        masks = np.ones((1, g.m), dtype=bool)
+        sweep = router.route_trials(pairs, masks)
+        nontrivial = sweep.source != sweep.dest
+        assert not sweep.delivered[0][nontrivial].any()
+
+    def test_bad_mask_shape_rejected(self, family):
+        g, pg, schemes, pairs = family
+        from repro.errors import RoutingError
+
+        router = BatchRouter(pg, schemes[2])
+        with pytest.raises(RoutingError):
+            router.route_trials(pairs, np.zeros(g.m, dtype=bool))
+        with pytest.raises(RoutingError):
+            router.route_trials(pairs, np.zeros((2, g.m + 3), dtype=bool))
+
+    def test_mask_permutation_permutes_results(self, family):
+        g, pg, schemes, pairs = family
+        router = BatchRouter(pg, schemes[3])
+        masks = iid_edge_trials(g, 3, f=5, rng=52)
+        fwd = router.route_trials(pairs, masks)
+        rev = router.route_trials(pairs, masks[::-1])
+        np.testing.assert_array_equal(fwd.delivered[::-1], rev.delivered)
+        np.testing.assert_array_equal(fwd.weight[::-1], rev.weight)
+
+
+class TestFailureModels:
+    """Mask-matrix invariants of every registered failure model."""
+
+    def test_registry_covers_all_models(self):
+        assert set(FAILURE_MODELS) == {"iid-edges", "geo-ball", "node-down", "churn"}
+
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_shapes_and_determinism(self, family, model):
+        g = family[0]
+        a = MODELS[model](g)
+        b = MODELS[model](g)
+        assert a.shape == (3, g.m) and a.dtype == bool
+        np.testing.assert_array_equal(a, b)
+
+    def test_churn_is_nested_and_monotone(self, family):
+        g = family[0]
+        masks = churn_trials(g, 5, f_final=g.m // 2, rng=61)
+        counts = masks.sum(axis=1)
+        assert counts[0] == 0 and counts[-1] == g.m // 2
+        assert np.all(np.diff(counts) >= 0)
+        for t in range(4):
+            assert not (masks[t] & ~masks[t + 1]).any()  # nested sets
+
+    def test_geo_ball_kills_a_ball(self, family):
+        g = family[0]
+        center = np.array([0, 0], dtype=np.int64)
+        masks = geographic_failure_trials(
+            g, 2, radius=float(g.edge_weights.max()), epicenters=center
+        )
+        np.testing.assert_array_equal(masks[0], masks[1])
+        dist, _ = g.csr().sssp_batch(np.array([0]))
+        in_ball = dist[0] <= float(g.edge_weights.max())
+        expect = in_ball[g.edges[:, 0]] & in_ball[g.edges[:, 1]]
+        np.testing.assert_array_equal(masks[0], expect)
+
+    def test_node_down_kills_incident_edges_only(self, family):
+        g = family[0]
+        masks = node_failure_trials(g, 3, f=1, rng=62)
+        for t in range(3):
+            dead = np.flatnonzero(masks[t])
+            # all dead edges share one endpoint (a single crashed vertex)
+            touched = set(g.edges[dead].ravel().tolist())
+            common = set(g.edges[dead[0]].tolist())
+            for e in dead[1:]:
+                common &= set(g.edges[e].tolist())
+            assert len(common) == 1
+            v = common.pop()
+            assert len(dead) == g.degree(v)
+            assert touched <= set(g.neighbors(v).tolist()) | {v}
+
+    def test_failure_trials_dispatch(self, family):
+        g = family[0]
+        got = failure_trials(g, "iid-edges", 3, rng=31, f=5)
+        np.testing.assert_array_equal(got, MODELS["iid-edges"](g))
+        with pytest.raises(ValueError, match="unknown failure model"):
+            failure_trials(g, "meteor", 3)
+
+
+class TestScenarioLab:
+    """Spec round-trips, grid expansion, store reuse, reporting."""
+
+    def test_spec_roundtrip_and_name(self):
+        from repro.scenarios import ScenarioSpec
+
+        spec = ScenarioSpec(
+            graph="grid", n=100, k=3, handshake=True, workload="gravity",
+            failure_model="geo-ball", failure_params=(("radius", 2.0),),
+            trials=8, seed=5,
+        )
+        assert spec.name == "grid-n100-k3-hs-gravity-geo-ball-x8"
+        clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.params == {"radius": 2.0}
+
+    def test_expand_grid_product_order(self):
+        from repro.scenarios import expand_grid
+
+        specs = expand_grid(
+            graphs=("gnp", "ba"), ks=(2, 3), failure_models=("iid-edges", "churn"),
+            n=64, trials=4,
+        )
+        assert len(specs) == 8
+        assert [s.graph for s in specs[:4]] == ["gnp"] * 4
+        assert specs[0].failure_model == "iid-edges"
+        assert specs[1].failure_model == "churn"
+
+    def test_run_scenario_store_hit_is_bit_identical(self, tmp_path):
+        from repro.scenarios import ScenarioSpec, run_scenario
+        from repro.store import SchemeStore
+
+        store = SchemeStore(tmp_path / "store")
+        spec = ScenarioSpec(graph="gnp", n=96, k=2, trials=4, pairs=150, seed=3)
+        miss = run_scenario(spec, store=store)
+        hit = run_scenario(spec, store=store)
+        fresh = run_scenario(spec)
+        assert miss.store_hit is False and hit.store_hit is True
+        assert fresh.store_hit is None
+        assert miss.delivery_rates == hit.delivery_rates == fresh.delivery_rates
+
+    def test_run_scenario_engines_agree(self):
+        from repro.scenarios import ScenarioSpec, run_scenario
+
+        base = dict(graph="grid", n=64, k=2, trials=3, pairs=120, seed=9,
+                    failure_model="churn")
+        fast = run_scenario(ScenarioSpec(**base, engine="batch"))
+        slow = run_scenario(ScenarioSpec(**base, engine="reference"))
+        assert fast.engine == "batch" and slow.engine == "reference"
+        assert fast.delivery_rates == slow.delivery_rates
+
+    def test_default_failure_params_cover_registry(self, family):
+        from repro.scenarios import default_failure_params
+
+        g = family[0]
+        for model in FAILURE_MODELS:
+            params = default_failure_params(g, model)
+            assert params, model
+            masks = failure_trials(g, model, 2, rng=1, **params)
+            assert masks.shape == (2, g.m)
+
+    def test_reports_json_and_markdown(self, tmp_path):
+        from repro.analysis.scenario_report import (
+            render_scenario_markdown,
+            scenario_report_dict,
+            write_scenario_json,
+            write_scenario_markdown,
+        )
+        from repro.scenarios import ScenarioSpec, run_scenario
+
+        results = [
+            run_scenario(ScenarioSpec(graph="gnp", n=80, k=2, trials=3, pairs=100))
+        ]
+        doc = scenario_report_dict(results)
+        assert doc["kind"] == "tz-scenario-report"
+        assert len(doc["scenarios"]) == 1
+        assert len(doc["scenarios"][0]["delivery_rates"]) == 3
+
+        jp = write_scenario_json(results, tmp_path / "r.json")
+        assert json.loads(jp.read_text())["kind"] == "tz-scenario-report"
+        md = render_scenario_markdown(results, title="T")
+        assert md.startswith("# T") and results[0].spec.name in md
+        mp = write_scenario_markdown(results, tmp_path / "r.md")
+        assert results[0].spec.name in mp.read_text()
+
+
+class TestDeadEdgeMask:
+    """Mask/edge-list round trips and canonicalization."""
+
+    def test_roundtrip(self, family):
+        g = family[0]
+        masks = iid_edge_trials(g, 1, f=7, rng=71)
+        edges = edges_from_mask(g, masks[0])
+        assert len(edges) == 7
+        np.testing.assert_array_equal(dead_edge_mask(g, edges), masks[0])
+
+    def test_orientation_invariance(self, family):
+        g = family[0]
+        u, v = int(g.edges[0, 0]), int(g.edges[0, 1])
+        np.testing.assert_array_equal(
+            dead_edge_mask(g, [(u, v)]), dead_edge_mask(g, [(v, u)])
+        )

@@ -1,0 +1,64 @@
+"""Fail the build when a doc's relative link points at nothing.
+
+Usage::
+
+    python tools/linkcheck.py README.md ARCHITECTURE.md docs/cli.md
+
+Scans each markdown file for inline links/images ``[text](target)`` and
+checks that every *relative* target exists on disk (anchors are
+stripped; pure-anchor, ``http(s)``/``mailto`` and targets that resolve
+outside the repository — e.g. GitHub's ``../../actions/...`` badge
+trick — are skipped, since only repo-relative paths can rot silently).
+Exits non-zero listing every dead target.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links/images; [text](target "title") titles are cut.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def dead_links(doc: Path, repo_root: Path) -> list:
+    """``(line, target)`` of every broken repo-relative link in ``doc``."""
+    bad = []
+    for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+        for target in _LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if repo_root not in resolved.parents and resolved != repo_root:
+                continue  # escapes the repo: not checkable from a checkout
+            if not resolved.exists():
+                bad.append((lineno, target))
+    return bad
+
+
+def main(argv: list) -> int:
+    """Check every named file; print dead links; non-zero exit on any."""
+    repo_root = Path(__file__).resolve().parent.parent
+    failures = 0
+    for name in argv:
+        doc = Path(name)
+        if not doc.exists():
+            print(f"linkcheck: {name}: file itself is missing")
+            failures += 1
+            continue
+        for lineno, target in dead_links(doc, repo_root):
+            print(f"linkcheck: {name}:{lineno}: dead relative link -> {target}")
+            failures += 1
+    if failures:
+        print(f"linkcheck: {failures} dead link(s)")
+        return 1
+    print(f"linkcheck: {len(argv)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
