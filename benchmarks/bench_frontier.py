@@ -1,0 +1,84 @@
+"""Backend frontier: every registered backend completes, TZ stays fast.
+
+The smoke gate of the backend-protocol PR: one small ``repro frontier``
+grid (two families, k ∈ {2, 3}) must build and query **every**
+registered backend — the protocol's promise is that new structures ride
+the same sweep, so a backend that cannot finish the smoke grid is a
+regression, not a configuration issue.  On top, the TZ scheme backend's
+batch-engine query path must hold a throughput floor: routing answers
+through :class:`~repro.sim.engine.batch.BatchRouter` is the whole point
+of the adapter, and a silent fall-off to per-pair speed would hide
+behind a passing correctness suite.
+
+Results land in ``BENCH_frontier.json`` (CI artifact, uploaded next to
+the router / builder / store / scenario benches).
+
+``REPRO_BENCH_N`` overrides the vertex count for local iteration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.experiments import reference_graph
+from repro.backends import backend_names
+from repro.backends.frontier import run_frontier
+
+TZ_PAIRS_PER_SECOND_FLOOR = 20_000.0
+N_DEFAULT = 400
+FAMILIES = ("gnp", "grid")
+KS = (2, 3)
+PAIRS = 1500
+SEED = 2026
+
+
+def test_frontier_smoke_all_backends_and_tz_floor():
+    n = int(os.environ.get("REPRO_BENCH_N", N_DEFAULT))
+    graphs = [
+        (family, reference_graph(family, n, SEED).largest_component())
+        for family in FAMILIES
+    ]
+    points = run_frontier(graphs, ks=KS, seed=SEED, n_pairs=PAIRS)
+
+    # -- completeness: every registered backend finished every graph ----
+    expected = set(backend_names())
+    for family, graph in graphs:
+        on_graph = {p.backend for p in points if p.family == family}
+        assert on_graph == expected, (family, expected - on_graph)
+    for p in points:
+        assert p.size_bits > 0 and p.stretch_max >= 1.0 - 1e-9, p.row()
+
+    # -- the scheme backend's throughput floor --------------------------
+    tz = [p for p in points if p.backend == "tz"]
+    tz_rate = min(p.pairs_per_second for p in tz)
+    print(
+        f"\nfrontier smoke ({len(points)} points over "
+        f"{'/'.join(f for f, _ in graphs)} at n~{n}, k in {list(KS)}, "
+        f"{PAIRS} pairs): tz min throughput {tz_rate:,.0f} pairs/s "
+        f"(floor {TZ_PAIRS_PER_SECOND_FLOOR:,.0f}); "
+        f"{sum(1 for p in points if p.pareto)} Pareto points"
+    )
+    assert tz_rate >= TZ_PAIRS_PER_SECOND_FLOOR, (
+        f"tz backend throughput {tz_rate:,.0f} pairs/s is below the "
+        f"{TZ_PAIRS_PER_SECOND_FLOOR:,.0f} floor — the adapter is no "
+        "longer routing through the batch engine"
+    )
+
+    out = os.environ.get("BENCH_FRONTIER_JSON", "BENCH_frontier.json")
+    with open(out, "w") as fh:
+        json.dump(
+            {
+                "n": n,
+                "families": list(FAMILIES),
+                "ks": list(KS),
+                "pairs": PAIRS,
+                "backends": sorted(expected),
+                "tz_min_pairs_per_second": round(tz_rate),
+                "tz_floor": TZ_PAIRS_PER_SECOND_FLOOR,
+                "points": [p.to_dict() for p in points],
+            },
+            fh,
+            indent=2,
+        )
+    print(f"wrote {out}")

@@ -1,0 +1,82 @@
+"""Render backend-frontier sweeps as JSON documents and markdown reports.
+
+:func:`repro.backends.frontier.run_frontier` produces
+:class:`~repro.backends.frontier.FrontierPoint` lists; this module turns
+them into the campaign artifacts, exactly like
+:mod:`repro.analysis.scenario_report` does for the scenario lab:
+
+* a **JSON document** carrying every measured point (space, stretch,
+  timings, capability flags, Pareto membership) for later re-analysis;
+* a **markdown report** with one row per point through the shared table
+  renderer, Pareto-frontier points starred, plus a per-graph frontier
+  summary.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .reporting import render_markdown_table, render_table
+
+
+def frontier_rows(points: Sequence) -> List[Dict[str, object]]:
+    """One summary table row per :class:`FrontierPoint`."""
+    return [p.row() for p in points]
+
+
+def frontier_report_dict(points: Sequence) -> Dict[str, object]:
+    """The full machine-readable report document."""
+    return {
+        "kind": "tz-frontier-report",
+        "points": [p.to_dict() for p in points],
+    }
+
+
+def render_frontier_table(points: Sequence, *, title: Optional[str] = None) -> str:
+    """Aligned plain-text summary table (what the CLI prints)."""
+    return render_table(frontier_rows(points), title=title)
+
+
+def render_frontier_markdown(
+    points: Sequence, *, title: str = "Backend frontier"
+) -> str:
+    """The markdown report: heading, full table, per-graph Pareto sets."""
+    lines = [f"# {title}", "", render_markdown_table(frontier_rows(points))]
+    by_graph: Dict[str, List] = {}
+    for p in points:
+        by_graph.setdefault(f"{p.family}/{p.n}", []).append(p)
+    summary = []
+    for graph_name in sorted(by_graph):
+        front = [p for p in by_graph[graph_name] if p.pareto]
+        names = ", ".join(
+            f"`{p.backend}`" + (f" (k={p.k})" if p.k is not None else "")
+            for p in sorted(front, key=lambda p: p.size_bits)
+        )
+        summary.append(f"- **{graph_name}**: {names}")
+    if summary:
+        lines += [
+            "",
+            "## Pareto frontier (space × observed stretch × query time)",
+            "",
+        ] + summary
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_frontier_json(points: Sequence, path: Union[str, Path]) -> Path:
+    """Write the JSON report document; returns the path."""
+    p = Path(path)
+    with open(p, "w") as fh:
+        json.dump(frontier_report_dict(points), fh, indent=2)
+    return p
+
+
+def write_frontier_markdown(
+    points: Sequence, path: Union[str, Path], *, title: str = "Backend frontier"
+) -> Path:
+    """Write the markdown report; returns the path."""
+    p = Path(path)
+    p.write_text(render_frontier_markdown(points, title=title))
+    return p

@@ -1,0 +1,65 @@
+"""Backends: one protocol over every distance/routing structure.
+
+A :class:`Backend` wraps one preprocessed structure behind the shared
+``build / query_many / size_bits / serialize`` contract with declared
+:class:`Capabilities` (exact vs. stretch-bounded, paths vs. estimates,
+routable vs. query-only) — see :mod:`repro.backends.base`.  Importing
+this package registers the repo's seven structures:
+
+========== ======================================== ======== =========
+name       structure                                stretch  routable
+========== ======================================== ======== =========
+tz         TZ compact routing scheme (§3–§4)        4k−5     yes
+cowen      Cowen's SODA'99 stretch-3 scheme         3        yes
+tree       single spanning-tree routing             ∞        yes
+shortest-  full next-hop tables                     1        yes
+path
+oracle     TZ distance oracle                       2k−1     no
+labels     TZ distance labeling                     2k−1     no
+spanner    (2k−1)-spanner subgraph                  2k−1     no
+========== ======================================== ======== =========
+
+``repro frontier`` sweeps the registry into a space/stretch/query-time
+Pareto report; the contract suite (``tests/test_backend_protocol.py``)
+parametrizes over it; :class:`repro.store.SchemeStore` persists any
+registered backend in the ``.tzs`` container format.
+"""
+
+from .base import Backend, Capabilities, Manifest
+from .registry import (
+    BACKENDS,
+    backend_names,
+    build_backend,
+    get_backend,
+    register_backend,
+    registered_backends,
+)
+
+# Importing the adapter modules is what populates the registry.
+from . import oracle as _oracle  # noqa: F401,E402
+from . import schemes as _schemes  # noqa: F401,E402
+from . import shortest_path as _shortest_path  # noqa: F401,E402
+from . import spanner as _spanner  # noqa: F401,E402
+from .oracle import LabelingBackend, OracleBackend
+from .schemes import CowenBackend, TreeBackend, TZSchemeBackend
+from .shortest_path import ShortestPathBackend
+from .spanner import SpannerBackend
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "Capabilities",
+    "CowenBackend",
+    "LabelingBackend",
+    "Manifest",
+    "OracleBackend",
+    "ShortestPathBackend",
+    "SpannerBackend",
+    "TZSchemeBackend",
+    "TreeBackend",
+    "backend_names",
+    "build_backend",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+]

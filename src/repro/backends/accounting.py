@@ -1,0 +1,35 @@
+"""The one size-accounting rule shared by every backend.
+
+The frontier plot's space axis is only meaningful if all backends count
+bits the same way.  Before this module, ``oracles/`` and ``baselines/``
+each inlined their own ``(n - 1).bit_length()`` id widths and distance
+widths; every backend now reports through these helpers, which defer to
+:func:`repro.bitio.code_width` — the codec-stack rule (a one-value
+domain costs 0 bits, see the PR-4 degenerate-width fix).
+
+Distances are accounted at :data:`DIST_BITS` fixed bits, the convention
+the oracle and labeling modules already used (32 bits covers the
+integer-weight distances every experiment generates).
+"""
+
+from __future__ import annotations
+
+from ..bitio import code_width
+
+#: Fixed width at which one stored distance is accounted.
+DIST_BITS = 32
+
+
+def id_bits(n: int) -> int:
+    """Bits to name one of ``n`` vertices: ``code_width(n)`` (0 for n=1)."""
+    return code_width(max(int(n), 1))
+
+
+def entry_bits(n: int, dist_bits: int = DIST_BITS) -> int:
+    """Bits of one ``(vertex id, distance)`` table entry."""
+    return id_bits(n) + int(dist_bits)
+
+
+def edge_bits(n: int, dist_bits: int = DIST_BITS) -> int:
+    """Bits of one stored weighted edge: two endpoint ids + the weight."""
+    return 2 * id_bits(n) + int(dist_bits)

@@ -1,0 +1,210 @@
+"""Sweep registered backends into a space/stretch/query-time frontier.
+
+Thorup–Zwick is a statement about a *tradeoff curve*: §3/§4 claim points
+on the space-versus-stretch frontier that dominate what came before
+(Cowen's n^{2/3}, single-tree's unbounded stretch, full tables' n² bits).
+:func:`run_frontier` measures that curve empirically: every registered
+:class:`~repro.backends.base.Backend` is built on every workload graph
+(once per ``k`` when its construction uses ``k``, once per graph when it
+does not), queried over one shared sampled pair set, and reduced to one
+:class:`FrontierPoint` carrying measured size, observed/proven stretch,
+build and query timings, and the backend's declared capabilities.
+
+Pareto flags are computed per graph over (size, observed stretch, query
+time): a point is on the frontier iff no other point on the same graph
+is at least as good on all three axes and strictly better on one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..rng import derive, sample_pairs
+from ..sim.runner import pair_true_distances
+from .base import Backend
+from .registry import get_backend, registered_backends
+
+
+@dataclass
+class FrontierPoint:
+    """One measured (backend, graph, k) cell of the frontier sweep."""
+
+    backend: str
+    family: str
+    n: int
+    m: int
+    k: Optional[int]  # None for constructions that ignore k
+    seed: int
+    # -- measured space --------------------------------------------------
+    size_bits: int
+    bits_per_vertex: float
+    # -- stretch ---------------------------------------------------------
+    stretch_bound: float
+    stretch_max: float
+    stretch_mean: float
+    # -- timings ---------------------------------------------------------
+    build_seconds: float
+    query_pairs: int
+    query_seconds: float
+    pairs_per_second: float
+    # -- declared capabilities ------------------------------------------
+    exact: bool
+    paths: bool
+    routable: bool
+    # -- set by the per-graph Pareto pass -------------------------------
+    pareto: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able record of this point."""
+        return asdict(self)
+
+    def row(self) -> Dict[str, object]:
+        """One summary-table row (the CLI/markdown rendering)."""
+        bound = self.stretch_bound
+        return {
+            "backend": self.backend,
+            "graph": f"{self.family}/{self.n}",
+            "k": "-" if self.k is None else self.k,
+            "bits/vertex": f"{self.bits_per_vertex:.0f}",
+            "bound": "inf" if bound == float("inf") else f"{bound:g}",
+            "max stretch": f"{self.stretch_max:.3f}",
+            "mean stretch": f"{self.stretch_mean:.3f}",
+            "build s": f"{self.build_seconds:.3f}",
+            "pairs/s": f"{self.pairs_per_second:,.0f}",
+            "pareto": "*" if self.pareto else "",
+        }
+
+
+def _observed_stretch(
+    answers: np.ndarray, true_d: np.ndarray
+) -> Tuple[float, float]:
+    """(max, mean) observed stretch with the 0-distance convention."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        values = np.where(true_d > 0, answers / np.maximum(true_d, 1e-300), 1.0)
+    if values.size == 0:
+        return 1.0, 1.0
+    return float(values.max()), float(values.mean())
+
+
+def measure_backend(
+    cls: Type[Backend],
+    graph: Graph,
+    *,
+    family: str,
+    k: Optional[int],
+    seed: int,
+    pairs: np.ndarray,
+    true_d: np.ndarray,
+) -> FrontierPoint:
+    """Build one backend and measure one frontier point."""
+    build_k = 2 if k is None else int(k)
+    t0 = time.perf_counter()
+    backend = cls.build(graph, build_k, seed)
+    build_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    answers = backend.query_many(pairs)
+    query_seconds = time.perf_counter() - t0
+    smax, smean = _observed_stretch(answers, true_d)
+    caps = backend.capabilities
+    size = int(backend.size_bits())
+    return FrontierPoint(
+        backend=cls.backend_name,
+        family=family,
+        n=graph.n,
+        m=graph.m,
+        k=k,
+        seed=int(seed),
+        size_bits=size,
+        bits_per_vertex=size / max(1, graph.n),
+        stretch_bound=float(caps.stretch),
+        stretch_max=smax,
+        stretch_mean=smean,
+        build_seconds=build_seconds,
+        query_pairs=int(pairs.shape[0]),
+        query_seconds=query_seconds,
+        pairs_per_second=pairs.shape[0] / max(query_seconds, 1e-9),
+        exact=caps.exact,
+        paths=caps.paths,
+        routable=caps.routable,
+    )
+
+
+def mark_pareto(points: Sequence[FrontierPoint]) -> None:
+    """Set ``pareto`` per graph over (size, observed stretch, query time).
+
+    Observed stretch (not the proven bound) keeps unbounded-stretch
+    backends comparable; ties are handled by the strict-on-one-axis rule,
+    so duplicated points all stay on the frontier.
+    """
+    by_graph: Dict[Tuple[str, int], List[FrontierPoint]] = {}
+    for p in points:
+        by_graph.setdefault((p.family, p.n), []).append(p)
+    for group in by_graph.values():
+        for p in group:
+            dominated = any(
+                q.size_bits <= p.size_bits
+                and q.stretch_max <= p.stretch_max
+                and q.query_seconds <= p.query_seconds
+                and (
+                    q.size_bits < p.size_bits
+                    or q.stretch_max < p.stretch_max
+                    or q.query_seconds < p.query_seconds
+                )
+                for q in group
+                if q is not p
+            )
+            p.pareto = not dominated
+
+
+def run_frontier(
+    graphs: Sequence[Tuple[str, Graph]],
+    *,
+    ks: Sequence[int] = (2, 3),
+    backends: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    n_pairs: int = 400,
+) -> List[FrontierPoint]:
+    """Measure every (backend, graph[, k]) cell of the grid.
+
+    ``graphs`` is a list of ``(family_name, graph)`` pairs (connected
+    graphs — e.g. from :func:`repro.analysis.experiments.reference_graph`
+    plus ``largest_component()``).  Backends whose construction ignores
+    ``k`` (``uses_k=False``) are built once per graph and reported with
+    ``k=None`` instead of once per ``k`` — the deduplication that keeps
+    the sweep honest about what is actually being rebuilt.  All backends
+    on one graph answer the *same* pair set, sampled deterministically
+    from ``seed``.
+    """
+    classes = (
+        registered_backends()
+        if backends is None
+        else [get_backend(name) for name in backends]
+    )
+    points: List[FrontierPoint] = []
+    for family, graph in graphs:
+        gen = derive(seed, "frontier", family, graph.n)
+        pairs = sample_pairs(gen, graph.n, n_pairs)
+        true_d = pair_true_distances(graph, pairs)
+        for cls in classes:
+            cell_ks: Sequence[Optional[int]] = (
+                list(ks) if cls.uses_k else [None]
+            )
+            for k in cell_ks:
+                points.append(
+                    measure_backend(
+                        cls,
+                        graph,
+                        family=family,
+                        k=k,
+                        seed=seed,
+                        pairs=pairs,
+                        true_d=true_d,
+                    )
+                )
+    mark_pareto(points)
+    return points

@@ -1,0 +1,75 @@
+"""Name-keyed registry of :class:`~repro.backends.base.Backend` classes.
+
+Registration is what plugs a structure into the shared machinery: the
+contract suite parametrizes over :func:`backend_names`, the store
+dispatches :meth:`~repro.store.SchemeStore.load_backend` through
+:func:`get_backend`, and ``repro frontier`` sweeps
+:func:`registered_backends` — so a new structure becomes a measured
+frontier point by implementing the protocol and adding one decorator::
+
+    @register_backend
+    class MyOracle(Backend):
+        backend_name = "my-oracle"
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from ..errors import PreprocessingError
+from ..graphs.graph import Graph
+from ..graphs.ports import PortedGraph
+from .base import Backend
+
+#: The global name -> class registry (populated by import side effects
+#: of :mod:`repro.backends`; user code may add more).
+BACKENDS: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    """Class decorator: register ``cls`` under ``cls.backend_name``."""
+    name = cls.backend_name
+    if not name or name == Backend.backend_name:
+        raise PreprocessingError(
+            f"{cls.__name__} must define a non-default backend_name"
+        )
+    existing = BACKENDS.get(name)
+    if existing is not None and existing is not cls:
+        raise PreprocessingError(
+            f"backend name {name!r} already registered to {existing.__name__}"
+        )
+    BACKENDS[name] = cls
+    return cls
+
+
+def get_backend(name: str) -> Type[Backend]:
+    """The registered class for ``name`` (raises with the known names)."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise PreprocessingError(
+            f"unknown backend {name!r}; registered: {backend_names()}"
+        ) from None
+
+
+def backend_names() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(BACKENDS)
+
+
+def registered_backends() -> List[Type[Backend]]:
+    """Registered classes in name order."""
+    return [BACKENDS[name] for name in backend_names()]
+
+
+def build_backend(
+    name: str,
+    graph: Graph,
+    k: int = 2,
+    seed: Optional[int] = 0,
+    *,
+    ported: Optional[PortedGraph] = None,
+) -> Backend:
+    """Build the named backend — the registry-dispatched front door."""
+    return get_backend(name).build(graph, k, seed, ported=ported)

@@ -31,18 +31,37 @@ from ..rng import RngLike, make_rng
 from ..core.scheme_k import TZRoutingScheme, build_tz_scheme
 
 
+#: Above this size, ``method="auto"`` switches from the greedy cover
+#: (which needs the full O(n²) distance matrix) to Bernoulli sampling.
+_GREEDY_LIMIT = 2048
+
+
 def cowen_landmark_set(
     graph: Graph,
     q: Optional[int] = None,
     *,
     dist_matrix: Optional[np.ndarray] = None,
+    method: str = "auto",
+    rng: RngLike = None,
 ) -> np.ndarray:
-    """Greedy dominating set of the ``q``-nearest-neighbor balls.
+    """Cowen's landmark set: a hitting set of the ``q``-nearest balls.
 
-    Returns a landmark array ``L`` such that every vertex has a landmark
-    among its ``q`` nearest (ties by vertex id).  Greedy set cover: pick
-    the vertex appearing in the most uncovered balls until all covered —
-    the standard ``(1 + ln n)``-approximation Cowen invokes.
+    ``method`` selects how it is found:
+
+    * ``"greedy"`` — the exact greedy set cover over the full all-pairs
+      distance matrix (the standard ``(1 + ln n)``-approximation Cowen
+      invokes).  Every vertex is *guaranteed* a landmark among its ``q``
+      nearest, but the O(n²) distances cap it at small n.
+    * ``"sampled"`` — include each vertex independently with probability
+      ``ln(n)/q`` (the classic hitting-set sampling bound: every ball of
+      ``q`` vertices then contains a landmark w.h.p.).  Needs no
+      distances at all, so it is the only choice at 10⁵-vertex scale;
+      the coverage guarantee becomes probabilistic, which affects the
+      *table-size* bound only — stretch 3 holds for any non-empty set.
+    * ``"auto"`` — greedy up to ``n = 2048`` (or whenever the caller
+      already has ``dist_matrix``), sampled beyond.
+
+    ``rng`` seeds the sampled method (ignored by greedy).
     """
     n = graph.n
     if n == 0:
@@ -50,6 +69,21 @@ def cowen_landmark_set(
     if q is None:
         q = max(1, math.ceil(n ** (2.0 / 3.0)))
     q = min(q, n)
+    if method not in ("auto", "greedy", "sampled"):
+        raise PreprocessingError(f"unknown landmark method {method!r}")
+    if method == "auto":
+        method = (
+            "greedy" if dist_matrix is not None or n <= _GREEDY_LIMIT else "sampled"
+        )
+    if method == "sampled":
+        gen = make_rng(rng)
+        p = min(1.0, math.log(max(n, 2)) / q)
+        picked = np.flatnonzero(gen.random(n) < p)
+        if picked.size == 0:
+            # Degenerate draw: fall back to the center heuristic so the
+            # stretch-3 construction (any non-empty A_1) still stands.
+            picked = np.array([int(np.argmax(graph.degrees()))], dtype=np.int64)
+        return picked.astype(np.int64)
     D = all_pairs_shortest_paths(graph) if dist_matrix is None else dist_matrix
     # Ball of v = q nearest vertices by (distance, id); v itself included.
     order = np.lexsort((np.arange(n)[None, :].repeat(n, 0), D), axis=1)
@@ -83,10 +117,17 @@ def build_cowen_scheme(
     q: Optional[int] = None,
     rng: RngLike = None,
     cluster_method: str = "auto",
+    method: str = "auto",
 ) -> TZRoutingScheme:
-    """Compile Cowen's stretch-3 scheme (see module docstring)."""
+    """Compile Cowen's stretch-3 scheme (see module docstring).
+
+    ``method`` selects the landmark algorithm (see
+    :func:`cowen_landmark_set`).  The greedy path draws nothing from
+    ``rng``, so existing seeded constructions are unchanged; the sampled
+    path consumes one draw of ``n`` uniforms before the hierarchy build.
+    """
     gen = make_rng(rng)
-    L = cowen_landmark_set(graph, q)
+    L = cowen_landmark_set(graph, q, method=method, rng=gen)
     levels = [np.arange(graph.n, dtype=np.int64), L]
     scheme = build_tz_scheme(
         graph, ported, levels=levels, rng=gen, cluster_method=cluster_method

@@ -71,14 +71,18 @@ def build_shortest_path_scheme(
     _, pred = _scipy_dijkstra(
         graph.to_scipy(), directed=False, return_predecessors=True
     )
+    # pred[t, u] is u's predecessor on the path *from* t, i.e. the next
+    # hop from u toward t; resolve all n(n-1) of them to ports with one
+    # batched sorted-adjacency lookup instead of n² Python port() calls.
+    from ..core.build.arrays import port_lookup
+
+    u_idx, t_idx = np.nonzero(~np.eye(n, dtype=bool))
+    hops = pred[t_idx, u_idx].astype(np.int64)
+    if np.any(hops < 0):
+        bad = int(np.flatnonzero(hops < 0)[0])
+        raise PreprocessingError(
+            f"vertex {int(u_idx[bad])} unreachable from {int(t_idx[bad])}"
+        )
     next_port = np.zeros((n, n), dtype=np.int32)
-    for t in range(n):
-        row = pred[t]
-        for u in range(n):
-            if u == t:
-                continue
-            hop = int(row[u])  # predecessor of u on the path from t == next hop
-            if hop < 0:
-                raise PreprocessingError(f"vertex {u} unreachable from {t}")
-            next_port[u, t] = ported.port(u, hop)
+    next_port[u_idx, t_idx] = port_lookup(ported)(u_idx, hops)
     return ShortestPathRoutingScheme(ported, next_port)

@@ -37,6 +37,8 @@ class SingleTreeRoutingScheme(RoutingScheme):
         self.ported = ported
         self.router = router
         self.n = ported.n
+        degs = ported.graph.degrees()
+        self._max_port = int(degs.max()) if degs.size else 1
 
     def initial_header(self, source: int, dest: int) -> RouteHeader:
         return RouteHeader(
@@ -54,15 +56,31 @@ class SingleTreeRoutingScheme(RoutingScheme):
         return port, header
 
     def table_bits(self, u: int) -> int:
-        degs = self.ported.graph.degrees()
-        max_port = int(degs.max()) if degs.size else 1
-        return self.router.record_bits(u, max_port)
+        return self.router.record_bits(u, self._max_port)
 
     def label_bits(self, v: int) -> int:
         return tree_label_bits(self.router.labels[v], self.router.tree_size)
 
     def stretch_bound(self) -> float:
         return float("inf")  # no multiplicative guarantee on general graphs
+
+    def compile_batch(self, ported: Optional[PortedGraph] = None):
+        """Dense-array form for the batch engine (cached per assignment).
+
+        Single-tree routing compiles as the one-tree degenerate TZ
+        scheme (see :func:`repro.sim.engine.compile.compile_single_tree`),
+        which is what lets Table-1 comparisons run this baseline at
+        10⁵-vertex scale instead of through the per-hop simulator.
+        """
+        from ..sim.engine.compile import compile_single_tree
+
+        target = self.ported if ported is None else ported
+        cached = getattr(self, "_batch_compiled", None)
+        if cached is not None and cached[0] is target:
+            return cached[1]
+        compiled = compile_single_tree(self.router, target)
+        self._batch_compiled = (target, compiled)
+        return compiled
 
 
 def build_single_tree_scheme(

@@ -251,6 +251,40 @@ def _cmd_scenarios(args) -> int:
     return 0
 
 
+def _cmd_frontier(args) -> int:
+    from .analysis.experiments import reference_graph
+    from .analysis.frontier_report import (
+        render_frontier_table,
+        write_frontier_json,
+        write_frontier_markdown,
+    )
+    from .backends.frontier import run_frontier
+
+    graphs = []
+    for family in args.graphs:
+        graph = reference_graph(family, args.n, args.seed).largest_component()
+        graphs.append((family, graph))
+        print(f"[{family}: n={graph.n} m={graph.m}]", file=sys.stderr)
+    t0 = time.time()
+    points = run_frontier(
+        graphs,
+        ks=args.k,
+        backends=args.backends,
+        seed=args.seed,
+        n_pairs=args.pairs,
+    )
+    elapsed = time.time() - t0
+
+    print(render_frontier_table(points, title=f"backend frontier ({len(points)} points)"))
+    front = sum(1 for p in points if p.pareto)
+    print(f"\n[{len(points)} points, {front} on the Pareto frontier, in {elapsed:.1f}s]")
+    if args.json:
+        print(f"wrote {write_frontier_json(points, args.json)}")
+    if args.markdown:
+        print(f"wrote {write_frontier_markdown(points, args.markdown)}")
+    return 0
+
+
 def _cmd_build(args) -> int:
     import json
 
@@ -261,16 +295,24 @@ def _cmd_build(args) -> int:
     from .graphs.ports import assign_ports
     from .rng import derive
 
+    builder = args.builder
+    if args.method is not None:
+        print("--method is deprecated; use --builder", file=sys.stderr)
+        if builder is None:
+            builder = args.method
+    if builder is None:
+        builder = "vectorized"
+
     graph = reference_graph(args.graph, args.n, args.seed).largest_component()
     ported = assign_ports(graph, "random", rng=derive(args.seed, "build-ports"))
     hierarchy = build_hierarchy(graph, args.k, derive(args.seed, "build-hierarchy"))
 
-    methods = ["vectorized", "reference"] if args.method == "both" else [args.method]
+    builders = ["vectorized", "reference"] if builder == "both" else [builder]
     stats = {"graph": args.graph, "n": graph.n, "m": graph.m, "k": args.k}
     arrays = None
-    for method in methods:
+    for method in builders:
         t0 = time.time()
-        arrays = build_arrays(graph, ported=ported, hierarchy=hierarchy, method=method)
+        arrays = build_arrays(graph, ported=ported, hierarchy=hierarchy, builder=method)
         stats[f"{method}_build_seconds"] = round(time.time() - t0, 3)
     bunch = arrays.bunch_sizes()
     label_bits = arrays.label_bits()
@@ -282,7 +324,7 @@ def _cmd_build(args) -> int:
         label_bits_max=int(label_bits.max()),
         landmarks=int(hierarchy.top_level().size),
     )
-    if len(methods) == 2:
+    if len(builders) == 2:
         stats["speedup"] = round(
             stats["reference_build_seconds"] / max(stats["vectorized_build_seconds"], 1e-9), 1
         )
@@ -493,6 +535,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_scen.add_argument("--seed", type=int, default=0)
     p_scen.set_defaults(func=_cmd_scenarios)
 
+    p_front = sub.add_parser(
+        "frontier",
+        help="sweep registered backends into a space/stretch/time Pareto report",
+        description=(
+            "Build every registered backend (TZ scheme, Cowen, single "
+            "tree, shortest-path tables, distance oracle, distance "
+            "labels, spanner) on a grid of graph families, answer one "
+            "shared sampled pair set per graph, and report measured "
+            "size, observed stretch and query throughput with Pareto-"
+            "frontier points starred."
+        ),
+        epilog=(
+            "Backends whose construction ignores k (cowen, tree, "
+            "shortest-path) are built once per graph; the others are "
+            "built once per k. The Pareto pass runs per graph over "
+            "(size_bits, observed max stretch, query seconds): a point "
+            "is starred iff nothing on the same graph is at least as "
+            "good on all three axes and strictly better on one. "
+            "--json/--markdown write the full report documents."
+        ),
+    )
+    p_front.add_argument(
+        "--graphs", nargs="+", default=["gnp", "ba", "grid"], choices=ROUTE_GRAPHS,
+        help="graph families to sweep",
+    )
+    p_front.add_argument("--n", type=int, default=400, help="vertex count")
+    p_front.add_argument(
+        "--k", nargs="+", type=int, default=[2, 3],
+        help="hierarchy levels to sweep (k-using backends only)",
+    )
+    p_front.add_argument(
+        "--backends", nargs="+", default=None,
+        help="backend names to include (default: all registered)",
+    )
+    p_front.add_argument(
+        "--pairs", type=int, default=400, help="sampled query pairs per graph"
+    )
+    p_front.add_argument("--json", default=None, help="write the JSON report here")
+    p_front.add_argument(
+        "--markdown", default=None, help="write the markdown report here"
+    )
+    p_front.add_argument("--seed", type=int, default=0)
+    p_front.set_defaults(func=_cmd_frontier)
+
     p_build = sub.add_parser(
         "build",
         help="construct a TZ scheme and report builder timings",
@@ -514,10 +600,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_build.add_argument("--n", type=int, default=4096, help="vertex count")
     p_build.add_argument("--k", type=int, default=2, help="hierarchy levels")
     p_build.add_argument(
-        "--method",
-        default="vectorized",
+        "--builder",
+        default=None,
         choices=["vectorized", "reference", "both"],
-        help="construction pipeline (see epilog)",
+        help="construction pipeline (default vectorized; see epilog)",
+    )
+    p_build.add_argument(
+        "--method",
+        default=None,
+        choices=["vectorized", "reference", "both"],
+        help="deprecated alias for --builder",
     )
     p_build.add_argument(
         "--materialize",

@@ -2,10 +2,10 @@
 
 Two interchangeable builders construct the Thorup–Zwick scheme:
 
-* ``method="reference"`` — the original per-node path: one truncated
+* ``builder="reference"`` — the original per-node path: one truncated
   Dijkstra per cluster center, one heavy-light tree compilation per
   cluster (:mod:`repro.core.build.reference` packs its output).
-* ``method="vectorized"`` — the array-program pipeline
+* ``builder="vectorized"`` — the array-program pipeline
   (:mod:`repro.core.build.vectorized`): per-level batched cluster
   sweeps, one tight-arc parent pass, all heavy-light trees decomposed at
   once by pointer doubling and global lexsorts.
@@ -49,6 +49,7 @@ directly without touching the dict world.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 import numpy as np
@@ -68,11 +69,35 @@ __all__ = [
     "build_arrays",
     "build_scheme",
     "reference_arrays",
+    "resolve_builder",
     "scheme_from_arrays",
     "vectorized_arrays",
 ]
 
 METHODS = ("vectorized", "reference")
+BUILDERS = METHODS  #: canonical name for the accepted ``builder=`` values
+
+
+def resolve_builder(builder: Optional[str], method: Optional[str]) -> str:
+    """Canonicalize the construction-selector keyword.
+
+    ``builder=`` is the canonical spelling everywhere construction is
+    selected (``engine=`` selects execution); ``method=`` is the
+    deprecated alias, honoured with a :class:`DeprecationWarning`.
+    """
+    if method is not None:
+        warnings.warn(
+            "the method= keyword is deprecated; use builder=",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if builder is None:
+            builder = method
+    if builder is None:
+        builder = "vectorized"
+    if builder not in BUILDERS:
+        raise PreprocessingError(f"unknown builder {builder!r}")
+    return builder
 
 
 def _resolve_inputs(
@@ -107,24 +132,25 @@ def build_arrays(
     k: int = 2,
     *,
     ported: Optional[PortedGraph] = None,
-    method: str = "vectorized",
+    builder: Optional[str] = None,
     mode: str = "auto",
     rng: RngLike = None,
     sampling: str = "bernoulli",
     levels: Optional[Sequence[np.ndarray]] = None,
     consistent_pivots: bool = True,
     hierarchy: Optional[Hierarchy] = None,
+    method: Optional[str] = None,
 ) -> SchemeArrays:
     """Construct a scheme and return its array form (no dict world).
 
-    The same ``rng`` yields the same hierarchy for either ``method``, so
-    ``build_arrays(g, k, method="vectorized", rng=s)`` and
-    ``...method="reference", rng=s`` are directly comparable.  Pass
+    The same ``rng`` yields the same hierarchy for either ``builder``, so
+    ``build_arrays(g, k, builder="vectorized", rng=s)`` and
+    ``...builder="reference", rng=s`` are directly comparable.  Pass
     ``hierarchy`` to share one across calls.  ``mode`` is forwarded to
-    :func:`vectorized_arrays`.
+    :func:`vectorized_arrays`.  ``method=`` is the deprecated alias of
+    ``builder=``.
     """
-    if method not in METHODS:
-        raise PreprocessingError(f"unknown builder method {method!r}")
+    builder = resolve_builder(builder, method)
     if hierarchy is not None:
         from ...graphs.ports import assign_ports
 
@@ -134,7 +160,7 @@ def build_arrays(
         ported, hierarchy = _resolve_inputs(
             graph, k, ported, rng, sampling, levels, consistent_pivots
         )
-    if method == "reference":
+    if builder == "reference":
         return reference_arrays(graph, ported, hierarchy)
     return vectorized_arrays(graph, ported, hierarchy, mode=mode)
 
@@ -144,24 +170,24 @@ def build_scheme(
     k: int = 2,
     *,
     ported: Optional[PortedGraph] = None,
-    method: str = "vectorized",
+    builder: Optional[str] = None,
     rng: RngLike = None,
     sampling: str = "bernoulli",
     levels: Optional[Sequence[np.ndarray]] = None,
     consistent_pivots: bool = True,
+    method: Optional[str] = None,
 ):
     """Build a routable :class:`~repro.core.scheme_k.TZRoutingScheme`.
 
-    ``method="vectorized"`` runs the array pipeline and materializes the
+    ``builder="vectorized"`` runs the array pipeline and materializes the
     object world from it (the compiled batch-engine export then reads
-    the arrays directly); ``method="reference"`` runs the original
-    per-node path.  Outputs are bit-identical either way.
+    the arrays directly); ``builder="reference"`` runs the original
+    per-node path.  Outputs are bit-identical either way.  ``method=``
+    is the deprecated alias of ``builder=``.
     """
     from ..scheme_k import build_tz_scheme
 
-    if method not in METHODS:
-        raise PreprocessingError(f"unknown builder method {method!r}")
-    builder = "vectorized" if method == "vectorized" else "pernode"
+    builder = resolve_builder(builder, method)
     return build_tz_scheme(
         graph,
         ported,

@@ -125,12 +125,53 @@ class SchemeArrays:
         return np.diff(self.bunch_indptr)
 
     def entry_label_bits(self) -> np.ndarray:
-        """Encoded tree-label bits of every entry-as-destination, ``(E,)``."""
+        """Encoded tree-label bits of every entry-as-destination, ``(E,)``.
+
+        Cached: the builder, the engine compile and the size accounting
+        all need this column, and at scale it dominates their shared
+        cost (arrays are append-only once assembled, so the cache is
+        safe).
+        """
+        cached = getattr(self, "_entry_label_bits", None)
+        if cached is not None:
+            return cached
         sizes = self.tree_sizes()[self.ent_center]
         # frexp exponent == bit_length; sizes - 1 == 0 -> 0-bit DFS field
         # (single-vertex trees), matching label_codec._f_width.
         f_width = np.frexp((sizes - 1).astype(np.float64))[1].astype(np.int64)
-        return tree_label_bits_array(f_width, self.lp_indptr, self.lp_data)
+        elb = tree_label_bits_array(f_width, self.lp_indptr, self.lp_data)
+        self._entry_label_bits = elb
+        return elb
+
+    def table_bits(self, max_port: int) -> np.ndarray:
+        """Per-vertex measured table bits, ``(n,)`` — the vectorized
+        counterpart of :meth:`repro.core.tables.VertexTable.size_bits`.
+
+        A vertex ``u`` pays, per tree it participates in (its bunch, read
+        off the entry columns), one id, the fixed-width §2 record (four
+        DFS fields at the tree's width, two ports at the graph's port
+        width) and its own encoded tree label; per level-0 member, one id
+        plus the member's label; plus ``k−1`` pivot ids.  Bit-identical
+        to the dict-world sum (the backend contract suite enforces it).
+        """
+        id_bits = (max(self.n - 1, 0)).bit_length()
+        pw = max(1, int(max_port).bit_length())
+        sizes = self.tree_sizes()
+        f_width = np.frexp((sizes - 1).astype(np.float64))[1].astype(np.int64)
+        elb = self.entry_label_bits()
+        per_entry = id_bits + 4 * f_width[self.ent_center] + 2 * pw + elb
+        # Weighted bincount is exact here: every sum stays far below 2^53.
+        bits = np.bincount(
+            self.ent_member, weights=per_entry.astype(np.float64), minlength=self.n
+        ).astype(np.int64)
+        mem = self.mem_epos
+        bits += np.bincount(
+            self.ent_center[mem],
+            weights=(id_bits + elb[mem]).astype(np.float64),
+            minlength=self.n,
+        ).astype(np.int64)
+        bits += (self.k - 1) * id_bits
+        return bits
 
     def label_bits(self) -> np.ndarray:
         """Per-vertex encoded TZ-label bits, ``(n,)`` — the vectorized

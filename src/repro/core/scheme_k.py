@@ -39,6 +39,7 @@ Level 0 (``v ∈ C(u)``) routes along an exact shortest path.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -204,7 +205,7 @@ def build_tz_scheme(
     levels: Optional[Sequence[np.ndarray]] = None,
     consistent_pivots: bool = True,
     cluster_method: str = "auto",
-    builder: str = "pernode",
+    builder: str = "reference",
 ) -> TZRoutingScheme:
     """Preprocess ``graph`` into a :class:`TZRoutingScheme`.
 
@@ -221,15 +222,23 @@ def build_tz_scheme(
     consistent_pivots:
         Must stay ``True`` for correctness; exposed for ablation A2.
     builder:
-        ``"pernode"`` (the reference construction below) or
+        ``"reference"`` (the per-node construction below) or
         ``"vectorized"`` — the array-program pipeline of
         :mod:`repro.core.build`, which produces a bit-identical scheme
         (and caches its array form for the batch-engine compile);
         ``cluster_method`` only applies to the per-node path.
+        ``"pernode"`` is the deprecated spelling of ``"reference"``.
     """
     from ..graphs.ports import assign_ports
 
-    if builder not in ("pernode", "vectorized"):
+    if builder == "pernode":
+        warnings.warn(
+            'builder="pernode" is deprecated; use builder="reference"',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        builder = "reference"
+    if builder not in ("reference", "vectorized"):
         raise PreprocessingError(f"unknown builder {builder!r}")
     if not graph.is_connected():
         raise PreprocessingError(

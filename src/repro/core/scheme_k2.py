@@ -47,7 +47,7 @@ def build_stretch3_scheme(
     rng: RngLike = None,
     landmark_method: str = "center",
     cluster_method: str = "auto",
-    builder: str = "pernode",
+    builder: str = "reference",
     precompile_engine: bool = False,
 ) -> TZRoutingScheme:
     """Compile the §3 stretch-3 scheme.

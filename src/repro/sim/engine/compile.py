@@ -404,6 +404,101 @@ def compile_scheme(
     )
 
 
+def compile_single_tree(router, ported: PortedGraph) -> CompiledScheme:
+    """Compile one spanning tree (§2 routing) for the batch engine.
+
+    Single-tree routing is the degenerate TZ scheme with exactly one
+    tree: every vertex holds a record for ``T_r`` and every destination
+    label advertises ``r``.  Encoding it that way — entries keyed
+    ``r * n + v``, an *empty* level-0 member map, and pivot row 1 pinned
+    to ``r`` — makes :meth:`CompiledScheme.select_trees` commit every
+    pair to ``T_r`` at level 1 and the unchanged hop loop do the rest,
+    so the baseline rides the same vectorized runtime as the real
+    schemes (delivered/weight/hops bit-for-bit the reference simulator).
+
+    ``router`` is a spanning :class:`~repro.trees.tz_tree.TreeRouter`
+    over ``ported`` (every vertex must have a record).
+    """
+    graph = ported.graph
+    n = ported.n
+    r = int(router.root)
+    if router.tree_size != n:
+        raise RoutingError(
+            f"single-tree compile needs a spanning tree: {router.tree_size} "
+            f"records for {n} vertices"
+        )
+
+    arc = ported.arc_of_port
+    step_next = graph.adj[arc]
+    step_wt = graph.adj_weights[arc]
+    step_edge = graph.arc_edge[arc]
+
+    members = np.arange(n, dtype=np.int64)
+    recs = records_to_arrays([router.records[int(v)] for v in range(n)])
+    entry_keys = r * np.int64(n) + members  # ascending: sorted by vertex
+
+    parent_next, parent_wt, parent_edge = _resolve_ports(
+        graph, members, recs["parent_port"], step_next, step_wt, step_edge
+    )
+    heavy_next, heavy_wt, heavy_edge = _resolve_ports(
+        graph, members, recs["heavy_port"], step_next, step_wt, step_edge
+    )
+    # Entry position of vertex v is v itself (one tree, all vertices),
+    # so the transition links are the resolved neighbors directly.
+    parent_epos = np.where(parent_next >= 0, parent_next, -1)
+    heavy_epos = np.where(heavy_next >= 0, heavy_next, -1)
+
+    lp_counts = np.fromiter(
+        (len(router.labels[int(v)].light_ports) for v in range(n)), np.int64, n
+    )
+    lp_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lp_counts, out=lp_indptr[1:])
+    lp_data = np.fromiter(
+        (p for v in range(n) for p in router.labels[int(v)].light_ports),
+        np.int64,
+        int(lp_indptr[-1]),
+    )
+    f_width = np.full(n, (max(n - 1, 0)).bit_length(), dtype=np.int64)
+    ent_label_bits = tree_label_bits_array(f_width, lp_indptr, lp_data)
+
+    root_epos = np.full(n, -1, dtype=np.int64)
+    root_epos[r] = r
+    pivot = np.zeros((2, n), dtype=np.int64)
+    pivot[1] = r
+
+    return CompiledScheme(
+        n=n,
+        k=2,
+        id_bits=(max(n - 1, 0)).bit_length(),
+        handshake=False,
+        entry_keys=entry_keys,
+        ent_vertex=members,
+        ent_f=recs["f"],
+        ent_finish=recs["finish"],
+        ent_heavy_finish=recs["heavy_finish"],
+        ent_light_depth=recs["light_depth"],
+        ent_parent_next=parent_next,
+        ent_parent_wt=parent_wt,
+        ent_parent_edge=parent_edge,
+        ent_heavy_next=heavy_next,
+        ent_heavy_wt=heavy_wt,
+        ent_heavy_edge=heavy_edge,
+        ent_parent_epos=parent_epos,
+        ent_heavy_epos=heavy_epos,
+        ent_label_bits=ent_label_bits,
+        root_epos=root_epos,
+        lp_indptr=lp_indptr,
+        lp_data=lp_data,
+        mem_keys=np.zeros(0, dtype=np.int64),
+        mem_epos=np.zeros(0, dtype=np.int64),
+        pivot=pivot,
+        g_indptr=graph.indptr,
+        step_next=step_next,
+        step_wt=step_wt,
+        step_edge=step_edge,
+    )
+
+
 def compile_from_arrays(arrays, ported: PortedGraph) -> CompiledScheme:
     """Export a :class:`~repro.core.build.arrays.SchemeArrays` scheme.
 

@@ -29,6 +29,7 @@ from ..sim.engine.compile import CompiledScheme
 
 ARRAYS_PREFIX = "arr_"
 COMPILED_PREFIX = "cs_"
+BACKEND_PREFIX = "bk_"
 _HIERARCHY_FIELDS = ("h_dist", "h_pivot", "h_level_of", "h_levels_data", "h_levels_indptr")
 
 
@@ -112,6 +113,33 @@ def arrays_from_manifest(blobs: Dict[str, np.ndarray], n: int, k: int) -> Scheme
         )
     kwargs = {name: found[name] for name in ARRAYS_FIELDS}
     return SchemeArrays(n=n, k=k, hierarchy=hierarchy, **kwargs)
+
+
+def backend_to_blobs(blobs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Prefix a backend's named serialize() arrays for the container.
+
+    Backends choose their own blob names (the protocol does not fix a
+    field set the way the scheme forms do), so the prefix is the only
+    container-level convention; the name list is recorded in the header
+    and validated back on load.
+    """
+    return {
+        BACKEND_PREFIX + name: np.ascontiguousarray(blob)
+        for name, blob in blobs.items()
+    }
+
+
+def backend_from_blobs(
+    blobs: Dict[str, np.ndarray], expected: tuple
+) -> Dict[str, np.ndarray]:
+    """Strip the backend prefix, validated against the header's name list."""
+    found = {
+        name[len(BACKEND_PREFIX) :]: blob
+        for name, blob in blobs.items()
+        if name.startswith(BACKEND_PREFIX)
+    }
+    _check_fields(found, expected, "backend manifest")
+    return found
 
 
 def compiled_to_manifest(compiled: CompiledScheme) -> Dict[str, np.ndarray]:

@@ -45,7 +45,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..core.build import build_arrays
+from ..core.build import build_arrays, resolve_builder
 from ..core.build.arrays import SchemeArrays, scheme_from_arrays
 from ..errors import EncodingError
 from ..graphs.graph import Graph
@@ -55,6 +55,8 @@ from .format import FORMAT_VERSION, read_container, write_container
 from .schemes import (
     arrays_from_manifest,
     arrays_to_manifest,
+    backend_from_blobs,
+    backend_to_blobs,
     compiled_from_manifest,
     compiled_to_manifest,
 )
@@ -315,6 +317,113 @@ class SchemeStore:
             )
 
     # ------------------------------------------------------------------
+    # Backend-generic persistence (the Backend protocol's store hook)
+    # ------------------------------------------------------------------
+    def backend_key_for(
+        self, name: str, graph: Graph, k: int, seed: Optional[int]
+    ) -> str:
+        """Content address of one backend build (name in the key, so the
+        same graph can hold every registered backend side by side)."""
+        payload = json.dumps(
+            {
+                "format": FORMAT_VERSION,
+                "backend": str(name),
+                "graph": graph_content_hash(graph),
+                "k": int(k),
+                "seed": None if seed is None else int(seed),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:40]
+
+    def save_backend(
+        self,
+        backend,
+        graph: Graph,
+        *,
+        k: int = 2,
+        seed: Optional[int] = 0,
+    ) -> Path:
+        """Persist any registered :class:`~repro.backends.base.Backend`.
+
+        The backend's :meth:`serialize` manifest lands in the same
+        ``.tzs`` container format as the TZ scheme itself: its named
+        arrays become ``bk_``-prefixed blobs, its scalar meta rides in
+        the JSON header, and :meth:`load_backend` dispatches the reverse
+        through the backend registry.  Returns the container path.
+        """
+        backend_meta, backend_blobs = backend.serialize()
+        key = self.backend_key_for(backend.backend_name, graph, k, seed)
+        meta = {
+            "kind": "tz-backend",
+            "key": key,
+            "backend": backend.backend_name,
+            "graph_sha256": graph_content_hash(graph),
+            "n": int(backend.n),
+            "k": int(k),
+            "seed": None if seed is None else int(seed),
+            "backend_meta": dict(backend_meta),
+            "backend_blobs": sorted(backend_blobs),
+        }
+        path = self.path_for(key)
+        write_container(path, backend_to_blobs(backend_blobs), meta)
+        return path
+
+    def load_backend(
+        self,
+        key_or_path: Union[str, Path],
+        *,
+        mmap: bool = True,
+        verify_data: bool = False,
+    ):
+        """Open a stored backend, zero-copy by default.
+
+        The container's ``backend`` name selects the registered class
+        (:func:`repro.backends.registry.get_backend`); its
+        :meth:`deserialize` must answer queries bit for bit like the
+        instance that was saved (the contract suite enforces it).
+        """
+        from ..backends.registry import get_backend
+
+        path = (
+            Path(key_or_path)
+            if isinstance(key_or_path, Path) or str(key_or_path).endswith(STORE_SUFFIX)
+            else self.path_for(str(key_or_path))
+        )
+        header, blobs = read_container(path, mmap=mmap, verify_data=verify_data)
+        meta = header.get("meta", {})
+        if meta.get("kind") != "tz-backend":
+            raise EncodingError(f"{path} is not a backend container")
+        cls = get_backend(str(meta["backend"]))
+        found = backend_from_blobs(blobs, tuple(meta["backend_blobs"]))
+        return cls.deserialize(dict(meta["backend_meta"]), found)
+
+    def get_or_build_backend(
+        self,
+        name: str,
+        graph: Graph,
+        k: int = 2,
+        seed: Optional[int] = 0,
+        *,
+        ported: Optional[PortedGraph] = None,
+        mmap: bool = True,
+    ):
+        """Memo table over backend construction, like :meth:`get_or_build`.
+
+        A hit opens the container and returns the deserialized backend;
+        a miss builds through the registry, saves, and re-opens (so the
+        returned instance is always the file-backed one, hit or miss).
+        """
+        from ..backends.registry import build_backend
+
+        key = self.backend_key_for(name, graph, k, seed)
+        path = self.path_for(key)
+        if not path.exists():
+            backend = build_backend(name, graph, k, seed, ported=ported)
+            self.save_backend(backend, graph, k=k, seed=seed)
+        return self.load_backend(path, mmap=mmap)
+
+    # ------------------------------------------------------------------
     def get_or_build(
         self,
         graph: Graph,
@@ -322,9 +431,10 @@ class SchemeStore:
         seed: Optional[int] = None,
         *,
         ported: Optional[PortedGraph] = None,
-        method: str = "vectorized",
+        builder: Optional[str] = None,
         strict: bool = False,
         mmap: bool = True,
+        method: Optional[str] = None,
     ) -> StoredScheme:
         """The front door: a memo table over scheme construction.
 
@@ -333,7 +443,9 @@ class SchemeStore:
         has no entry.  The build threads ``seed`` through the same
         hierarchy-sampling path as :func:`repro.core.build.build_arrays`,
         so a store hit is bit-identical to what the miss would build.
+        ``method=`` is the deprecated alias of ``builder=``.
         """
+        builder = resolve_builder(builder, method)
         if ported is None:
             ported = assign_ports(graph, "sorted")
         key = self.key_for(graph, k, seed, ported)
@@ -354,11 +466,11 @@ class SchemeStore:
                     seed=seed,
                     compiled=prior.compiled,
                     strict=True,
-                    builder=prior.meta.get("builder", method),
+                    builder=prior.meta.get("builder", builder),
                 )
         if not path.exists():
-            arrays = build_arrays(graph, k, ported=ported, method=method, rng=seed)
+            arrays = build_arrays(graph, k, ported=ported, builder=builder, rng=seed)
             self.save(
-                graph, ported, arrays, seed=seed, strict=strict, builder=method
+                graph, ported, arrays, seed=seed, strict=strict, builder=builder
             )
         return self.load(path, mmap=mmap, strict=strict, graph=graph, ported=ported)

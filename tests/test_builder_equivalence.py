@@ -13,7 +13,7 @@ Three layers of comparison:
 1. **arrays** — ``reference_arrays`` vs ``vectorized_arrays`` (both
    cluster engines), every :class:`SchemeArrays` field via
    ``np.array_equal``;
-2. **schemes** — ``build_scheme(method=...)`` outputs: records, tree
+2. **schemes** — ``build_scheme(builder=...)`` outputs: records, tree
    labels, member maps, pivots, destination labels, measured *and
    encoded* label bits, table bits;
 3. **engine export** — ``compile_scheme`` of a vectorized-builder scheme
@@ -121,15 +121,15 @@ class TestArrayEquivalence:
     def test_bad_method_and_mode_rejected(self):
         g, pg = _instance("gnp", 0)
         with pytest.raises(PreprocessingError):
-            build_arrays(g, 2, ported=pg, method="quantum")
+            build_arrays(g, 2, ported=pg, builder="quantum")
         hierarchy = build_hierarchy(g, 2, 0)
         with pytest.raises(PreprocessingError):
             vectorized_arrays(g, pg, hierarchy, mode="bogus")
 
     def test_build_arrays_same_rng_same_hierarchy(self):
         g, pg = _instance("ba", 3)
-        ref = build_arrays(g, 3, ported=pg, method="reference", rng=123)
-        vec = build_arrays(g, 3, ported=pg, method="vectorized", rng=123)
+        ref = build_arrays(g, 3, ported=pg, builder="reference", rng=123)
+        vec = build_arrays(g, 3, ported=pg, builder="vectorized", rng=123)
         assert_arrays_equal(ref, vec, "(front door)")
 
 
@@ -140,8 +140,8 @@ class TestSchemeEquivalence:
     @pytest.mark.parametrize("k", [1, 2, 3])
     def test_structures_and_encodings(self, k, small_weighted_graph, ported_small):
         g, pg = small_weighted_graph, ported_small
-        ref = build_scheme(g, k, ported=pg, method="reference", rng=500 + k)
-        vec = build_scheme(g, k, ported=pg, method="vectorized", rng=500 + k)
+        ref = build_scheme(g, k, ported=pg, builder="reference", rng=500 + k)
+        vec = build_scheme(g, k, ported=pg, builder="vectorized", rng=500 + k)
         assert ref.tree_sizes == vec.tree_sizes
         assert ref.tree_labels == vec.tree_labels
         for u in range(g.n):
@@ -160,7 +160,7 @@ class TestSchemeEquivalence:
             )
 
     def test_vectorized_label_bits_match_scalar(self, small_weighted_graph, ported_small):
-        vec = build_scheme(small_weighted_graph, 3, ported=ported_small, method="vectorized", rng=9)
+        vec = build_scheme(small_weighted_graph, 3, ported=ported_small, builder="vectorized", rng=9)
         bits = vec._arrays.label_bits()
         for u in range(vec.n):
             assert int(bits[u]) == vec.label_bits(u)
@@ -170,8 +170,8 @@ class TestSchemeEquivalence:
         from repro.sim.runner import run_pairs
 
         g, pg = small_weighted_graph, ported_small
-        ref = build_scheme(g, 3, ported=pg, method="reference", rng=77)
-        vec = build_scheme(g, 3, ported=pg, method="vectorized", rng=77)
+        ref = build_scheme(g, 3, ported=pg, builder="reference", rng=77)
+        vec = build_scheme(g, 3, ported=pg, builder="vectorized", rng=77)
         pairs = all_pairs(g.n, limit=800, rng=5)
         res_a, str_a = run_pairs(pg, ref, pairs, true_dist=dist_small)
         res_b, str_b = run_pairs(pg, vec, pairs, true_dist=dist_small)
@@ -198,8 +198,8 @@ class TestCompiledExport:
     @pytest.mark.parametrize("k", [2, 3])
     def test_compile_from_arrays_matches_dict_walk(self, k):
         g, pg = _instance("gnp", 11 + k, n=70)
-        ref = build_scheme(g, k, ported=pg, method="reference", rng=k)
-        vec = build_scheme(g, k, ported=pg, method="vectorized", rng=k)
+        ref = build_scheme(g, k, ported=pg, builder="reference", rng=k)
+        vec = build_scheme(g, k, ported=pg, builder="vectorized", rng=k)
         assert vec._arrays is not None and ref._arrays is None
         ca, cb = compile_scheme(vec, pg), compile_scheme(ref, pg)
         for f in dataclasses.fields(ca):
@@ -214,8 +214,8 @@ class TestCompiledExport:
         # must resolve through the same physical links on both paths.
         g, pg = _instance("gnp", 21, n=60)
         other = assign_ports(g, "reversed")
-        ref = build_scheme(g, 2, ported=pg, method="reference", rng=2)
-        vec = build_scheme(g, 2, ported=pg, method="vectorized", rng=2)
+        ref = build_scheme(g, 2, ported=pg, builder="reference", rng=2)
+        vec = build_scheme(g, 2, ported=pg, builder="vectorized", rng=2)
         ca, cb = compile_scheme(vec, other), compile_scheme(ref, other)
         for f in dataclasses.fields(ca):
             a, b = getattr(ca, f.name), getattr(cb, f.name)
@@ -262,7 +262,7 @@ class TestConstructionInvariants:
         """Every SPT parent is a member at strictly smaller distance, and
         the parent chain reaches the center (no cycles)."""
         pg = assign_ports(g, "sorted")
-        arrays = build_arrays(g, k, ported=pg, rng=seed, method="vectorized")
+        arrays = build_arrays(g, k, ported=pg, rng=seed, builder="vectorized")
         arrays.validate()
         rest = arrays.ent_parent >= 0
         pe = arrays.ent_parent_epos[rest]
@@ -286,7 +286,7 @@ class TestConstructionInvariants:
         w.h.p. statement deterministic)."""
         g = gen.gnp(128, 0.05, rng=seed, weights=(1, 9))
         pg = assign_ports(g, "sorted")
-        scheme = build_scheme(g, k, ported=pg, method="vectorized", rng=seed)
+        scheme = build_scheme(g, k, ported=pg, builder="vectorized", rng=seed)
         bound = tz_table_bound_bits(g.n, k, c_polylog=24.0)
         assert max(scheme.label_bits(v) for v in range(g.n)) <= bound
         mean_table = sum(scheme.table_bits(v) for v in range(g.n)) / g.n

@@ -49,7 +49,7 @@ class TestCli:
                     "256",
                     "--k",
                     "2",
-                    "--method",
+                    "--builder",
                     "both",
                     "--materialize",
                     "--json",
@@ -79,7 +79,7 @@ class TestCli:
         subcommand the doc claims exists (the doc-drift tripwire)."""
         documented = re.findall(r"^## `repro (\w[\w-]*)`", DOCS_CLI.read_text(), re.M)
         assert sorted(documented) == sorted(
-            ["list", "run", "all", "build", "route", "serve", "scenarios"]
+            ["list", "run", "all", "build", "route", "serve", "scenarios", "frontier"]
         )
         with pytest.raises(SystemExit):
             main(["--help"])
@@ -88,7 +88,7 @@ class TestCli:
             assert cmd in help_text, f"subcommand {cmd!r} documented but not in --help"
 
     @pytest.mark.parametrize(
-        "cmd", ["list", "run", "all", "build", "route", "serve", "scenarios"]
+        "cmd", ["list", "run", "all", "build", "route", "serve", "scenarios", "frontier"]
     )
     def test_subcommand_help_exits_zero(self, cmd, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -126,6 +126,58 @@ class TestCli:
         assert len(doc["scenarios"]) == 2
         assert all(len(s["delivery_rates"]) == 3 for s in doc["scenarios"])
         assert "| scenario |" in out_md.read_text()
+
+    def test_frontier_sweep_writes_reports(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "frontier.json"
+        out_md = tmp_path / "frontier.md"
+        assert (
+            main(
+                [
+                    "frontier",
+                    "--graphs", "gnp",
+                    "--n", "80",
+                    "--k", "2",
+                    "--pairs", "60",
+                    "--json", str(out_json),
+                    "--markdown", str(out_md),
+                    "--seed", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend frontier" in out and "Pareto" in out
+        doc = json.loads(out_json.read_text())
+        assert doc["kind"] == "tz-frontier-report"
+        # 4 k-using backends at one k + 3 k-free backends.
+        assert len(doc["points"]) == 7
+        assert any(p["pareto"] for p in doc["points"])
+        assert "## Pareto frontier" in out_md.read_text()
+
+    def test_frontier_backend_subset(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "frontier",
+                    "--graphs", "gnp",
+                    "--n", "60",
+                    "--k", "2",
+                    "--pairs", "40",
+                    "--backends", "tz", "tree",
+                    "--seed", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tz" in out and "tree" in out and "oracle" not in out
+
+    def test_build_method_flag_deprecated(self, capsys):
+        assert main(["build", "--n", "64", "--method", "vectorized"]) == 0
+        err = capsys.readouterr().err
+        assert "--method is deprecated" in err
 
     def test_serve_miss_then_hit(self, capsys, tmp_path):
         args = [

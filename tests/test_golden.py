@@ -8,7 +8,7 @@ regenerates them with::
 
     pytest tests/test_golden.py --update-golden
 
-The fixtures are built through ``build_scheme(method="reference")`` (the
+The fixtures are built through ``build_scheme(builder="reference")`` (the
 per-node path with deterministic sparse clusters); the differential
 suite guarantees the vectorized builder matches it bit-for-bit, and
 ``test_vectorized_matches_golden`` closes the loop by checking the
@@ -41,7 +41,7 @@ def _instance(seed: int):
 
 def _snapshot(seed: int, method: str) -> dict:
     graph, ported = _instance(seed)
-    scheme = build_scheme(graph, 3, ported=ported, method=method, rng=seed + 1000)
+    scheme = build_scheme(graph, 3, ported=ported, builder=method, rng=seed + 1000)
     labels_hex = {
         str(v): encode_label(scheme.labels[v], graph.n, scheme.tree_sizes)
         .getvalue()
