@@ -1,0 +1,59 @@
+"""Shared BENCH_*.json emitter: one schema for every benchmark artifact.
+
+Every ``bench_*`` file that records numbers for CI writes them through
+:func:`emit`, so all ``BENCH_*.json`` artifacts share one layout::
+
+    {
+      "schema": "tz-bench/v1",
+      "name": "router",
+      "timestamp": "2026-08-08T12:34:56+00:00",   # UTC, ISO-8601
+      "params": {...},    # what was measured (graph size, k, pairs...)
+      "metrics": {...},   # the measured numbers
+      "floors": {...}     # the asserted gates (speedup floors etc.)
+    }
+
+The output path honours the same environment variables the emitters
+always used (``BENCH_ROUTER_JSON`` etc. — derived as
+``BENCH_<NAME>_JSON``, default ``BENCH_<name>.json``), so the CI
+artifact upload step keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from typing import Dict, Optional
+
+SCHEMA = "tz-bench/v1"
+
+
+def emit(
+    name: str,
+    *,
+    params: Dict[str, object],
+    metrics: Dict[str, object],
+    floors: Optional[Dict[str, object]] = None,
+    env: Optional[str] = None,
+    default: Optional[str] = None,
+) -> str:
+    """Write one benchmark document; returns the path written.
+
+    ``env`` / ``default`` override the derived environment-variable name
+    and fallback path (both default to the ``BENCH_<NAME>_JSON`` /
+    ``BENCH_<name>.json`` convention).
+    """
+    env_name = env or f"BENCH_{name.upper()}_JSON"
+    out = os.environ.get(env_name, default or f"BENCH_{name}.json")
+    doc = {
+        "schema": SCHEMA,
+        "name": name,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "params": params,
+        "metrics": metrics,
+        "floors": floors or {},
+    }
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return out

@@ -15,11 +15,11 @@ CI artifact that tracks router throughput across commits).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import pytest
+from _emit import emit
 from conftest import best_of
 
 from repro.core.scheme_k2 import build_stretch3_scheme
@@ -81,26 +81,25 @@ def test_batch_router_throughput(setup):
         f"(measured on {REF_SAMPLE:,}); speedup {speedup:.1f}x"
     )
 
-    out = os.environ.get("BENCH_ROUTER_JSON", "BENCH_router.json")
-    with open(out, "w") as fh:
-        json.dump(
-            {
-                "n": graph.n,
-                "m": graph.m,
-                "pairs": N_PAIRS,
-                "engine_compile_seconds": round(t_compile, 3),
-                "engine_route_seconds": round(t_batch, 3),
-                "engine_pairs_per_second": round(batch_pps, 1),
-                "reference_pairs_per_second": round(ref_pps, 1),
-                "reference_sample": REF_SAMPLE,
-                "speedup": round(speedup, 1),
-                "floor": SPEEDUP_FLOOR,
-                "max_hops": int(batch.hops.max()),
-                "avg_hops": round(float(batch.hops.mean()), 2),
-            },
-            fh,
-            indent=2,
-        )
+    out = emit(
+        "router",
+        params={
+            "n": graph.n,
+            "m": graph.m,
+            "pairs": N_PAIRS,
+            "reference_sample": REF_SAMPLE,
+        },
+        metrics={
+            "engine_compile_seconds": round(t_compile, 3),
+            "engine_route_seconds": round(t_batch, 3),
+            "engine_pairs_per_second": round(batch_pps, 1),
+            "reference_pairs_per_second": round(ref_pps, 1),
+            "speedup": round(speedup, 1),
+            "max_hops": int(batch.hops.max()),
+            "avg_hops": round(float(batch.hops.mean()), 2),
+        },
+        floors={"speedup": SPEEDUP_FLOOR},
+    )
     print(f"wrote {out}")
 
     assert speedup >= SPEEDUP_FLOOR, (

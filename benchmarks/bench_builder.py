@@ -22,12 +22,12 @@ artifact tracking construction throughput across commits).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import numpy as np
 import pytest
+from _emit import emit
 from conftest import best_of
 
 from repro.core.build.vectorized import vectorized_arrays
@@ -178,28 +178,27 @@ def test_builder_speedup(setup):
         f"sampled centers); speedup {speedup:.1f}x"
     )
 
-    out = os.environ.get("BENCH_BUILDER_JSON", "BENCH_builder.json")
-    with open(out, "w") as fh:
-        json.dump(
-            {
-                "n": graph.n,
-                "m": graph.m,
-                "k": K,
-                "entries": arrays.entry_count,
-                "bunch_mean": round(float(bunch.mean()), 2),
-                "bunch_max": int(bunch.max()),
-                "landmarks": int(hierarchy.top_level().size),
-                "vectorized_seconds": round(t_vec, 3),
-                "reference_seconds_extrapolated": round(t_ref, 2),
-                "reference_grow_seconds": round(t_grow, 2),
-                "reference_pack_seconds": round(pack_rate * arrays.entry_count, 2),
-                "sample_per_level": SAMPLE_PER_LEVEL,
-                "speedup": round(speedup, 1),
-                "floor": SPEEDUP_FLOOR,
-            },
-            fh,
-            indent=2,
-        )
+    out = emit(
+        "builder",
+        params={
+            "n": graph.n,
+            "m": graph.m,
+            "k": K,
+            "sample_per_level": SAMPLE_PER_LEVEL,
+        },
+        metrics={
+            "entries": arrays.entry_count,
+            "bunch_mean": round(float(bunch.mean()), 2),
+            "bunch_max": int(bunch.max()),
+            "landmarks": int(hierarchy.top_level().size),
+            "vectorized_seconds": round(t_vec, 3),
+            "reference_seconds_extrapolated": round(t_ref, 2),
+            "reference_grow_seconds": round(t_grow, 2),
+            "reference_pack_seconds": round(pack_rate * arrays.entry_count, 2),
+            "speedup": round(speedup, 1),
+        },
+        floors={"speedup": SPEEDUP_FLOOR},
+    )
     print(f"wrote {out}")
 
     assert speedup >= SPEEDUP_FLOOR, (

@@ -18,8 +18,9 @@ the router / builder / store / scenario benches).
 
 from __future__ import annotations
 
-import json
 import os
+
+from _emit import emit
 
 from repro.analysis.experiments import reference_graph
 from repro.backends import backend_names
@@ -65,20 +66,19 @@ def test_frontier_smoke_all_backends_and_tz_floor():
         "longer routing through the batch engine"
     )
 
-    out = os.environ.get("BENCH_FRONTIER_JSON", "BENCH_frontier.json")
-    with open(out, "w") as fh:
-        json.dump(
-            {
-                "n": n,
-                "families": list(FAMILIES),
-                "ks": list(KS),
-                "pairs": PAIRS,
-                "backends": sorted(expected),
-                "tz_min_pairs_per_second": round(tz_rate),
-                "tz_floor": TZ_PAIRS_PER_SECOND_FLOOR,
-                "points": [p.to_dict() for p in points],
-            },
-            fh,
-            indent=2,
-        )
+    out = emit(
+        "frontier",
+        params={
+            "n": n,
+            "families": list(FAMILIES),
+            "ks": list(KS),
+            "pairs": PAIRS,
+            "backends": sorted(expected),
+        },
+        metrics={
+            "tz_min_pairs_per_second": round(tz_rate),
+            "points": [p.to_dict() for p in points],
+        },
+        floors={"tz_pairs_per_second": TZ_PAIRS_PER_SECOND_FLOOR},
+    )
     print(f"wrote {out}")

@@ -20,11 +20,11 @@ builder / store benches).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import numpy as np
+from _emit import emit
 from conftest import best_of
 
 from repro.core.build import build_arrays
@@ -86,26 +86,25 @@ def test_scenario_sweep_speedup():
         f"(mean delivery {fast.delivery_rates.mean():.3f})"
     )
 
-    out = os.environ.get("BENCH_SCENARIOS_JSON", "BENCH_scenarios.json")
-    with open(out, "w") as fh:
-        json.dump(
-            {
-                "n": graph.n,
-                "m": graph.m,
-                "k": K,
-                "trials": TRIALS,
-                "pairs": PAIRS,
-                "iid_rate": RATE,
-                "vectorized_seconds": round(t_vec, 4),
-                "reference_seconds": round(t_ref, 3),
-                "trial_pairs_per_second": round(rate),
-                "speedup": round(speedup, 1),
-                "mean_delivery_rate": round(float(fast.delivery_rates.mean()), 4),
-                "floor": SPEEDUP_FLOOR,
-            },
-            fh,
-            indent=2,
-        )
+    out = emit(
+        "scenarios",
+        params={
+            "n": graph.n,
+            "m": graph.m,
+            "k": K,
+            "trials": TRIALS,
+            "pairs": PAIRS,
+            "iid_rate": RATE,
+        },
+        metrics={
+            "vectorized_seconds": round(t_vec, 4),
+            "reference_seconds": round(t_ref, 3),
+            "trial_pairs_per_second": round(rate),
+            "speedup": round(speedup, 1),
+            "mean_delivery_rate": round(float(fast.delivery_rates.mean()), 4),
+        },
+        floors={"speedup": SPEEDUP_FLOOR},
+    )
     print(f"wrote {out}")
 
     assert speedup >= SPEEDUP_FLOOR, (

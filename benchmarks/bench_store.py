@@ -19,12 +19,12 @@ router benches).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import numpy as np
 import pytest
+from _emit import emit
 from conftest import best_of
 
 from repro.core.build import build_arrays
@@ -89,24 +89,19 @@ def test_store_load_speedup(setup, tmp_path):
         f"{t_cold_route * 1e3:.0f}ms"
     )
 
-    out = os.environ.get("BENCH_STORE_JSON", "BENCH_store.json")
-    with open(out, "w") as fh:
-        json.dump(
-            {
-                "n": graph.n,
-                "m": graph.m,
-                "k": K,
-                "entries": arrays.entry_count,
-                "file_mb": round(size_mb, 1),
-                "rebuild_seconds": round(t_rebuild, 3),
-                "mmap_load_seconds": round(t_load, 5),
-                "cold_load_route_100k_seconds": round(t_cold_route, 4),
-                "speedup": round(speedup, 1),
-                "floor": SPEEDUP_FLOOR,
-            },
-            fh,
-            indent=2,
-        )
+    out = emit(
+        "store",
+        params={"n": graph.n, "m": graph.m, "k": K},
+        metrics={
+            "entries": arrays.entry_count,
+            "file_mb": round(size_mb, 1),
+            "rebuild_seconds": round(t_rebuild, 3),
+            "mmap_load_seconds": round(t_load, 5),
+            "cold_load_route_100k_seconds": round(t_cold_route, 4),
+            "speedup": round(speedup, 1),
+        },
+        floors={"speedup": SPEEDUP_FLOOR},
+    )
     print(f"wrote {out}")
 
     assert speedup >= SPEEDUP_FLOOR, (

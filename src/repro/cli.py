@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 from .analysis.experiments import EXPERIMENTS, run_experiment
@@ -38,6 +37,7 @@ from .analysis.reporting import (
     render_stretch_summary,
     render_table,
 )
+from .obs import TELEMETRY, timed, write_metrics, write_trace
 
 #: Graph families accepted by ``repro route`` (see ``reference_graph``).
 ROUTE_GRAPHS = ("gnp", "ba", "as-like", "grid", "geometric")
@@ -65,19 +65,19 @@ def _print_result(result, markdown: bool) -> None:
 
 
 def _cmd_run(args) -> int:
-    t0 = time.time()
-    result = run_experiment(args.exp_id, scale=args.scale, seed=args.seed)
-    _print_result(result, args.markdown)
-    print(f"\n[{args.exp_id} finished in {time.time() - t0:.1f}s]")
+    with timed("cli.run", exp=args.exp_id) as tsp:
+        result = run_experiment(args.exp_id, scale=args.scale, seed=args.seed)
+        _print_result(result, args.markdown)
+    print(f"\n[{args.exp_id} finished in {tsp.seconds:.1f}s]")
     return 0
 
 
 def _cmd_all(args) -> int:
     for exp_id in EXPERIMENTS:
-        t0 = time.time()
-        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
-        _print_result(result, args.markdown)
-        print(f"\n[{exp_id} finished in {time.time() - t0:.1f}s]", file=sys.stderr)
+        with timed("cli.run", exp=exp_id) as tsp:
+            result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+            _print_result(result, args.markdown)
+        print(f"\n[{exp_id} finished in {tsp.seconds:.1f}s]", file=sys.stderr)
     return 0
 
 
@@ -96,33 +96,29 @@ def _cmd_route(args) -> int:
     graph = reference_graph(args.graph, args.n, args.seed).largest_component()
     ported = assign_ports(graph, "random", rng=derive(args.seed, "route-ports"))
 
-    t0 = time.time()
-    if args.scheme == "k2":
-        scheme = build_stretch3_scheme(
-            graph, ported, rng=derive(args.seed, "route-scheme")
-        )
-    else:
-        scheme = build_tz_scheme(
-            graph, ported, k=args.k, rng=derive(args.seed, "route-scheme")
-        )
-    if args.handshake:
-        scheme = HandshakeRoutingScheme(scheme)
-    t_build = time.time() - t0
+    with timed("cli.build_scheme", scheme=args.scheme) as t_build:
+        if args.scheme == "k2":
+            scheme = build_stretch3_scheme(
+                graph, ported, rng=derive(args.seed, "route-scheme")
+            )
+        else:
+            scheme = build_tz_scheme(
+                graph, ported, k=args.k, rng=derive(args.seed, "route-scheme")
+            )
+        if args.handshake:
+            scheme = HandshakeRoutingScheme(scheme)
 
     pairs = make_workload(
         graph, args.workload, args.pairs, derive(args.seed, "route-pairs")
     )
 
-    t0 = time.time()
-    if args.engine != "reference":
-        scheme.compile_batch(ported)  # count compile separately from routing
-    t_compile = time.time() - t0
-
-    t0 = time.time()
-    stats = measure_scheme(
-        ported, scheme, pairs=pairs, strict=False, engine=args.engine
-    )
-    t_route = time.time() - t0
+    with timed("cli.compile") as t_compile:
+        if args.engine != "reference":
+            scheme.compile_batch(ported)  # count compile separately from routing
+    with timed("cli.route", engine=args.engine) as t_route:
+        stats = measure_scheme(
+            ported, scheme, pairs=pairs, strict=False, engine=args.engine
+        )
 
     print(
         render_stretch_summary(
@@ -131,10 +127,12 @@ def _cmd_route(args) -> int:
             f"(n={graph.n}, m={graph.m}, workload={args.workload})",
         )
     )
-    rate = len(np.asarray(pairs)) / max(t_route, 1e-9)
+    rate = len(np.asarray(pairs)) / max(t_route.seconds, 1e-9)
     print(
-        f"\npreprocess {t_build:.2f}s | engine compile {t_compile:.2f}s | "
-        f"route {t_route:.2f}s ({rate:,.0f} pairs/s, engine={args.engine})"
+        f"\npreprocess {t_build.seconds:.2f}s | "
+        f"engine compile {t_compile.seconds:.2f}s | "
+        f"route {t_route.seconds:.2f}s ({rate:,.0f} pairs/s, "
+        f"engine={args.engine})"
     )
     return 0
 
@@ -156,15 +154,14 @@ def _cmd_serve(args) -> int:
     store = SchemeStore(args.store)
     key = store.key_for(graph, args.k, args.seed, ported)
     hit = key in store
-    t0 = time.time()
-    stored = store.get_or_build(
-        graph, args.k, args.seed, ported=ported, strict=args.strict_verify
-    )
-    t_open = time.time() - t0
+    with timed("cli.store_open", hit=hit) as t_open:
+        stored = store.get_or_build(
+            graph, args.k, args.seed, ported=ported, strict=args.strict_verify
+        )
     print(
         f"store {'hit' if hit else 'miss (built and saved)'}: "
         f"{stored.path.name} ({stored.path.stat().st_size / 1e6:.1f} MB, "
-        f"{stored.meta['entries']:,} entries) opened in {t_open:.3f}s"
+        f"{stored.meta['entries']:,} entries) opened in {t_open.seconds:.3f}s"
         + (" [strict-verified]" if args.strict_verify else "")
     )
 
@@ -173,9 +170,8 @@ def _cmd_serve(args) -> int:
     )
 
     service = RouteService(stored.path)
-    t0 = time.time()
-    result = service.route(pairs, shards=args.shards)
-    t_route = time.time() - t0
+    with timed("cli.route", shards=args.shards) as t_route:
+        result = service.route(pairs, shards=args.shards)
 
     true_d = pair_true_distances(graph, pairs)
     stats = stretch_stats(
@@ -192,9 +188,9 @@ def _cmd_serve(args) -> int:
             f"(n={graph.n}, m={graph.m}, workload={args.workload})",
         )
     )
-    rate = len(np.asarray(pairs)) / max(t_route, 1e-9)
+    rate = len(np.asarray(pairs)) / max(t_route.seconds, 1e-9)
     print(
-        f"\nserve: route {t_route:.2f}s ({rate:,.0f} pairs/s, "
+        f"\nserve: route {t_route.seconds:.2f}s ({rate:,.0f} pairs/s, "
         f"shards={args.shards})"
     )
     return 0
@@ -233,17 +229,16 @@ def _cmd_scenarios(args) -> int:
 
         store = SchemeStore(args.store)
 
-    t0 = time.time()
-    results = run_scenarios(
-        specs,
-        store=store,
-        progress=lambda s: print(f"[{s.name}]", file=sys.stderr),
-    )
-    elapsed = time.time() - t0
+    with timed("cli.scenarios", scenarios=len(specs)) as tsp:
+        results = run_scenarios(
+            specs,
+            store=store,
+            progress=lambda s: print(f"[{s.name}]", file=sys.stderr),
+        )
 
     print(render_scenario_table(results, title=f"scenario sweep ({len(results)} scenarios)"))
     print(f"\n[{len(results)} scenarios, {sum(r.spec.trials for r in results)} "
-          f"trials total in {elapsed:.1f}s]")
+          f"trials total in {tsp.seconds:.1f}s]")
     if args.json:
         print(f"wrote {write_scenario_json(results, args.json)}")
     if args.markdown:
@@ -265,19 +260,18 @@ def _cmd_frontier(args) -> int:
         graph = reference_graph(family, args.n, args.seed).largest_component()
         graphs.append((family, graph))
         print(f"[{family}: n={graph.n} m={graph.m}]", file=sys.stderr)
-    t0 = time.time()
-    points = run_frontier(
-        graphs,
-        ks=args.k,
-        backends=args.backends,
-        seed=args.seed,
-        n_pairs=args.pairs,
-    )
-    elapsed = time.time() - t0
+    with timed("cli.frontier", graphs=len(graphs)) as tsp:
+        points = run_frontier(
+            graphs,
+            ks=args.k,
+            backends=args.backends,
+            seed=args.seed,
+            n_pairs=args.pairs,
+        )
 
     print(render_frontier_table(points, title=f"backend frontier ({len(points)} points)"))
     front = sum(1 for p in points if p.pareto)
-    print(f"\n[{len(points)} points, {front} on the Pareto frontier, in {elapsed:.1f}s]")
+    print(f"\n[{len(points)} points, {front} on the Pareto frontier, in {tsp.seconds:.1f}s]")
     if args.json:
         print(f"wrote {write_frontier_json(points, args.json)}")
     if args.markdown:
@@ -311,9 +305,11 @@ def _cmd_build(args) -> int:
     stats = {"graph": args.graph, "n": graph.n, "m": graph.m, "k": args.k}
     arrays = None
     for method in builders:
-        t0 = time.time()
-        arrays = build_arrays(graph, ported=ported, hierarchy=hierarchy, builder=method)
-        stats[f"{method}_build_seconds"] = round(time.time() - t0, 3)
+        with timed("cli.build", builder=method) as tsp:
+            arrays = build_arrays(
+                graph, ported=ported, hierarchy=hierarchy, builder=method
+            )
+        stats[f"{method}_build_seconds"] = round(tsp.seconds, 3)
     bunch = arrays.bunch_sizes()
     label_bits = arrays.label_bits()
     stats.update(
@@ -329,9 +325,9 @@ def _cmd_build(args) -> int:
             stats["reference_build_seconds"] / max(stats["vectorized_build_seconds"], 1e-9), 1
         )
     if args.materialize:
-        t0 = time.time()
-        scheme_from_arrays(graph, ported, arrays)
-        stats["materialize_seconds"] = round(time.time() - t0, 3)
+        with timed("cli.materialize") as tsp:
+            scheme_from_arrays(graph, ported, arrays)
+        stats["materialize_seconds"] = round(tsp.seconds, 3)
 
     width = max(len(k) for k in stats)
     for key, value in stats.items():
@@ -341,6 +337,76 @@ def _cmd_build(args) -> int:
             json.dump(stats, fh, indent=2)
         print(f"wrote {args.json}")
     return 0
+
+
+def _cmd_profile(args) -> int:
+    import tempfile
+
+    from .analysis.experiments import reference_graph
+    from .analysis.obs_report import render_metrics, render_span_tree
+    from .graphs.ports import assign_ports
+    from .rng import derive
+    from .sim.workloads import make_workload
+    from .store import RouteService, SchemeStore
+
+    tmp = None
+    store_dir = args.store
+    if store_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="tzprofile-")
+        store_dir = tmp.name
+    try:
+        with timed("profile", graph=args.graph, k=args.k) as tsp:
+            graph = reference_graph(
+                args.graph, args.n, args.seed
+            ).largest_component()
+            ported = assign_ports(
+                graph, "random", rng=derive(args.seed, "profile-ports")
+            )
+            stored = SchemeStore(store_dir).get_or_build(
+                graph, args.k, args.seed, ported=ported
+            )
+            pairs = make_workload(
+                graph, args.workload, args.pairs, derive(args.seed, "profile-pairs")
+            )
+            service = RouteService(stored.path)
+            result = service.route(pairs, shards=args.shards)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    wall = tsp.seconds
+    print(
+        render_span_tree(
+            title=f"profile: {args.graph} n={graph.n} m={graph.m} "
+            f"k={args.k} pairs={pairs.shape[0]}"
+        )
+    )
+    print()
+    print(render_metrics())
+    total_self = sum(sp.self_ns for sp, _ in TELEMETRY.spans()) / 1e9
+    coverage = 100.0 * total_self / max(wall, 1e-9)
+    print(
+        f"\n[wall {wall:.3f}s, instrumented self-time {total_self:.3f}s "
+        f"({coverage:.1f}% coverage), delivered "
+        f"{int(result.delivered.sum())}/{pairs.shape[0]}]"
+    )
+    return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared telemetry-export flags to one subparser."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record telemetry and write the JSON-lines span trace here",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="record telemetry and write the metrics JSON document here",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -415,6 +481,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="execution engine (see epilog)",
     )
     p_route.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p_route)
     p_route.set_defaults(func=_cmd_route)
 
     p_serve = sub.add_parser(
@@ -463,6 +530,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="replay the bit-exact serialization codec before serving",
     )
     p_serve.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_scen = sub.add_parser(
@@ -533,6 +601,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--markdown", default=None, help="write the markdown report here"
     )
     p_scen.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p_scen)
     p_scen.set_defaults(func=_cmd_scenarios)
 
     p_front = sub.add_parser(
@@ -577,6 +646,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--markdown", default=None, help="write the markdown report here"
     )
     p_front.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p_front)
     p_front.set_defaults(func=_cmd_frontier)
 
     p_build = sub.add_parser(
@@ -618,10 +688,74 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_build.add_argument("--json", default=None, help="write stats to this file")
     p_build.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p_build)
     p_build.set_defaults(func=_cmd_build)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="run an instrumented build/store/route pipeline and print the span tree",
+        description=(
+            "Run the whole pipeline — generate a graph, build the "
+            "scheme, persist it through the store, open it back and "
+            "route a traffic matrix — with telemetry enabled, then "
+            "print the span tree (cumulative/self wall time per phase), "
+            "the collected counters and histograms, and the share of "
+            "wall time the instrumentation accounts for."
+        ),
+        epilog=(
+            "The store defaults to a temporary directory so every "
+            "profile pays the full build; point --store at a persistent "
+            "directory to profile the hit path instead. --trace/"
+            "--metrics additionally export the machine-readable forms."
+        ),
+    )
+    p_prof.add_argument("--graph", default="gnp", choices=ROUTE_GRAPHS)
+    p_prof.add_argument("--n", type=int, default=2000, help="vertex count")
+    p_prof.add_argument("--k", type=int, default=3, help="hierarchy levels")
+    p_prof.add_argument(
+        "--pairs", type=int, default=20_000, help="traffic matrix size"
+    )
+    p_prof.add_argument(
+        "--workload",
+        default="uniform",
+        choices=["uniform", "gravity", "all-to-one"],
+        help="traffic model (see repro.sim.workloads)",
+    )
+    p_prof.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes source-sharding the matrix (1 = in-process)",
+    )
+    p_prof.add_argument(
+        "--store",
+        default=None,
+        help="scheme store directory (default: a throwaway temp dir)",
+    )
+    p_prof.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p_prof)
+    p_prof.set_defaults(func=_cmd_profile)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    observing = bool(trace or metrics) or args.command == "profile"
+    if observing:
+        # One registry per CLI invocation: drop anything a prior in-
+        # process main() call recorded, then record this command.
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+    try:
+        rc = args.func(args)
+    finally:
+        TELEMETRY.disable()
+    if observing:
+        if trace:
+            print(f"wrote {write_trace(trace)}")
+        if metrics:
+            print(f"wrote {write_metrics(metrics)}")
+        TELEMETRY.reset()
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

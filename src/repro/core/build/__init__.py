@@ -57,6 +57,7 @@ import numpy as np
 from ...errors import PreprocessingError
 from ...graphs.graph import Graph
 from ...graphs.ports import PortedGraph
+from ...obs import TELEMETRY
 from ...rng import RngLike, make_rng
 from ..landmarks import Hierarchy, build_hierarchy, hierarchy_from_levels
 from .arrays import SchemeArrays, assemble_arrays, scheme_from_arrays
@@ -151,18 +152,19 @@ def build_arrays(
     ``builder=``.
     """
     builder = resolve_builder(builder, method)
-    if hierarchy is not None:
-        from ...graphs.ports import assign_ports
+    with TELEMETRY.span("build.arrays", builder=builder, k=k, n=graph.n):
+        if hierarchy is not None:
+            from ...graphs.ports import assign_ports
 
-        if ported is None:
-            ported = assign_ports(graph, "sorted")
-    else:
-        ported, hierarchy = _resolve_inputs(
-            graph, k, ported, rng, sampling, levels, consistent_pivots
-        )
-    if builder == "reference":
-        return reference_arrays(graph, ported, hierarchy)
-    return vectorized_arrays(graph, ported, hierarchy, mode=mode)
+            if ported is None:
+                ported = assign_ports(graph, "sorted")
+        else:
+            ported, hierarchy = _resolve_inputs(
+                graph, k, ported, rng, sampling, levels, consistent_pivots
+            )
+        if builder == "reference":
+            return reference_arrays(graph, ported, hierarchy)
+        return vectorized_arrays(graph, ported, hierarchy, mode=mode)
 
 
 def build_scheme(

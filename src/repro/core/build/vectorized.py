@@ -51,6 +51,7 @@ from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
 from ...errors import PreprocessingError
 from ...graphs.graph import Graph
 from ...graphs.ports import PortedGraph
+from ...obs import TELEMETRY
 from ..landmarks import Hierarchy
 from .arrays import SchemeArrays, assemble_arrays
 from .reference import reference_arrays
@@ -146,37 +147,46 @@ def _pruned_level(
     best_dist = np.zeros(centers.shape[0])
     frontier_keys = best_keys
     frontier_dist = best_dist
-    for _round in range(graph.n + 2):
-        if frontier_keys.shape[0] == 0:
-            return best_keys, best_dist
-        u = frontier_keys % n
-        base = frontier_keys - u  # center * n
-        rep, v, nd = _expand(graph, u, frontier_dist)
-        ok = nd < thr[v]
-        ck = base[rep[ok]] + v[ok]
-        cd = nd[ok]
-        if ck.shape[0] == 0:
-            return best_keys, best_dist
-        order = np.lexsort((cd, ck))  # min distance per candidate key
-        ck, cd = ck[order], cd[order]
-        keep = np.ones(ck.shape[0], dtype=bool)
-        keep[1:] = ck[1:] != ck[:-1]
-        ck, cd = ck[keep], cd[keep]
-        pos = np.minimum(np.searchsorted(best_keys, ck), best_keys.shape[0] - 1)
-        exists = best_keys[pos] == ck
-        upd = exists.copy()
-        upd[exists] = cd[exists] < best_dist[pos[exists]]
-        best_dist[pos[upd]] = cd[upd]
-        fresh = ~exists
-        if fresh.any():
-            # ck is sorted, so new keys splice in as one O(B + C) insert
-            # (no re-sort of the whole state).
-            at = np.searchsorted(best_keys, ck[fresh])
-            best_keys = np.insert(best_keys, at, ck[fresh])
-            best_dist = np.insert(best_dist, at, cd[fresh])
-        live = upd | fresh
-        frontier_keys, frontier_dist = ck[live], cd[live]
-    raise PreprocessingError("thresholded batched Dijkstra did not converge")
+    rounds = relaxed = 0
+    try:
+        for _round in range(graph.n + 2):
+            if frontier_keys.shape[0] == 0:
+                return best_keys, best_dist
+            rounds += 1
+            u = frontier_keys % n
+            base = frontier_keys - u  # center * n
+            rep, v, nd = _expand(graph, u, frontier_dist)
+            relaxed += rep.shape[0]
+            ok = nd < thr[v]
+            ck = base[rep[ok]] + v[ok]
+            cd = nd[ok]
+            if ck.shape[0] == 0:
+                return best_keys, best_dist
+            order = np.lexsort((cd, ck))  # min distance per candidate key
+            ck, cd = ck[order], cd[order]
+            keep = np.ones(ck.shape[0], dtype=bool)
+            keep[1:] = ck[1:] != ck[:-1]
+            ck, cd = ck[keep], cd[keep]
+            pos = np.minimum(np.searchsorted(best_keys, ck), best_keys.shape[0] - 1)
+            exists = best_keys[pos] == ck
+            upd = exists.copy()
+            upd[exists] = cd[exists] < best_dist[pos[exists]]
+            best_dist[pos[upd]] = cd[upd]
+            fresh = ~exists
+            if fresh.any():
+                # ck is sorted, so new keys splice in as one O(B + C) insert
+                # (no re-sort of the whole state).
+                at = np.searchsorted(best_keys, ck[fresh])
+                best_keys = np.insert(best_keys, at, ck[fresh])
+                best_dist = np.insert(best_dist, at, cd[fresh])
+            live = upd | fresh
+            frontier_keys, frontier_dist = ck[live], cd[live]
+        raise PreprocessingError("thresholded batched Dijkstra did not converge")
+    finally:
+        tm = TELEMETRY
+        if tm.enabled:
+            tm.count("build.frontier_rounds", rounds)
+            tm.count("build.relaxed_arcs", relaxed)
 
 
 def _level_parents(graph: Graph, keys: np.ndarray, dist: np.ndarray) -> np.ndarray:
@@ -433,6 +443,7 @@ def vectorized_arrays(
         # arithmetic cannot reproduce the reference bit-for-bit, run it.
         return reference_arrays(graph, ported, hierarchy)
 
+    tm = TELEMETRY
     n = graph.n
     key_parts, dist_parts, parent_parts = [], [], []
     for i in range(hierarchy.k):
@@ -445,14 +456,20 @@ def vectorized_arrays(
         use_full = mode == "full" or unbounded or (
             mode == "auto" and centers.shape[0] <= FULL_CENTER_LIMIT
         )
-        keys, dist = (
-            _full_level(graph, centers, thr)
-            if use_full
-            else _pruned_level(graph, centers, thr)
-        )
+        engine = "full" if use_full else "pruned"
+        with tm.span(
+            "build.clusters", level=i, engine=engine, centers=int(centers.shape[0])
+        ):
+            keys, dist = (
+                _full_level(graph, centers, thr)
+                if use_full
+                else _pruned_level(graph, centers, thr)
+            )
+        tm.count("build.cluster_entries", int(keys.shape[0]))
         key_parts.append(keys)
         dist_parts.append(dist)
-        parent_parts.append(_level_parents(graph, keys, dist))
+        with tm.span("build.parents", level=i):
+            parent_parts.append(_level_parents(graph, keys, dist))
 
     keys = np.concatenate(key_parts) if key_parts else np.zeros(0, dtype=np.int64)
     dist = np.concatenate(dist_parts) if dist_parts else np.zeros(0)
@@ -466,16 +483,18 @@ def vectorized_arrays(
     cl_indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(np.bincount(ent_center, minlength=n), out=cl_indptr[1:])
 
-    tree = _tree_arrays(
-        graph, ported, keys, ent_center, ent_member, ent_parent, cl_indptr
-    )
-    return assemble_arrays(
-        graph,
-        ported,
-        hierarchy,
-        cl_indptr=cl_indptr,
-        ent_member=ent_member,
-        ent_dist=dist,
-        ent_parent=ent_parent,
-        **tree,
-    )
+    with tm.span("build.trees", entries=int(keys.shape[0])):
+        tree = _tree_arrays(
+            graph, ported, keys, ent_center, ent_member, ent_parent, cl_indptr
+        )
+    with tm.span("build.assemble"):
+        return assemble_arrays(
+            graph,
+            ported,
+            hierarchy,
+            cl_indptr=cl_indptr,
+            ent_member=ent_member,
+            ent_dist=dist,
+            ent_parent=ent_parent,
+            **tree,
+        )

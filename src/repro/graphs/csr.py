@@ -36,6 +36,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
 
 from ..errors import GraphError
+from ..obs import TELEMETRY
 
 INF = np.inf
 
@@ -152,11 +153,13 @@ class CSRKernel:
         dist[source] = 0.0
         heap: List[Tuple[float, int]] = [(0.0, source)]
         indptr, indices, wts = self.indptr, self.indices, self.weights
+        pops = 0
         while heap:
             d, u = heapq.heappop(heap)
             if done[u]:
                 continue
             done[u] = True
+            pops += 1
             if u == target:
                 break
             for i in range(indptr[u], indptr[u + 1]):
@@ -166,6 +169,10 @@ class CSRKernel:
                     dist[v] = nd
                     parent[v] = u
                     heapq.heappush(heap, (nd, v))
+        tm = TELEMETRY
+        if tm.enabled:
+            tm.count("csr.sssp_calls")
+            tm.count("csr.dijkstra_pops", pops)
         return dist, parent
 
     def sssp_batch(
@@ -188,9 +195,12 @@ class CSRKernel:
             )
         if np.any(src < 0) or np.any(src >= self.n):
             raise GraphError("source out of range")
-        dist, pred = _scipy_dijkstra(
-            self.matrix(), directed=False, indices=src, return_predecessors=True
-        )
+        tm = TELEMETRY
+        with tm.span("csr.sssp_batch", sources=int(src.size)):
+            dist, pred = _scipy_dijkstra(
+                self.matrix(), directed=False, indices=src, return_predecessors=True
+            )
+        tm.count("csr.batch_sources", int(src.size))
         return np.atleast_2d(dist), np.atleast_2d(pred).astype(np.int64)
 
     def all_pairs(self) -> np.ndarray:
@@ -247,10 +257,13 @@ class CSRKernel:
             return np.full(n, INF), np.full(n, -1, dtype=np.int64)
         if method == "heap":
             return self._multi_source_heap(src, witness_priority)
-        dist = np.asarray(
-            _scipy_dijkstra(self.matrix(), directed=False, indices=src, min_only=True)
-        )
-        witness, complete = self._propagate_witnesses(dist, src, witness_priority)
+        with TELEMETRY.span("csr.multi_source", sources=int(src.size)):
+            dist = np.asarray(
+                _scipy_dijkstra(
+                    self.matrix(), directed=False, indices=src, min_only=True
+                )
+            )
+            witness, complete = self._propagate_witnesses(dist, src, witness_priority)
         if complete:
             return dist, witness
         if method == "scipy":
@@ -338,11 +351,13 @@ class CSRKernel:
             heapq.heappush(heap, (0.0, prio.get(a, a), a, a))
             dist[a] = 0.0
         indptr, indices, wts = self.indptr, self.indices, self.weights
+        pops = 0
         while heap:
             d, _, w, u = heapq.heappop(heap)
             if done[u]:
                 continue
             done[u] = True
+            pops += 1
             dist[u] = d
             witness[u] = w
             for i in range(indptr[u], indptr[u + 1]):
@@ -353,4 +368,7 @@ class CSRKernel:
                 if nd <= dist[v]:
                     dist[v] = nd
                     heapq.heappush(heap, (nd, prio.get(w, w), w, v))
+        tm = TELEMETRY
+        if tm.enabled:
+            tm.count("csr.dijkstra_pops", pops)
         return dist, witness

@@ -1,0 +1,50 @@
+"""Observability: spans, counters and phase metrics for the whole stack.
+
+The measurement substrate the perf roadmap is judged against.  One
+process-local :data:`~repro.obs.telemetry.TELEMETRY` registry collects
+
+* nested wall-time **spans** (``perf_counter_ns``) from the builder's
+  per-level phases, the CSR kernel, the batch router's commit/hop-loop,
+  the scheme store and the route service;
+* **counters** (Dijkstra pops, hop-loop rounds, pairs routed, store
+  hits/misses), **gauges** and **histograms** (per-shard latency);
+
+and is a strict no-op when disabled — one attribute check on the hot
+path, bit-identical routing results either way (gated by
+``tests/test_obs.py`` and ``benchmarks/bench_obs.py``).
+
+Entry points: ``repro profile`` runs a build→store→route pipeline under
+full instrumentation and prints the span tree; ``--trace FILE`` /
+``--metrics FILE`` on the main subcommands dump the JSON-lines trace and
+the metrics document; :mod:`repro.analysis.obs_report` renders both for
+humans.
+"""
+
+from .export import metrics_doc, trace_records, write_metrics, write_trace
+from .telemetry import (
+    TELEMETRY,
+    Span,
+    Telemetry,
+    TimedSpan,
+    count,
+    gauge,
+    observe,
+    span,
+    timed,
+)
+
+__all__ = [
+    "TELEMETRY",
+    "Span",
+    "Telemetry",
+    "TimedSpan",
+    "count",
+    "gauge",
+    "metrics_doc",
+    "observe",
+    "span",
+    "timed",
+    "trace_records",
+    "write_metrics",
+    "write_trace",
+]

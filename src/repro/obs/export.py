@@ -1,0 +1,127 @@
+"""Exporters: JSON-lines traces and metrics documents.
+
+Two machine-readable forms of one :class:`~repro.obs.telemetry.Telemetry`
+registry:
+
+* :func:`write_trace` — one JSON object per line per span, preorder,
+  with start/duration/self nanoseconds, depth and a parent index into
+  the same file.  JSON-lines so a partial file (a crashed run) is still
+  parseable line by line, and CI can upload it as a flat artifact.
+* :func:`write_metrics` — a single JSON document of counters, gauges
+  and histogram summaries (count/mean/percentiles), the shape the
+  serving daemon of ROADMAP item 3 will expose over HTTP.
+
+The human-readable rendering (span tree with self/cumulative times,
+metric tables) lives in :mod:`repro.analysis.obs_report`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .telemetry import TELEMETRY, Telemetry
+
+__all__ = [
+    "metrics_doc",
+    "trace_records",
+    "write_metrics",
+    "write_trace",
+]
+
+#: Schema tags stamped into every export (bump on layout changes).
+TRACE_SCHEMA = "tz-trace/v1"
+METRICS_SCHEMA = "tz-metrics/v1"
+
+
+def trace_records(tm: Optional[Telemetry] = None) -> List[Dict[str, object]]:
+    """Flatten the registry's span forest into JSON-able records.
+
+    Records are preorder; ``parent`` is the index of the parent record
+    in the returned list (``-1`` for roots), so the tree reconstructs
+    without object identity.
+    """
+    tm = TELEMETRY if tm is None else tm
+    records: List[Dict[str, object]] = []
+    index: Dict[int, int] = {}
+    for sp, depth in tm.spans():
+        parent = index.get(id(sp._parent), -1) if sp._parent is not None else -1
+        index[id(sp)] = len(records)
+        records.append(
+            {
+                "name": sp.name,
+                "depth": depth,
+                "parent": parent,
+                "start_ns": sp.start_ns,
+                "duration_ns": sp.duration_ns,
+                "self_ns": sp.self_ns,
+                "attrs": dict(sp.attrs),
+            }
+        )
+    return records
+
+
+def write_trace(
+    path: Union[str, Path], tm: Optional[Telemetry] = None
+) -> Path:
+    """Write the span forest as JSON lines; returns the path written.
+
+    The first line is a header object (``{"schema": "tz-trace/v1"}``);
+    every following line is one span record (see :func:`trace_records`).
+    """
+    tm = TELEMETRY if tm is None else tm
+    path = Path(path)
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"schema": TRACE_SCHEMA, "spans": len(list(tm.spans()))}))
+        fh.write("\n")
+        for record in trace_records(tm):
+            fh.write(json.dumps(record))
+            fh.write("\n")
+    return path
+
+
+def _histogram_summary(values: List[float]) -> Dict[str, float]:
+    """count/sum/mean/min/p50/p99/max of one histogram series."""
+    ordered = sorted(values)
+    count = len(ordered)
+
+    def pct(q: float) -> float:
+        """Nearest-rank percentile of the sorted series."""
+        return ordered[min(count - 1, int(q * count))]
+
+    return {
+        "count": count,
+        "sum": sum(ordered),
+        "mean": sum(ordered) / count,
+        "min": ordered[0],
+        "p50": pct(0.50),
+        "p99": pct(0.99),
+        "max": ordered[-1],
+    }
+
+
+def metrics_doc(tm: Optional[Telemetry] = None) -> Dict[str, object]:
+    """The registry's metrics as one JSON-able document."""
+    tm = TELEMETRY if tm is None else tm
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": dict(tm.counters),
+        "gauges": dict(tm.gauges),
+        "histograms": {
+            name: _histogram_summary(values)
+            for name, values in tm.histograms.items()
+            if values
+        },
+    }
+
+
+def write_metrics(
+    path: Union[str, Path], tm: Optional[Telemetry] = None
+) -> Path:
+    """Write :func:`metrics_doc` as indented JSON; returns the path."""
+    path = Path(path)
+    with open(path, "w") as fh:
+        json.dump(metrics_doc(tm), fh, indent=2)
+        fh.write("\n")
+    return path

@@ -45,6 +45,7 @@ import numpy as np
 from ...core.router import RoutingScheme
 from ...errors import RoutingError
 from ...graphs.ports import PortedGraph
+from ...obs import TELEMETRY
 from ..network import RouteResult
 from .compile import CompiledScheme, compile_scheme
 
@@ -311,16 +312,20 @@ class BatchRouter:
         decisions).  ``dead_edges`` drops any row whose next hop crosses
         a listed edge, mirroring :class:`~repro.sim.failures.FaultyNetwork`.
         """
-        src, dst = self._validate_pairs(pairs)
-        dead_masks: Optional[np.ndarray] = None
-        trial: Optional[np.ndarray] = None
-        if dead_edges is not None:
-            dead_list = list(dead_edges)
-            if dead_list:
-                dead_masks = self._edge_mask(dead_list)[None, :]
-                trial = np.zeros(src.shape[0], dtype=np.int64)
-        state = self._commit(src, dst)
-        return self._hop_loop(src, dst, state, ttl, dead_masks, trial)
+        tm = TELEMETRY
+        with tm.span("route.route_pairs", pairs=int(np.asarray(pairs).shape[0])):
+            src, dst = self._validate_pairs(pairs)
+            dead_masks: Optional[np.ndarray] = None
+            trial: Optional[np.ndarray] = None
+            if dead_edges is not None:
+                dead_list = list(dead_edges)
+                if dead_list:
+                    dead_masks = self._edge_mask(dead_list)[None, :]
+                    trial = np.zeros(src.shape[0], dtype=np.int64)
+            with tm.span("route.commit"):
+                state = self._commit(src, dst)
+            with tm.span("route.hop_loop"):
+                return self._hop_loop(src, dst, state, ttl, dead_masks, trial)
 
     def route_trials(
         self,
@@ -363,16 +368,20 @@ class BatchRouter:
                 )
         T = masks.shape[0]
         P = src.shape[0]
-        state = self._commit(src, dst)
-        tiled = tuple(np.tile(a, T) for a in state)
-        flat = self._hop_loop(
-            np.tile(src, T),
-            np.tile(dst, T),
-            tiled,
-            ttl,
-            masks,
-            np.repeat(np.arange(T, dtype=np.int64), P),
-        )
+        tm = TELEMETRY
+        with tm.span("route.trials", trials=T, pairs=P):
+            with tm.span("route.commit"):
+                state = self._commit(src, dst)
+            tiled = tuple(np.tile(a, T) for a in state)
+            with tm.span("route.hop_loop"):
+                flat = self._hop_loop(
+                    np.tile(src, T),
+                    np.tile(dst, T),
+                    tiled,
+                    ttl,
+                    masks,
+                    np.repeat(np.arange(T, dtype=np.int64), P),
+                )
         return TrialSweepResult(
             source=src,
             dest=dst,
@@ -441,9 +450,11 @@ class BatchRouter:
             if tri is not None:
                 tri = tri[keep]
 
+        rounds = 0
         for _ in range(ttl):
             if rows.size == 0:
                 break
+            rounds += 1
             # Arrival is checked before anything else (as in the
             # reference decide): entry equality, or — for messages that
             # crossed into a recordless vertex — landing on the
@@ -548,6 +559,11 @@ class BatchRouter:
 
         fail[rows] = FAIL_TTL
 
+        tm = TELEMETRY
+        if tm.enabled:
+            tm.count("route.hop_iterations", rounds)
+            tm.count("route.pairs_routed", count)
+            tm.count("route.delivered", int(delivered.sum()))
         return BatchResult(
             source=src,
             dest=dst,

@@ -38,6 +38,7 @@ import numpy as np
 
 from ...errors import RoutingError
 from ...graphs.ports import PortedGraph
+from ...obs import TELEMETRY
 from ...trees.label_codec import tree_label_bits_array
 from ...trees.tz_tree import records_to_arrays
 
@@ -270,6 +271,12 @@ def compile_scheme(
         # export is a resolution pass over those arrays instead of a
         # Python walk of every (tree, member) dict entry.
         return compile_from_arrays(scheme._arrays, ported)
+    with TELEMETRY.span("engine.compile", source="tables"):
+        return _compile_tables(scheme, ported)
+
+
+def _compile_tables(scheme, ported: PortedGraph) -> CompiledScheme:
+    """Dict-walk export of a table scheme (the non-array slow path)."""
     graph = ported.graph
     n = scheme.n
 
@@ -509,6 +516,14 @@ def compile_from_arrays(arrays, ported: PortedGraph) -> CompiledScheme:
     :func:`compile_scheme` runs, so routing over a foreign port
     assignment crosses exactly the same physical links either way.
     """
+    with TELEMETRY.span(
+        "engine.compile", source="arrays", entries=int(arrays.entry_keys.shape[0])
+    ):
+        return _compile_arrays(arrays, ported)
+
+
+def _compile_arrays(arrays, ported: PortedGraph) -> CompiledScheme:
+    """The resolution pass behind :func:`compile_from_arrays`."""
     graph = ported.graph
     n = arrays.n
     arc = ported.arc_of_port

@@ -24,6 +24,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..errors import RoutingError
+from ..obs import TELEMETRY
 from ..sim.engine.batch import BatchResult, BatchRouter
 
 
@@ -39,10 +40,29 @@ def _shard_results(parts, order, count):
     return BatchResult(**out)
 
 
-def _route_shard(path: str, pairs: np.ndarray, ttl: Optional[int]):
-    """Worker entry point: mmap the store file and route one shard."""
+def _route_shard(
+    path: str, pairs: np.ndarray, ttl: Optional[int], record: bool = False
+):
+    """Worker entry point: mmap the store file and route one shard.
+
+    With ``record=True`` the worker resets its (possibly fork-inherited)
+    telemetry registry, enables it for the duration of the shard, and
+    ships the metric snapshot home alongside the result columns and the
+    shard's wall time — the parent merges them (spans stay local).
+    """
+    from time import perf_counter
+
+    if record:
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+    t0 = perf_counter()
     service = RouteService(path)
-    result = service.route(pairs, ttl=ttl)
+    # Route through the router directly: the parent already counted the
+    # serve.* metrics for the whole request, so the merged worker
+    # snapshots must carry only the route.*-level ones.
+    result = service._router.route_pairs(pairs, ttl=ttl)
+    elapsed = perf_counter() - t0
+    snapshot = TELEMETRY.snapshot() if record else None
     return (
         result.source,
         result.dest,
@@ -52,6 +72,8 @@ def _route_shard(path: str, pairs: np.ndarray, ttl: Optional[int]):
         result.tree,
         result.max_header_bits,
         result.failure_code,
+        elapsed,
+        snapshot,
     )
 
 
@@ -63,10 +85,11 @@ class RouteService:
         from .store import SchemeStore
 
         self.path = Path(path)
-        stored = SchemeStore(self.path.parent).load(self.path, mmap=mmap)
-        self.meta = stored.meta
-        self.compiled = stored.compiled
-        self._router = BatchRouter.from_compiled(stored.compiled)
+        with TELEMETRY.span("serve.open", mmap=bool(mmap)):
+            stored = SchemeStore(self.path.parent).load(self.path, mmap=mmap)
+            self.meta = stored.meta
+            self.compiled = stored.compiled
+            self._router = BatchRouter.from_compiled(stored.compiled)
 
     @property
     def n(self) -> int:
@@ -96,12 +119,40 @@ class RouteService:
             pair_arr = pair_arr.reshape(0, 2)
         if pair_arr.ndim != 2 or pair_arr.shape[1] != 2:
             raise RoutingError("pairs must be an (m, 2) integer array")
-        if shards <= 1 or pair_arr.shape[0] < 2:
-            return self._router.route_pairs(pair_arr, ttl=ttl)
+        tm = TELEMETRY
+        with tm.span(
+            "serve.route", pairs=int(pair_arr.shape[0]), shards=int(max(shards, 1))
+        ):
+            if tm.enabled:
+                tm.count("serve.requests")
+                tm.count("serve.pairs", int(pair_arr.shape[0]))
+            if shards <= 1 or pair_arr.shape[0] < 2:
+                if tm.enabled:
+                    from time import perf_counter
 
+                    t0 = perf_counter()
+                    result = self._router.route_pairs(pair_arr, ttl=ttl)
+                    elapsed = perf_counter() - t0
+                    tm.observe("serve.shard_seconds", elapsed)
+                    if elapsed > 0:
+                        tm.gauge(
+                            "serve.pairs_per_second", pair_arr.shape[0] / elapsed
+                        )
+                    return result
+                return self._router.route_pairs(pair_arr, ttl=ttl)
+            return self._route_sharded(pair_arr, ttl, int(shards))
+
+    def _route_sharded(
+        self, pair_arr: np.ndarray, ttl: Optional[int], shards: int
+    ) -> BatchResult:
+        """Fan one traffic matrix out across worker processes."""
         import concurrent.futures as cf
+        from time import perf_counter
 
-        shards = min(int(shards), pair_arr.shape[0])
+        tm = TELEMETRY
+        record = tm.enabled
+        t0 = perf_counter()
+        shards = min(shards, pair_arr.shape[0])
         # Source-sharding: all traffic from one source lands in one
         # worker (stable argsort keeps row order within a shard).
         shard_of = pair_arr[:, 0] % shards
@@ -112,11 +163,19 @@ class RouteService:
         ]
         with cf.ProcessPoolExecutor(max_workers=shards) as pool:
             futures = [
-                pool.submit(_route_shard, str(self.path), chunk, ttl)
+                pool.submit(_route_shard, str(self.path), chunk, ttl, record)
                 for chunk in chunks
                 if chunk.shape[0]
             ]
-            parts = [BatchResult(*f.result()) for f in futures]
+            results = [f.result() for f in futures]
+        parts = [BatchResult(*res[:8]) for res in results]
+        if record:
+            for res in results:
+                tm.observe("serve.shard_seconds", float(res[8]))
+                tm.merge(res[9])
+            elapsed = perf_counter() - t0
+            if elapsed > 0:
+                tm.gauge("serve.pairs_per_second", pair_arr.shape[0] / elapsed)
         kept = np.concatenate(
             [order[bounds[i] : bounds[i + 1]] for i in range(shards)
              if bounds[i + 1] > bounds[i]]

@@ -50,6 +50,7 @@ from ..core.build.arrays import SchemeArrays, scheme_from_arrays
 from ..errors import EncodingError
 from ..graphs.graph import Graph
 from ..graphs.ports import PortedGraph, assign_ports
+from ..obs import TELEMETRY
 from ..sim.engine.compile import CompiledScheme, compile_from_arrays
 from .format import FORMAT_VERSION, read_container, write_container
 from .schemes import (
@@ -212,34 +213,35 @@ class SchemeStore:
         digest (see :func:`serialize_digest`) so strict loads can replay
         and compare it.
         """
-        if compiled is None:
-            compiled = compile_from_arrays(arrays, ported)
-        graph_sha = graph_content_hash(graph)
-        port_sha = port_hash(ported)
-        key = scheme_key(
-            graph_sha, arrays.k, seed, port_sha, handshake=compiled.handshake
-        )
-        meta = {
-            "kind": "tz-scheme",
-            "key": key,
-            "graph_sha256": graph_sha,
-            "port_sha256": port_sha,
-            "n": int(arrays.n),
-            "m": int(graph.m),
-            "k": int(arrays.k),
-            "seed": None if seed is None else int(seed),
-            "builder": builder,
-            "id_bits": int(compiled.id_bits),
-            "handshake": bool(compiled.handshake),
-            "entries": int(arrays.entry_count),
-        }
-        if strict:
-            meta["serialize_sha256"] = serialize_digest(graph, ported, arrays)
-        blobs = arrays_to_manifest(arrays)
-        blobs.update(compiled_to_manifest(compiled))
-        path = self.path_for(key)
-        write_container(path, blobs, meta)
-        return path
+        with TELEMETRY.span("store.save", k=int(arrays.k), n=int(arrays.n)):
+            if compiled is None:
+                compiled = compile_from_arrays(arrays, ported)
+            graph_sha = graph_content_hash(graph)
+            port_sha = port_hash(ported)
+            key = scheme_key(
+                graph_sha, arrays.k, seed, port_sha, handshake=compiled.handshake
+            )
+            meta = {
+                "kind": "tz-scheme",
+                "key": key,
+                "graph_sha256": graph_sha,
+                "port_sha256": port_sha,
+                "n": int(arrays.n),
+                "m": int(graph.m),
+                "k": int(arrays.k),
+                "seed": None if seed is None else int(seed),
+                "builder": builder,
+                "id_bits": int(compiled.id_bits),
+                "handshake": bool(compiled.handshake),
+                "entries": int(arrays.entry_count),
+            }
+            if strict:
+                meta["serialize_sha256"] = serialize_digest(graph, ported, arrays)
+            blobs = arrays_to_manifest(arrays)
+            blobs.update(compiled_to_manifest(compiled))
+            path = self.path_for(key)
+            write_container(path, blobs, meta)
+            return path
 
     def load(
         self,
@@ -265,21 +267,24 @@ class SchemeStore:
             if isinstance(key_or_path, Path) or str(key_or_path).endswith(STORE_SUFFIX)
             else self.path_for(str(key_or_path))
         )
-        header, blobs = read_container(
-            path, mmap=mmap, verify_data=strict or verify_data
-        )
-        meta = header.get("meta", {})
-        if meta.get("kind") != "tz-scheme":
-            raise EncodingError(f"{path} is not a scheme container")
-        n, k = int(meta["n"]), int(meta["k"])
-        arrays = arrays_from_manifest(blobs, n, k)
-        compiled = compiled_from_manifest(
-            blobs, n, k, int(meta["id_bits"]), bool(meta["handshake"])
-        )
-        stored = StoredScheme(path=path, meta=meta, compiled=compiled, arrays=arrays)
-        if strict:
-            self._verify_strict(stored, graph, ported)
-        return stored
+        with TELEMETRY.span("store.load", mmap=bool(mmap)):
+            header, blobs = read_container(
+                path, mmap=mmap, verify_data=strict or verify_data
+            )
+            meta = header.get("meta", {})
+            if meta.get("kind") != "tz-scheme":
+                raise EncodingError(f"{path} is not a scheme container")
+            n, k = int(meta["n"]), int(meta["k"])
+            arrays = arrays_from_manifest(blobs, n, k)
+            compiled = compiled_from_manifest(
+                blobs, n, k, int(meta["id_bits"]), bool(meta["handshake"])
+            )
+            stored = StoredScheme(
+                path=path, meta=meta, compiled=compiled, arrays=arrays
+            )
+            if strict:
+                self._verify_strict(stored, graph, ported)
+            return stored
 
     def _verify_strict(
         self,
@@ -418,10 +423,16 @@ class SchemeStore:
 
         key = self.backend_key_for(name, graph, k, seed)
         path = self.path_for(key)
-        if not path.exists():
-            backend = build_backend(name, graph, k, seed, ported=ported)
-            self.save_backend(backend, graph, k=k, seed=seed)
-        return self.load_backend(path, mmap=mmap)
+        tm = TELEMETRY
+        if tm.enabled:
+            tm.count(
+                "store.backend_hits" if path.exists() else "store.backend_misses"
+            )
+        with tm.span("store.get_or_build_backend", backend=name, k=k):
+            if not path.exists():
+                backend = build_backend(name, graph, k, seed, ported=ported)
+                self.save_backend(backend, graph, k=k, seed=seed)
+            return self.load_backend(path, mmap=mmap)
 
     # ------------------------------------------------------------------
     def get_or_build(
@@ -450,6 +461,18 @@ class SchemeStore:
             ported = assign_ports(graph, "sorted")
         key = self.key_for(graph, k, seed, ported)
         path = self.path_for(key)
+        tm = TELEMETRY
+        if tm.enabled:
+            tm.count("store.hits" if path.exists() else "store.misses")
+        with tm.span("store.get_or_build", k=k, hit=path.exists()):
+            return self._get_or_build(
+                graph, k, seed, ported, builder, strict, mmap, path
+            )
+
+    def _get_or_build(
+        self, graph, k, seed, ported, builder, strict, mmap, path
+    ) -> StoredScheme:
+        """Build-save-load behind :meth:`get_or_build` (key resolved)."""
         if path.exists() and strict:
             header, _ = read_container(path)
             if header.get("meta", {}).get("serialize_sha256") is None:

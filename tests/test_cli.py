@@ -79,7 +79,10 @@ class TestCli:
         subcommand the doc claims exists (the doc-drift tripwire)."""
         documented = re.findall(r"^## `repro (\w[\w-]*)`", DOCS_CLI.read_text(), re.M)
         assert sorted(documented) == sorted(
-            ["list", "run", "all", "build", "route", "serve", "scenarios", "frontier"]
+            [
+                "list", "run", "all", "build", "route", "serve",
+                "scenarios", "frontier", "profile",
+            ]
         )
         with pytest.raises(SystemExit):
             main(["--help"])
@@ -88,7 +91,11 @@ class TestCli:
             assert cmd in help_text, f"subcommand {cmd!r} documented but not in --help"
 
     @pytest.mark.parametrize(
-        "cmd", ["list", "run", "all", "build", "route", "serve", "scenarios", "frontier"]
+        "cmd",
+        [
+            "list", "run", "all", "build", "route", "serve",
+            "scenarios", "frontier", "profile",
+        ],
     )
     def test_subcommand_help_exits_zero(self, cmd, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -178,6 +185,63 @@ class TestCli:
         assert main(["build", "--n", "64", "--method", "vectorized"]) == 0
         err = capsys.readouterr().err
         assert "--method is deprecated" in err
+
+    def test_profile_prints_span_tree(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "profile",
+                    "--n", "256",
+                    "--k", "2",
+                    "--pairs", "2000",
+                    "--store", str(tmp_path / "store"),
+                    "--seed", "6",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # The span tree covers build, compile, store save/load and route.
+        for name in (
+            "profile", "build.arrays", "engine.compile", "store.save",
+            "store.load", "serve.route", "route.hop_loop",
+        ):
+            assert name in out, f"span {name!r} missing from profile output"
+        assert "route.pairs_routed" in out  # and the counters table
+        coverage = float(
+            re.search(r"\((\d+(?:\.\d+)?)% coverage\)", out).group(1)
+        )
+        assert coverage >= 90.0
+        # The CLI left the global registry disabled for the next command.
+        from repro.obs import TELEMETRY
+
+        assert not TELEMETRY.enabled
+
+    def test_trace_and_metrics_flags_write_files(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "build",
+                    "--n", "128",
+                    "--k", "2",
+                    "--seed", "2",
+                    "--trace", str(trace),
+                    "--metrics", str(metrics),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"wrote {trace}" in out and f"wrote {metrics}" in out
+        header = json.loads(trace.read_text().splitlines()[0])
+        assert header["schema"] == "tz-trace/v1" and header["spans"] > 0
+        doc = json.loads(metrics.read_text())
+        assert doc["schema"] == "tz-metrics/v1"
+        assert doc["counters"]["build.cluster_entries"] > 0
 
     def test_serve_miss_then_hit(self, capsys, tmp_path):
         args = [
