@@ -1,0 +1,181 @@
+"""Native compiled kernels vs their numpy references: the ≥5× gates.
+
+The acceptance gate of the kernels PR: on a 20k-node G(n, p) graph the
+native hop loop must advance a 100k-pair uniform matrix **≥ 5×** faster
+than the numpy synchronized hop loop, and the native frontier sweep
+must run a pruned cluster level **≥ 5×** faster than the numpy
+label-correcting sweep.  Both pairs are cross-checked for bit-for-bit
+agreement before any clock is trusted (the same differential contract
+``tests/test_kernels.py`` enforces at property-test scale), and the
+measured numbers land in ``BENCH_kernels.json``.
+
+The hop gate times :meth:`BatchRouter._hop_loop` directly rather than
+``route_pairs``: the tree-commit front end (``_commit``) is identical
+vectorized numpy on both kernels, so timing it would dilute the very
+loop the kernel replaces.  The committed state is copied inside the
+timed callable because the hop loop mutates its ``fail`` column in
+place (a few MB per repeat — noise next to the loop itself).
+
+Skips cleanly when the native backend cannot build (no C toolchain, or
+``REPRO_NATIVE_KERNELS=0``) — the numpy path is then the only path and
+there is nothing to gate.
+
+``REPRO_BENCH_SCALE=full`` doubles n; runs in tens of seconds otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+
+import time
+
+import numpy as np
+import pytest
+from _emit import emit
+
+from repro.core.build import build_scheme
+from repro.core.build.vectorized import _pruned_level
+from repro.core.landmarks import build_hierarchy
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.kernels import available, native_error
+from repro.kernels.frontier import frontier_sweep_native
+from repro.rng import make_rng
+from repro.sim.engine import BatchRouter
+from repro.sim.workloads import uniform_pairs
+
+pytestmark = pytest.mark.skipif(
+    not available(), reason=f"native kernels unavailable: {native_error()}"
+)
+
+HOP_SPEEDUP_FLOOR = 5.0
+FRONTIER_SPEEDUP_FLOOR = 5.0
+N_PAIRS = 100_000
+
+
+def best_of_interleaved(fn_a, fn_b, repeats=5):
+    """Best-of-N wall times of two callables, alternated A/B/A/B.
+
+    The gate is a *ratio*, and single-core CI runners drift ±15% on
+    second-scale timescales — long enough to skew one side if the two
+    contenders run back-to-back in separate blocks.  Alternating the
+    repeats exposes both sides to the same drift.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, best_b
+
+
+@pytest.fixture(scope="module")
+def setup():
+    n = 40_000 if os.environ.get("REPRO_BENCH_SCALE") == "full" else 20_000
+    graph = gen.gnp(n, 8.0 / n, rng=2026, weights=(1, 8)).largest_component()
+    ported = assign_ports(graph, "random", rng=7)
+    return graph, ported
+
+
+def test_kernels_speedup(setup):
+    graph, ported = setup
+
+    # ---- hop loop: route the same matrix on both kernels -------------
+    scheme = build_scheme(graph, 2, ported=ported, rng=11)
+    pairs = uniform_pairs(graph, N_PAIRS, rng=3)
+    routers = {
+        kern: BatchRouter(ported, scheme, kernel=kern)
+        for kern in ("numpy", "native")
+    }
+
+    # Cross-check before trusting the clock: bit-for-bit on the matrix.
+    ref = routers["numpy"].route_pairs(pairs)
+    nat = routers["native"].route_pairs(pairs)
+    for name in ("delivered", "weight", "hops", "max_header_bits", "failure_code"):
+        assert np.array_equal(getattr(ref, name), getattr(nat, name)), name
+
+    # Time the hop loop itself; _commit is shared front-end work.  The
+    # loop owns its state tuple (fail is mutated in place), so each
+    # repeat hands it a fresh copy.
+    src = np.ascontiguousarray(pairs[:, 0], dtype=np.int64)
+    dst = np.ascontiguousarray(pairs[:, 1], dtype=np.int64)
+    state = routers["numpy"]._commit(src, dst)
+
+    def hop(kern):
+        return routers[kern]._hop_loop(
+            src, dst, tuple(a.copy() for a in state), None, None, None
+        )
+
+    t_numpy, t_native = best_of_interleaved(
+        lambda: hop("numpy"), lambda: hop("native"), repeats=3
+    )
+    hop_speedup = t_numpy / t_native
+
+    # ---- frontier sweep: the largest thresholded cluster level -------
+    hierarchy = build_hierarchy(graph, 3, make_rng(13))
+    level, centers, thr = None, None, None
+    for i in range(hierarchy.k):
+        lvl = hierarchy.levels[i]
+        cand = np.asarray(lvl[hierarchy.level_of[lvl] == i], dtype=np.int64)
+        t = hierarchy.dist[i + 1]
+        if cand.size and not np.all(np.isinf(t)):
+            if centers is None or cand.size > centers.size:
+                level, centers, thr = i, cand, t
+    assert centers is not None, "hierarchy has no thresholded level to sweep"
+
+    keys_ref, dist_ref = _pruned_level(graph, centers, thr)
+    keys_nat, dist_nat = frontier_sweep_native(graph, centers, thr)
+    assert np.array_equal(keys_ref, keys_nat)
+    assert np.array_equal(dist_ref, dist_nat)
+
+    t_sweep_numpy, t_sweep_native = best_of_interleaved(
+        lambda: _pruned_level(graph, centers, thr),
+        lambda: frontier_sweep_native(graph, centers, thr),
+        repeats=5,
+    )
+    frontier_speedup = t_sweep_numpy / t_sweep_native
+
+    print(
+        f"\nkernels (n={graph.n}, m={graph.m}): hop loop {N_PAIRS:,} pairs "
+        f"numpy {t_numpy:.3f}s native {t_native:.3f}s ({hop_speedup:.1f}x); "
+        f"frontier level={level} centers={centers.size:,} "
+        f"numpy {t_sweep_numpy:.3f}s native {t_sweep_native:.3f}s "
+        f"({frontier_speedup:.1f}x)"
+    )
+
+    out = emit(
+        "kernels",
+        params={
+            "n": graph.n,
+            "m": graph.m,
+            "pairs": N_PAIRS,
+            "frontier_level": level,
+            "frontier_centers": int(centers.size),
+        },
+        metrics={
+            "hop_numpy_seconds": round(t_numpy, 4),
+            "hop_native_seconds": round(t_native, 4),
+            "hop_speedup": round(hop_speedup, 1),
+            "frontier_numpy_seconds": round(t_sweep_numpy, 4),
+            "frontier_native_seconds": round(t_sweep_native, 4),
+            "frontier_speedup": round(frontier_speedup, 1),
+            "delivered": int(ref.delivered.sum()),
+        },
+        floors={
+            "hop_speedup": HOP_SPEEDUP_FLOOR,
+            "frontier_speedup": FRONTIER_SPEEDUP_FLOOR,
+        },
+    )
+    print(f"wrote {out}")
+
+    assert hop_speedup >= HOP_SPEEDUP_FLOOR, (
+        f"hop-loop speedup {hop_speedup:.1f}x below the "
+        f"{HOP_SPEEDUP_FLOOR}x floor"
+    )
+    assert frontier_speedup >= FRONTIER_SPEEDUP_FLOOR, (
+        f"frontier-sweep speedup {frontier_speedup:.1f}x below the "
+        f"{FRONTIER_SPEEDUP_FLOOR}x floor"
+    )

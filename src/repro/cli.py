@@ -103,7 +103,11 @@ def _cmd_route(args) -> int:
             )
         else:
             scheme = build_tz_scheme(
-                graph, ported, k=args.k, rng=derive(args.seed, "route-scheme")
+                graph,
+                ported,
+                k=args.k,
+                rng=derive(args.seed, "route-scheme"),
+                kernel=args.kernel,
             )
         if args.handshake:
             scheme = HandshakeRoutingScheme(scheme)
@@ -117,7 +121,12 @@ def _cmd_route(args) -> int:
             scheme.compile_batch(ported)  # count compile separately from routing
     with timed("cli.route", engine=args.engine) as t_route:
         stats = measure_scheme(
-            ported, scheme, pairs=pairs, strict=False, engine=args.engine
+            ported,
+            scheme,
+            pairs=pairs,
+            strict=False,
+            engine=args.engine,
+            kernel=args.kernel,
         )
 
     print(
@@ -132,7 +141,7 @@ def _cmd_route(args) -> int:
         f"\npreprocess {t_build.seconds:.2f}s | "
         f"engine compile {t_compile.seconds:.2f}s | "
         f"route {t_route.seconds:.2f}s ({rate:,.0f} pairs/s, "
-        f"engine={args.engine})"
+        f"engine={args.engine}, kernel={args.kernel})"
     )
     return 0
 
@@ -156,7 +165,12 @@ def _cmd_serve(args) -> int:
     hit = key in store
     with timed("cli.store_open", hit=hit) as t_open:
         stored = store.get_or_build(
-            graph, args.k, args.seed, ported=ported, strict=args.strict_verify
+            graph,
+            args.k,
+            args.seed,
+            ported=ported,
+            strict=args.strict_verify,
+            kernel=args.kernel,
         )
     print(
         f"store {'hit' if hit else 'miss (built and saved)'}: "
@@ -169,7 +183,7 @@ def _cmd_serve(args) -> int:
         graph, args.workload, args.pairs, derive(args.seed, "serve-pairs")
     )
 
-    service = RouteService(stored.path)
+    service = RouteService(stored.path, kernel=args.kernel)
     with timed("cli.route", shards=args.shards) as t_route:
         result = service.route(pairs, shards=args.shards)
 
@@ -191,7 +205,7 @@ def _cmd_serve(args) -> int:
     rate = len(np.asarray(pairs)) / max(t_route.seconds, 1e-9)
     print(
         f"\nserve: route {t_route.seconds:.2f}s ({rate:,.0f} pairs/s, "
-        f"shards={args.shards})"
+        f"shards={args.shards}, kernel={args.kernel})"
     )
     return 0
 
@@ -220,6 +234,7 @@ def _cmd_scenarios(args) -> int:
         seed=args.seed,
         handshake=args.handshake,
         engine=args.engine,
+        kernel=args.kernel,
         failure_params=failure_params,
     )
 
@@ -307,7 +322,11 @@ def _cmd_build(args) -> int:
     for method in builders:
         with timed("cli.build", builder=method) as tsp:
             arrays = build_arrays(
-                graph, ported=ported, hierarchy=hierarchy, builder=method
+                graph,
+                ported=ported,
+                hierarchy=hierarchy,
+                builder=method,
+                kernel=args.kernel,
             )
         stats[f"{method}_build_seconds"] = round(tsp.seconds, 3)
     bunch = arrays.bunch_sizes()
@@ -363,12 +382,12 @@ def _cmd_profile(args) -> int:
                 graph, "random", rng=derive(args.seed, "profile-ports")
             )
             stored = SchemeStore(store_dir).get_or_build(
-                graph, args.k, args.seed, ported=ported
+                graph, args.k, args.seed, ported=ported, kernel=args.kernel
             )
             pairs = make_workload(
                 graph, args.workload, args.pairs, derive(args.seed, "profile-pairs")
             )
-            service = RouteService(stored.path)
+            service = RouteService(stored.path, kernel=args.kernel)
             result = service.route(pairs, shards=args.shards)
     finally:
         if tmp is not None:
@@ -385,12 +404,28 @@ def _cmd_profile(args) -> int:
     print(render_metrics())
     total_self = sum(sp.self_ns for sp, _ in TELEMETRY.spans()) / 1e9
     coverage = 100.0 * total_self / max(wall, 1e-9)
+    from .kernels import resolve_kernel
+
     print(
         f"\n[wall {wall:.3f}s, instrumented self-time {total_self:.3f}s "
-        f"({coverage:.1f}% coverage), delivered "
-        f"{int(result.delivered.sum())}/{pairs.shape[0]}]"
+        f"({coverage:.1f}% coverage), kernel={resolve_kernel(args.kernel)}, "
+        f"delivered {int(result.delivered.sum())}/{pairs.shape[0]}]"
     )
     return 0
+
+
+def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the compute-kernel selector to one subparser."""
+    parser.add_argument(
+        "--kernel",
+        default="auto",
+        choices=["auto", "native", "numpy"],
+        help=(
+            "compute kernel for the router hop loop and builder frontier "
+            "sweep (auto = native when the compiled backend loads, else "
+            "numpy; see repro.kernels)"
+        ),
+    )
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -481,6 +516,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="execution engine (see epilog)",
     )
     p_route.add_argument("--seed", type=int, default=0)
+    _add_kernel_flag(p_route)
     _add_obs_flags(p_route)
     p_route.set_defaults(func=_cmd_route)
 
@@ -530,6 +566,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="replay the bit-exact serialization codec before serving",
     )
     p_serve.add_argument("--seed", type=int, default=0)
+    _add_kernel_flag(p_serve)
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
@@ -601,6 +638,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--markdown", default=None, help="write the markdown report here"
     )
     p_scen.add_argument("--seed", type=int, default=0)
+    _add_kernel_flag(p_scen)
     _add_obs_flags(p_scen)
     p_scen.set_defaults(func=_cmd_scenarios)
 
@@ -688,6 +726,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_build.add_argument("--json", default=None, help="write stats to this file")
     p_build.add_argument("--seed", type=int, default=0)
+    _add_kernel_flag(p_build)
     _add_obs_flags(p_build)
     p_build.set_defaults(func=_cmd_build)
 
@@ -733,6 +772,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="scheme store directory (default: a throwaway temp dir)",
     )
     p_prof.add_argument("--seed", type=int, default=0)
+    _add_kernel_flag(p_prof)
     _add_obs_flags(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
 

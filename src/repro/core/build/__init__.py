@@ -141,15 +141,17 @@ def build_arrays(
     consistent_pivots: bool = True,
     hierarchy: Optional[Hierarchy] = None,
     method: Optional[str] = None,
+    kernel: str = "auto",
 ) -> SchemeArrays:
     """Construct a scheme and return its array form (no dict world).
 
     The same ``rng`` yields the same hierarchy for either ``builder``, so
     ``build_arrays(g, k, builder="vectorized", rng=s)`` and
     ``...builder="reference", rng=s`` are directly comparable.  Pass
-    ``hierarchy`` to share one across calls.  ``mode`` is forwarded to
-    :func:`vectorized_arrays`.  ``method=`` is the deprecated alias of
-    ``builder=``.
+    ``hierarchy`` to share one across calls.  ``mode`` and ``kernel``
+    (the frontier-sweep backend, see :mod:`repro.kernels`) are forwarded
+    to :func:`vectorized_arrays`.  ``method=`` is the deprecated alias
+    of ``builder=``.
     """
     builder = resolve_builder(builder, method)
     with TELEMETRY.span("build.arrays", builder=builder, k=k, n=graph.n):
@@ -164,7 +166,7 @@ def build_arrays(
             )
         if builder == "reference":
             return reference_arrays(graph, ported, hierarchy)
-        return vectorized_arrays(graph, ported, hierarchy, mode=mode)
+        return vectorized_arrays(graph, ported, hierarchy, mode=mode, kernel=kernel)
 
 
 def build_scheme(
@@ -178,14 +180,17 @@ def build_scheme(
     levels: Optional[Sequence[np.ndarray]] = None,
     consistent_pivots: bool = True,
     method: Optional[str] = None,
+    kernel: str = "auto",
 ):
     """Build a routable :class:`~repro.core.scheme_k.TZRoutingScheme`.
 
     ``builder="vectorized"`` runs the array pipeline and materializes the
     object world from it (the compiled batch-engine export then reads
     the arrays directly); ``builder="reference"`` runs the original
-    per-node path.  Outputs are bit-identical either way.  ``method=``
-    is the deprecated alias of ``builder=``.
+    per-node path.  Outputs are bit-identical either way — as they are
+    for either value of ``kernel`` (the vectorized builder's
+    frontier-sweep backend, see :mod:`repro.kernels`).  ``method=`` is
+    the deprecated alias of ``builder=``.
     """
     from ..scheme_k import build_tz_scheme
 
@@ -200,4 +205,5 @@ def build_scheme(
         consistent_pivots=consistent_pivots,
         cluster_method="sparse",
         builder=builder,
+        kernel=kernel,
     )

@@ -51,6 +51,8 @@ from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
 from ...errors import PreprocessingError
 from ...graphs.graph import Graph
 from ...graphs.ports import PortedGraph
+from ...kernels import note_weight_fallback, resolve_kernel
+from ...kernels.frontier import frontier_sweep_native
 from ...obs import TELEMETRY
 from ..landmarks import Hierarchy
 from .arrays import SchemeArrays, assemble_arrays
@@ -428,6 +430,7 @@ def vectorized_arrays(
     hierarchy: Hierarchy,
     *,
     mode: str = "auto",
+    kernel: str = "auto",
 ) -> SchemeArrays:
     """Construct the whole scheme as array programs (see module docstring).
 
@@ -435,12 +438,20 @@ def vectorized_arrays(
     ``"full"`` (always batched full-graph rows) or ``"pruned"`` (always
     the thresholded frontier sweep; the top level still uses ``full``
     since infinite thresholds never prune).
+
+    ``kernel`` selects the frontier-sweep backend for pruned levels —
+    ``"numpy"`` (the differential reference), ``"native"`` (the compiled
+    C sweep) or ``"auto"`` (see :mod:`repro.kernels`); the resulting
+    arrays are bit-for-bit identical either way.
     """
     if mode not in ("auto", "full", "pruned"):
         raise PreprocessingError(f"unknown vectorized builder mode {mode!r}")
+    kernel = resolve_kernel(kernel)
     if not _is_float64_exact(graph):
         # Same determinism contract as CSRKernel.multi_source: when float
-        # arithmetic cannot reproduce the reference bit-for-bit, run it.
+        # arithmetic cannot reproduce the reference bit-for-bit, run it —
+        # loudly (counter + warning); this degradation used to be silent.
+        note_weight_fallback()
         return reference_arrays(graph, ported, hierarchy)
 
     tm = TELEMETRY
@@ -460,11 +471,20 @@ def vectorized_arrays(
         with tm.span(
             "build.clusters", level=i, engine=engine, centers=int(centers.shape[0])
         ):
-            keys, dist = (
-                _full_level(graph, centers, thr)
-                if use_full
-                else _pruned_level(graph, centers, thr)
-            )
+            if use_full:
+                keys, dist = _full_level(graph, centers, thr)
+            else:
+                with tm.span(
+                    "kernel.frontier_sweep",
+                    impl=kernel,
+                    level=i,
+                    centers=int(centers.shape[0]),
+                ):
+                    keys, dist = (
+                        frontier_sweep_native(graph, centers, thr)
+                        if kernel == "native"
+                        else _pruned_level(graph, centers, thr)
+                    )
         tm.count("build.cluster_entries", int(keys.shape[0]))
         key_parts.append(keys)
         dist_parts.append(dist)

@@ -206,6 +206,7 @@ def build_tz_scheme(
     consistent_pivots: bool = True,
     cluster_method: str = "auto",
     builder: str = "reference",
+    kernel: str = "auto",
 ) -> TZRoutingScheme:
     """Preprocess ``graph`` into a :class:`TZRoutingScheme`.
 
@@ -228,6 +229,10 @@ def build_tz_scheme(
         (and caches its array form for the batch-engine compile);
         ``cluster_method`` only applies to the per-node path.
         ``"pernode"`` is the deprecated spelling of ``"reference"``.
+    kernel:
+        Frontier-sweep backend of the vectorized builder
+        (``"numpy"``/``"native"``/``"auto"``, see :mod:`repro.kernels`);
+        ignored by the reference path.  Bit-identical output either way.
     """
     from ..graphs.ports import assign_ports
 
@@ -266,7 +271,7 @@ def build_tz_scheme(
         from .build.arrays import scheme_from_arrays
         from .build.vectorized import vectorized_arrays
 
-        arrays = vectorized_arrays(graph, ported, hierarchy)
+        arrays = vectorized_arrays(graph, ported, hierarchy, kernel=kernel)
         scheme = scheme_from_arrays(graph, ported, arrays)
         scheme._arrays = arrays
         return scheme

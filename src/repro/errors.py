@@ -44,3 +44,8 @@ class PreprocessingError(ReproError):
 
 class EncodingError(ReproError):
     """Bit-level encoding or decoding failed."""
+
+
+class KernelError(ReproError):
+    """A compute-kernel selection is invalid or the requested backend is
+    unavailable (e.g. ``kernel="native"`` with no C toolchain)."""

@@ -1,0 +1,120 @@
+"""Compiled kernels for the two hottest loops, behind a differential flag.
+
+The router's synchronized hop loop (``sim/engine/batch.py``) and the
+builder's thresholded frontier sweep (``core/build/vectorized.py``) each
+have a native implementation in ``_native.c``, compiled on demand with
+the system C toolchain and loaded through ctypes (:mod:`._build`).  The
+numpy paths remain the bit-for-bit differential reference — the same
+contract the vectorized builder holds against the per-node reference
+builder — enforced by ``tests/test_kernels.py``.
+
+Selection is the ``kernel=`` kwarg threaded through
+:class:`~repro.sim.engine.batch.BatchRouter`,
+:func:`~repro.core.build.build_arrays` /
+:func:`~repro.core.build.build_scheme`,
+:class:`~repro.store.RouteService` and the CLI's ``--kernel`` flag:
+
+* ``"numpy"`` — always the pure-numpy reference path.
+* ``"native"`` — the compiled path; raises
+  :class:`~repro.errors.KernelError` when unavailable.
+* ``"auto"`` (default) — native when it loads, else numpy, noting the
+  fallback once per process with a ``kernel.fallback`` telemetry
+  counter and a :class:`KernelFallbackWarning`.
+
+The backend stays a zero-dependency optional: no compiler, no
+``Python.h``, or ``REPRO_NATIVE_KERNELS=0`` all degrade to numpy with
+identical results.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+from ..errors import KernelError
+from ..obs import TELEMETRY
+from . import _build
+
+__all__ = [
+    "KERNELS",
+    "KernelFallbackWarning",
+    "available",
+    "native_error",
+    "note_weight_fallback",
+    "resolve_kernel",
+]
+
+#: Accepted values of every ``kernel=`` kwarg / ``--kernel`` flag.
+KERNELS = ("auto", "native", "numpy")
+
+
+class KernelFallbackWarning(UserWarning):
+    """A faster kernel path silently degraded to a slower reference path."""
+
+
+_auto_fallback_noted = False
+
+
+def available() -> bool:
+    """True when the native backend compiled and loaded in this process."""
+    return _build.load() is not None
+
+
+def native_error() -> Optional[str]:
+    """Why the native backend is unavailable (None when it is usable)."""
+    return _build.native_error()
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Resolve a ``kernel=`` request to the backend that will run.
+
+    Returns ``"native"`` or ``"numpy"``.  ``"auto"`` degrades to numpy
+    when the native library cannot be built, recording the degradation
+    once per process (``kernel.fallback`` counter +
+    :class:`KernelFallbackWarning`); an explicit ``"native"`` raises
+    :class:`~repro.errors.KernelError` instead of degrading.
+    """
+    if kernel not in KERNELS:
+        raise KernelError(
+            f"unknown kernel {kernel!r} (choose from {', '.join(KERNELS)})"
+        )
+    if kernel == "numpy":
+        return "numpy"
+    if available():
+        return "native"
+    if kernel == "native":
+        raise KernelError(f"native kernels unavailable: {native_error()}")
+    _note_auto_fallback()
+    return "numpy"
+
+
+def _note_auto_fallback() -> None:
+    """Record the auto→numpy degradation, once per process."""
+    global _auto_fallback_noted
+    TELEMETRY.count("kernel.fallback")
+    if _auto_fallback_noted:
+        return
+    _auto_fallback_noted = True
+    warnings.warn(
+        f"native kernels unavailable ({native_error()}); "
+        "kernel='auto' is using the numpy path",
+        KernelFallbackWarning,
+        stacklevel=3,
+    )
+
+
+def note_weight_fallback() -> None:
+    """Record the non-float64-exact builder fallback (counter + warning).
+
+    The vectorized builder silently ran the ~10× slower reference path
+    for years of CPU time before this counter existed; both kernel paths
+    now surface the degradation the same way.
+    """
+    TELEMETRY.count("kernel.fallback")
+    warnings.warn(
+        "edge weights are not float64-exact: the vectorized builder fell "
+        "back to the per-node reference builder (10x slower); use "
+        "integer-valued weights to stay on the fast path",
+        KernelFallbackWarning,
+        stacklevel=3,
+    )

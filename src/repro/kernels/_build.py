@@ -1,0 +1,165 @@
+"""Compile ``_native.c`` with the system C toolchain and load it via ctypes.
+
+The native backend deliberately avoids a JIT dependency: the kernels are
+plain C99 (no ``Python.h``), compiled once per source revision with
+whatever ``cc`` the host provides and cached as a shared library keyed
+by the source hash.  The publish is an atomic rename, so concurrent
+processes (the sharded route service spawns workers) race benignly — the
+last writer wins with an identical artifact.
+
+Gating, in order:
+
+* ``REPRO_NATIVE_KERNELS=0`` (also ``no``/``off``/``false``) disables
+  the backend outright — the CI fallback leg uses this to prove the
+  numpy path stays green with no compiler at all.
+* ``CC`` overrides the compiler (default: ``cc`` from ``PATH``).
+* ``REPRO_KERNEL_CACHE`` overrides the cache directory (default:
+  ``$XDG_CACHE_HOME/repro-kernels`` or ``~/.cache/repro-kernels``).
+
+Compilation is attempted once per process; failures are remembered in
+:func:`native_error` so ``kernel="auto"`` callers can report *why* they
+fell back without re-running the compiler.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+_SOURCE = Path(__file__).with_name("_native.c")
+
+#: Environment switch that turns the native backend off entirely.
+ENV_DISABLE = "REPRO_NATIVE_KERNELS"
+
+_lib: Optional[ctypes.CDLL] = None
+_error: Optional[str] = None
+_attempted = False
+
+_I64 = ctypes.c_int64
+_PTR = ctypes.c_void_p
+_PPTR = ctypes.POINTER(ctypes.c_void_p)
+
+
+def disabled() -> bool:
+    """True when the environment vetoes the native backend."""
+    return os.environ.get(ENV_DISABLE, "").strip().lower() in (
+        "0",
+        "no",
+        "off",
+        "false",
+    )
+
+
+def cache_dir() -> Path:
+    """Directory holding compiled kernel libraries."""
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(xdg) / "repro-kernels"
+
+
+def _compiler() -> Optional[str]:
+    """The C compiler to invoke, or None when no toolchain is present."""
+    cc = os.environ.get("CC") or "cc"
+    return cc if shutil.which(cc) else None
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    """Pin argument/return types (bare ints would truncate to c_int)."""
+    lib.tz_hop_loop.restype = _I64
+    lib.tz_hop_loop.argtypes = (
+        [_I64]  # count
+        + [_PTR] * 7  # start..lp_hi
+        + [_PTR] * 4  # delivered, weight, hops, fail
+        + [_I64]  # n
+        + [_PTR] * 5  # ent records, tree_indptr, lp_data, g_indptr, steps
+        + [_PTR, _PTR]  # dead_masks, trial
+        + [_I64, _I64]  # mask_width, ttl
+    )
+    lib.tz_frontier_sweep.restype = _I64
+    lib.tz_frontier_sweep.argtypes = (
+        [_I64, _PTR, _PTR, _PTR, _I64, _PTR, _PTR] + [_PPTR, _PPTR] + [_PTR]
+    )
+    lib.tz_free.restype = None
+    lib.tz_free.argtypes = [_PTR]
+
+
+def _compile() -> ctypes.CDLL:
+    """Build (if needed) and load the shared library; raises on failure."""
+    source = _SOURCE.read_bytes()
+    tag = hashlib.sha256(source).hexdigest()[:16]
+    cache = cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+    artifact = cache / f"repro_native_{tag}.so"
+    if not artifact.exists():
+        cc = _compiler()
+        if cc is None:
+            raise RuntimeError(
+                "no C compiler on PATH (set CC, or install gcc/clang)"
+            )
+        fd, tmp = tempfile.mkstemp(dir=cache, suffix=".so")
+        os.close(fd)
+        try:
+            proc = subprocess.run(
+                [cc, "-O3", "-fPIC", "-shared", "-o", tmp, str(_SOURCE), "-lm"],
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"kernel compilation failed ({cc}): "
+                    f"{proc.stderr.strip()[:500]}"
+                )
+            os.replace(tmp, artifact)  # atomic publish
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    lib = ctypes.CDLL(str(artifact))
+    _declare(lib)
+    return lib
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """The loaded native library, or None (disabled / compile failed).
+
+    The first call pays the compile (sub-second, then cached on disk);
+    later calls return the memoized handle.  Failures are memoized too —
+    see :func:`native_error`.
+    """
+    global _lib, _error, _attempted
+    if disabled():
+        return None
+    if not _attempted:
+        _attempted = True
+        try:
+            _lib = _compile()
+        except Exception as exc:  # noqa: BLE001 - any failure means numpy
+            _error = str(exc)
+            _lib = None
+    return _lib
+
+
+def native_error() -> Optional[str]:
+    """Why the native backend is unavailable (None when it loaded)."""
+    if disabled():
+        return f"disabled via {ENV_DISABLE}=0"
+    if not _attempted:
+        load()
+    return _error
+
+
+def reset_for_tests() -> None:
+    """Forget the memoized load so tests can re-probe under new env."""
+    global _lib, _error, _attempted
+    _lib = None
+    _error = None
+    _attempted = False

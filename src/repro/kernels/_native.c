@@ -1,0 +1,585 @@
+/* Native kernels for the two inner loops that dominate every benchmark:
+ * the router's synchronized hop loop (sim/engine/batch.py) and the
+ * builder's thresholded frontier sweep (core/build/vectorized.py).
+ *
+ * Deliberately plain C99 + libc, no Python.h: the library is loaded
+ * through ctypes, so a bare `cc -O3 -fPIC -shared` against the system
+ * toolchain is the whole build and no Python development headers are
+ * needed.  All array arguments are raw pointers into numpy buffers the
+ * wrapper pins as contiguous int64/float64/uint8 before the call.
+ *
+ * Both kernels replicate the numpy reference paths bit-for-bit:
+ *
+ * - tz_hop_loop walks each row independently.  The numpy loop advances
+ *   all rows one synchronized hop per array step, but weight accumulates
+ *   per row in hop order either way, so a scalar walk sums the exact
+ *   same float64 values in the exact same order.
+ * - tz_frontier_sweep runs a FIFO label-correcting (SPFA-style) pass
+ *   per center over an adjacency copy pre-sorted by a conservative
+ *   per-arc relax bound.  IEEE addition is monotone for the positive
+ *   weights the builder feeds it, so every convergent relaxation
+ *   schedule — Dijkstra, the numpy synchronized sweep, or this FIFO
+ *   queue — reaches the identical least fixpoint, value by value, and
+ *   the strict `nd < thr[v]` prune admits exactly the same pairs.
+ *
+ * The hop loop is memory-latency-bound (every hop gathers from tables
+ * far larger than cache), so it interleaves a block of rows and issues
+ * a software prefetch for each row's next record while the other rows
+ * advance — the same memory-level parallelism the numpy gathers get
+ * from vectorization, without the per-round array traffic.  Entry
+ * records are packed (one struct per entry, built once per scheme by
+ * the wrapper) so a hop touches two cache lines instead of fourteen
+ * columns, and the record lookup after a light-port crossing binary-
+ * searches only the committed tree's entry slice, not the global key
+ * table.
+ */
+
+#include <float.h>
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PREFETCH(p) __builtin_prefetch((const void *)(p))
+#else
+#define PREFETCH(p) ((void)(p))
+#endif
+
+/* Failure codes: keep in sync with repro.sim.engine.batch.FAIL_*. */
+#define FAIL_NONE 0
+#define FAIL_NO_RECORD 2
+#define FAIL_ROOT_EXIT 3
+#define FAIL_LABEL 4
+#define FAIL_PORT 5
+#define FAIL_DEAD_LINK 6
+#define FAIL_TTL 7
+
+/* Entry-position sentinel: crossed into a vertex with no record. */
+#define LOST (-2)
+
+/* ------------------------------------------------------------------ */
+/* Router hop loop                                                     */
+/* ------------------------------------------------------------------ */
+
+/* One tree entry, packed: field order and widths must match ENT_DTYPE
+ * in repro/kernels/hop.py exactly (14 × 8 bytes, no padding). */
+typedef struct {
+    int64_t key;         /* tree * n + vertex (slice-sorted) */
+    int64_t vertex;
+    int64_t f;           /* DFS number */
+    int64_t finish;
+    int64_t heavy_finish;
+    int64_t light_depth;
+    int64_t parent_epos;
+    double parent_wt;
+    int64_t parent_edge;
+    int64_t parent_next;
+    int64_t heavy_epos;
+    double heavy_wt;
+    int64_t heavy_edge;
+    int64_t heavy_next;
+} ent_rec;
+
+/* One half-arc of the ported graph: matches STEP_DTYPE in hop.py. */
+typedef struct {
+    int64_t next;
+    int64_t edge;
+    double wt;
+} step_rec;
+
+/* Lower-bound search for `key` inside the entry slice [lo, hi). */
+static int64_t find_entry(const ent_rec *ent, int64_t lo, int64_t hi,
+                          int64_t key)
+{
+    const int64_t end = hi;
+    while (lo < hi) {
+        int64_t mid = lo + ((hi - lo) >> 1);
+        if (ent[mid].key < key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return (lo < end && ent[lo].key == key) ? lo : -1;
+}
+
+/* Interleaving width: enough in-flight rows to keep the memory system
+ * saturated with independent loads, small enough that all slot state
+ * stays in registers/L1. */
+#define HOP_BATCH 64
+
+/* Walk every committed row to its outcome.  Returns the number of
+ * synchronized rounds the numpy loop would have executed (the maximum
+ * over rows of the iteration count while that row was in flight), which
+ * feeds the route.hop_iterations counter.  `fail` is read for rows that
+ * failed at commit time (skipped) and written with the outcome code. */
+int64_t tz_hop_loop(
+    int64_t count,
+    const int64_t *start,            /* committed source entry per row */
+    const int64_t *dst_e,            /* destination entry per row */
+    const int64_t *dst_v,            /* destination vertex per row */
+    const int64_t *target_f,         /* destination DFS number */
+    const int64_t *tree,             /* committed tree root */
+    const int64_t *lp_lo,            /* light-port slice bounds */
+    const int64_t *lp_hi,
+    uint8_t *delivered,              /* out (count) */
+    double *weight,                  /* out (count) */
+    int64_t *hops,                   /* out (count) */
+    int8_t *fail,                    /* in/out (count) */
+    int64_t n,
+    const ent_rec *ent,              /* packed entry records */
+    const int64_t *tree_indptr,      /* (n+1) entry slice per tree root */
+    const int64_t *lp_data,
+    const int64_t *g_indptr,
+    const step_rec *step,            /* packed half-arcs */
+    const uint8_t *dead_masks,       /* NULL or (T, mask_width) row-major */
+    const int64_t *trial,            /* NULL or per-row trial index */
+    int64_t mask_width,
+    int64_t ttl)
+{
+    int64_t s_row[HOP_BATCH], s_cur[HOP_BATCH], s_lost[HOP_BATCH];
+    int64_t s_h[HOP_BATCH], s_it[HOP_BATCH], s_de[HOP_BATCH];
+    int64_t s_dv[HOP_BATCH], s_tf[HOP_BATCH], s_lo[HOP_BATCH];
+    int64_t s_hi[HOP_BATCH], s_tlo[HOP_BATCH], s_thi[HOP_BATCH];
+    int64_t s_key[HOP_BATCH];
+    double s_w[HOP_BATCH];
+    const uint8_t *s_mask[HOP_BATCH];
+    int64_t rounds = 0, next_row = 0;
+    int nslots = 0;
+
+#define SLOT_LOAD(s)                                                     \
+    do {                                                                 \
+        int64_t row_ = -1;                                               \
+        while (next_row < count) {                                       \
+            int64_t i_ = next_row++;                                     \
+            if (fail[i_] == FAIL_NONE) {                                 \
+                row_ = i_;                                               \
+                break;                                                   \
+            }                                                            \
+        }                                                                \
+        if (row_ < 0) {                                                  \
+            s_row[s] = -1;                                               \
+        } else {                                                         \
+            const int64_t tr_ = tree[row_];                              \
+            s_row[s] = row_;                                             \
+            s_cur[s] = start[row_];                                      \
+            s_lost[s] = -1;                                              \
+            s_h[s] = 0;                                                  \
+            s_it[s] = 0;                                                 \
+            s_w[s] = 0.0;                                                \
+            s_de[s] = dst_e[row_];                                       \
+            s_dv[s] = dst_v[row_];                                       \
+            s_tf[s] = target_f[row_];                                    \
+            s_lo[s] = lp_lo[row_];                                       \
+            s_hi[s] = lp_hi[row_];                                       \
+            s_tlo[s] = tr_ >= 0 ? tree_indptr[tr_] : 0;                  \
+            s_thi[s] = tr_ >= 0 ? tree_indptr[tr_ + 1] : 0;              \
+            s_key[s] = tr_ >= 0 ? tr_ * n : 0;                           \
+            s_mask[s] =                                                  \
+                dead_masks ? dead_masks + trial[row_] * mask_width : 0;  \
+            if (s_cur[s] >= 0) {                                         \
+                PREFETCH(&ent[s_cur[s]]);                                \
+                PREFETCH((const char *)&ent[s_cur[s]] + 64);             \
+            }                                                            \
+        }                                                                \
+    } while (0)
+
+    for (int s = 0; s < HOP_BATCH; s++) {
+        SLOT_LOAD(s);
+        if (s_row[s] < 0)
+            break;
+        nslots++;
+    }
+
+    while (nslots) {
+        for (int s = 0; s < nslots;) {
+            const int64_t cur = s_cur[s];
+            int8_t code = FAIL_NONE;
+            uint8_t del = 0;
+            int retire = 0;
+            int64_t alive = 0;
+            if (s_it[s] >= ttl) {
+                /* survived every round: loop */
+                code = FAIL_TTL;
+                retire = 1;
+                alive = ttl;
+            } else if (cur == s_de[s] ||
+                       (cur == LOST && s_lost[s] == s_dv[s])) {
+                /* arrival first, exactly as the reference decide: entry
+                 * equality, or a recordless message that landed on the
+                 * destination vertex itself */
+                del = 1;
+                retire = 1;
+                alive = s_it[s] + 1;
+            } else if (cur == LOST) {
+                code = FAIL_NO_RECORD;
+                retire = 1;
+                alive = s_it[s] + 1;
+            } else {
+                const ent_rec *r = &ent[cur];
+                const int64_t tf = s_tf[s];
+                const int64_t rec_f = r->f;
+                int64_t nxt = -1, edge = -1, new_lost = -1;
+                double wt = 0.0;
+                if (tf < rec_f || tf > r->finish) {
+                    /* outside the record's DFS interval: up to parent */
+                    nxt = r->parent_epos;
+                    wt = r->parent_wt;
+                    edge = r->parent_edge;
+                    if (nxt == -1)
+                        code = FAIL_ROOT_EXIT;
+                    else if (nxt == LOST)
+                        new_lost = r->parent_next;
+                } else if (tf >= rec_f + 1 && tf <= r->heavy_finish) {
+                    /* inside the heavy child's interval */
+                    nxt = r->heavy_epos;
+                    wt = r->heavy_wt;
+                    edge = r->heavy_edge;
+                    if (nxt == -1)
+                        code = FAIL_PORT;
+                    else if (nxt == LOST)
+                        new_lost = r->heavy_next;
+                } else {
+                    /* light child: next port from the destination label */
+                    const int64_t lp_pos = s_lo[s] + r->light_depth;
+                    if (lp_pos >= s_hi[s]) {
+                        code = FAIL_LABEL;
+                    } else {
+                        const int64_t port = lp_data[lp_pos];
+                        const int64_t at = r->vertex;
+                        const int64_t sp = g_indptr[at] + port - 1;
+                        if (port < 1 || sp >= g_indptr[at + 1]) {
+                            code = FAIL_PORT;
+                        } else {
+                            const step_rec *st = &step[sp];
+                            const int64_t landed = st->next;
+                            /* A tree whose slice holds all n vertices
+                             * (a top-level landmark tree — the common
+                             * commit for far pairs) indexes directly:
+                             * slice keys are tr*n + 0..n-1 in order. */
+                            const int64_t pos =
+                                s_thi[s] - s_tlo[s] == n
+                                    ? s_tlo[s] + landed
+                                    : find_entry(ent, s_tlo[s], s_thi[s],
+                                                 s_key[s] + landed);
+                            if (pos >= 0) {
+                                nxt = pos;
+                            } else {
+                                nxt = LOST;
+                                new_lost = landed;
+                            }
+                            wt = st->wt;
+                            edge = st->edge;
+                        }
+                    }
+                }
+                if (code != FAIL_NONE) {
+                    retire = 1;
+                    alive = s_it[s] + 1;
+                } else if (s_mask[s] && edge >= 0 && s_mask[s][edge]) {
+                    code = FAIL_DEAD_LINK;
+                    retire = 1;
+                    alive = s_it[s] + 1;
+                } else {
+                    s_w[s] += wt;
+                    s_h[s] += 1;
+                    s_cur[s] = nxt;
+                    s_lost[s] = new_lost;
+                    s_it[s] += 1;
+                    if (nxt >= 0) {
+                        PREFETCH(&ent[nxt]);
+                        PREFETCH((const char *)&ent[nxt] + 64);
+                    }
+                }
+            }
+            if (retire) {
+                const int64_t i = s_row[s];
+                delivered[i] = del;
+                weight[i] = s_w[s];
+                hops[i] = s_h[s];
+                if (!del)
+                    fail[i] = code;
+                if (alive > rounds)
+                    rounds = alive;
+                SLOT_LOAD(s);
+                if (s_row[s] >= 0) {
+                    s++;
+                } else {
+                    nslots--;
+                    if (s < nslots) { /* compact: steal the last slot */
+                        s_row[s] = s_row[nslots];
+                        s_cur[s] = s_cur[nslots];
+                        s_lost[s] = s_lost[nslots];
+                        s_h[s] = s_h[nslots];
+                        s_it[s] = s_it[nslots];
+                        s_w[s] = s_w[nslots];
+                        s_de[s] = s_de[nslots];
+                        s_dv[s] = s_dv[nslots];
+                        s_tf[s] = s_tf[nslots];
+                        s_lo[s] = s_lo[nslots];
+                        s_hi[s] = s_hi[nslots];
+                        s_tlo[s] = s_tlo[nslots];
+                        s_thi[s] = s_thi[nslots];
+                        s_key[s] = s_key[nslots];
+                        s_mask[s] = s_mask[nslots];
+                    }
+                }
+            } else {
+                s++;
+            }
+        }
+    }
+#undef SLOT_LOAD
+    return rounds;
+}
+
+/* ------------------------------------------------------------------ */
+/* Builder frontier sweep                                              */
+/* ------------------------------------------------------------------ */
+
+/* One arc of the lim-sorted adjacency copy.  `lim` is a conservative
+ * upper bound on any settled distance du that could still pass the
+ * prune through this arc: fl(du + wt) < thr[v] implies (with u the
+ * unit roundoff) du < thr[v]*(1+2u) - wt, and `lim` is computed one
+ * multiply and two ulp-bumps above that, so `du > lim` proves the arc
+ * (and, with arcs sorted by lim descending, every later arc of the
+ * vertex) cannot relax.  False positives are harmless — the exact IEEE
+ * comparison still guards the relax itself. */
+typedef struct {
+    double lim;
+    int64_t v;
+    double wt;
+} parc;
+
+/* nextafter(x, +inf) by bit-twiddling: the lim build calls this twice
+ * per arc and libm's nextafter is an order of magnitude slower. */
+static inline double up_ulp(double x)
+{
+    union {
+        double d;
+        uint64_t b;
+    } u;
+    u.d = x;
+    if (u.b == 0x8000000000000000ULL)
+        u.b = 1; /* -0 -> smallest positive subnormal */
+    else if (u.b >> 63)
+        u.b--; /* negative: toward zero */
+    else if (u.d != (double)(1.0 / 0.0))
+        u.b++; /* positive finite (and NaN stays NaN-ish; thr has none) */
+    return u.d;
+}
+
+/* Sort one center's settled vertex ids ascending (ids are distinct).
+ * Hand-rolled quicksort + insertion sort over bare int64 — qsort's
+ * indirect comparator calls dominate the sweep at small slice sizes,
+ * and sorting 8-byte ids (then gathering distances from the per-vertex
+ * state, still cache-hot) moves half the bytes of sorting key/distance
+ * pairs. */
+static void sort_ids(int64_t *a, int64_t len)
+{
+    while (len > 24) {
+        /* median-of-3 pivot */
+        int64_t mid = len >> 1;
+        int64_t p = a[0], q = a[mid], r = a[len - 1];
+        int64_t piv = p < q ? (q < r ? q : (p < r ? r : p))
+                            : (p < r ? p : (q < r ? r : q));
+        int64_t i = 0, j = len - 1;
+        for (;;) {
+            while (a[i] < piv)
+                i++;
+            while (a[j] > piv)
+                j--;
+            if (i >= j)
+                break;
+            int64_t t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i++;
+            j--;
+        }
+        /* recurse into the smaller side, loop on the larger */
+        if (j + 1 < len - j - 1) {
+            sort_ids(a, j + 1);
+            a += j + 1;
+            len -= j + 1;
+        } else {
+            sort_ids(a + j + 1, len - j - 1);
+            len = j + 1;
+        }
+    }
+    for (int64_t i = 1; i < len; i++) {
+        int64_t t = a[i];
+        int64_t j = i;
+        while (j > 0 && a[j - 1] > t) {
+            a[j] = a[j - 1];
+            j--;
+        }
+        a[j] = t;
+    }
+}
+
+/* Thresholded shortest paths from every center; emits the same sorted
+ * (center * n + vertex, distance) state the numpy sweep converges to.
+ * Per center this runs FIFO label-correcting (SPFA) rather than a
+ * heap: for positive weights any convergent relaxation schedule
+ * reaches the same least fixpoint value-by-value under IEEE rounding,
+ * and dropping the heap removes the serial pop/sift dependency chain
+ * that dominates a one-settle-at-a-time loop.  The adjacency is copied
+ * once into per-vertex slices sorted by the conservative relax bound
+ * `lim` descending, so each scan breaks at the first arc the settled
+ * distance can no longer pass — on thresholded cluster levels that
+ * skips roughly two-thirds of the arc volume.
+ * `centers` must be sorted ascending so the concatenated per-center
+ * slices come out globally key-sorted.  Returns the pair count (the
+ * caller copies out of *out_keys / *out_dist and frees both through
+ * tz_free), or -1 on allocation failure.  stats[0] collects emitted
+ * settles, stats[1] scanned-vertex arc degrees. */
+/* All per-vertex sweep state on one cache line per vertex: the relax
+ * loop's random accesses (threshold, epoch stamps, tentative distance)
+ * then cost one line touch instead of four array touches. */
+typedef struct {
+    int64_t stamp; /* epoch of the last tentative distance */
+    int64_t done;  /* epoch of settlement */
+    double dist;   /* tentative distance (valid when stamp matches) */
+    double thr;    /* strict prune bound d(A_{i+1}, v) */
+} vstate;
+
+int64_t tz_frontier_sweep(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *adj,
+    const double *wts,
+    int64_t ncenters,
+    const int64_t *centers,
+    const double *thr,
+    int64_t **out_keys,
+    double **out_dist,
+    int64_t *stats)
+{
+    const int64_t narcs = indptr[n];
+    vstate *vs = malloc((size_t)n * sizeof(vstate));
+    int64_t *sett = malloc((size_t)n * sizeof(int64_t)); /* per-center */
+    parc *arcs = malloc((size_t)(narcs ? narcs : 1) * sizeof(parc));
+    int64_t *queue = malloc((size_t)(n + 1) * sizeof(int64_t));
+    const int64_t qcap = n + 1; /* FIFO ring; a vertex queues at most once */
+    int64_t *keys = NULL;
+    double *dout = NULL;
+    int64_t count = 0, out_cap = 0;
+    int64_t settled = 0, relaxed = 0;
+    int oom = (!vs || !sett || !arcs || !queue);
+    if (!oom) {
+        for (int64_t i = 0; i < n; i++) {
+            vs[i].stamp = -1;
+            vs[i].done = -1;
+            vs[i].thr = thr[i];
+        }
+        /* Lim-sorted adjacency: per-vertex insertion sort, descending.
+         * thr is shared by every center, so one copy serves the whole
+         * sweep; degrees are small (insertion sort beats anything with
+         * setup cost) and an inf threshold yields lim = inf, which
+         * never triggers the break. */
+        for (int64_t u = 0; u < n; u++) {
+            const int64_t lo = indptr[u], hi = indptr[u + 1];
+            for (int64_t a = lo; a < hi; a++) {
+                const double x = thr[adj[a]] * (1.0 + 4.0 * DBL_EPSILON);
+                parc p;
+                p.lim = up_ulp(up_ulp(x - wts[a]));
+                p.v = adj[a];
+                p.wt = wts[a];
+                int64_t j = a;
+                while (j > lo && arcs[j - 1].lim < p.lim) {
+                    arcs[j] = arcs[j - 1];
+                    j--;
+                }
+                arcs[j] = p;
+            }
+        }
+    }
+    for (int64_t e = 0; e < ncenters && !oom; e++) {
+        const int64_t w = centers[e];
+        int64_t sett_len = 0, qh = 0, qt = 0;
+        vs[w].dist = 0.0;
+        vs[w].stamp = e;
+        vs[w].done = e; /* done == e: currently queued */
+        sett[sett_len++] = w;
+        queue[qt++] = w;
+        while (qh != qt) {
+            const int64_t u = queue[qh];
+            qh = qh + 1 == qcap ? 0 : qh + 1;
+            vs[u].done = ~e; /* dequeued; may re-queue if improved */
+            const double du = vs[u].dist;
+            const int64_t a_end = indptr[u + 1];
+            relaxed += a_end - indptr[u];
+            for (int64_t a = indptr[u]; a < a_end; a++) {
+                if (du > arcs[a].lim)
+                    break; /* no later arc of u can pass the prune */
+                const int64_t v = arcs[a].v;
+                const double nd = du + arcs[a].wt;
+                vstate *sv = &vs[v];
+                /* strict prune at d(A_{i+1}, v), as in the numpy sweep */
+                if (nd < sv->thr && (sv->stamp != e || nd < sv->dist)) {
+                    if (sv->stamp != e) {
+                        sv->stamp = e;
+                        sett[sett_len++] = v;
+                    }
+                    sv->dist = nd;
+                    if (sv->done != e) {
+                        sv->done = e;
+                        queue[qt] = v;
+                        qt = qt + 1 == qcap ? 0 : qt + 1;
+                    }
+                }
+            }
+        }
+        /* Emit this center's slice in vertex order (centers ascending
+         * makes the concatenation globally key-sorted).  Settled
+         * distances stay valid in vs[] until a later epoch reuses the
+         * vertex, so sort the bare ids and gather the distances. */
+        sort_ids(sett, sett_len);
+        if (count + sett_len > out_cap) {
+            int64_t nc = out_cap ? out_cap * 2 : 4096;
+            while (nc < count + sett_len)
+                nc *= 2;
+            int64_t *nk = realloc(keys, (size_t)nc * sizeof(int64_t));
+            if (nk)
+                keys = nk;
+            double *ndp = realloc(dout, (size_t)nc * sizeof(double));
+            if (ndp)
+                dout = ndp;
+            if (!nk || !ndp) {
+                oom = 1;
+                break;
+            }
+            out_cap = nc;
+        }
+        const int64_t base = w * n;
+        for (int64_t i = 0; i < sett_len; i++) {
+            keys[count + i] = base + sett[i];
+            dout[count + i] = vs[sett[i]].dist;
+        }
+        count += sett_len;
+        settled += sett_len;
+    }
+    free(vs);
+    free(sett);
+    free(arcs);
+    free(queue);
+    if (oom) {
+        free(keys);
+        free(dout);
+        return -1;
+    }
+    *out_keys = keys;
+    *out_dist = dout;
+    if (stats) {
+        stats[0] = settled;
+        stats[1] = relaxed;
+    }
+    return count;
+}
+
+/* Release a buffer handed out by tz_frontier_sweep. */
+void tz_free(void *p)
+{
+    free(p);
+}

@@ -1,0 +1,76 @@
+"""ctypes wrapper for the native builder frontier sweep.
+
+``tz_frontier_sweep`` runs a threshold-pruned FIFO label-correcting
+pass (SPFA-style, over adjacency pre-sorted by a conservative relax
+bound) per center on an epoch-stamped shared workspace and emits the
+same globally key-sorted ``(center * n + vertex, distance)`` state the
+numpy label-correcting sweep in ``core/build/vectorized.py`` converges
+to — bit-for-bit, since IEEE addition of the builder's positive weights
+is monotone, so every convergent relaxation schedule reaches the
+identical least fixpoint (``tests/test_kernels.py`` holds the resulting
+:class:`SchemeArrays` to bitwise equality).
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Tuple
+
+import numpy as np
+
+from ..obs import TELEMETRY
+from . import _build
+
+__all__ = ["frontier_sweep_native"]
+
+
+def frontier_sweep_native(
+    graph, centers: np.ndarray, thr: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster keys and distances of one hierarchy level, natively.
+
+    Drop-in replacement for ``vectorized._pruned_level``: returns the
+    sorted ``(keys, dist)`` entry state for ``centers`` under the strict
+    per-vertex thresholds ``thr``.
+    """
+    lib = _build.load()
+    if lib is None:  # pragma: no cover - callers resolve the kernel first
+        raise RuntimeError(f"native kernels unavailable: {_build.native_error()}")
+    centers = np.sort(np.ascontiguousarray(centers, dtype=np.int64))
+    if centers.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0)
+    indptr = np.ascontiguousarray(graph.indptr, dtype=np.int64)
+    adj = np.ascontiguousarray(graph.adj, dtype=np.int64)
+    wts = np.ascontiguousarray(graph.adj_weights, dtype=np.float64)
+    thr = np.ascontiguousarray(thr, dtype=np.float64)
+    keys_ptr = ctypes.c_void_p()
+    dist_ptr = ctypes.c_void_p()
+    stats = np.zeros(2, dtype=np.int64)
+    count = lib.tz_frontier_sweep(
+        int(graph.n),
+        indptr.ctypes.data_as(ctypes.c_void_p),
+        adj.ctypes.data_as(ctypes.c_void_p),
+        wts.ctypes.data_as(ctypes.c_void_p),
+        int(centers.shape[0]),
+        centers.ctypes.data_as(ctypes.c_void_p),
+        thr.ctypes.data_as(ctypes.c_void_p),
+        ctypes.byref(keys_ptr),
+        ctypes.byref(dist_ptr),
+        stats.ctypes.data_as(ctypes.c_void_p),
+    )
+    if count < 0:
+        raise MemoryError("native frontier sweep ran out of memory")
+    keys = np.zeros(int(count), dtype=np.int64)
+    dist = np.zeros(int(count), dtype=np.float64)
+    if count:
+        ctypes.memmove(keys.ctypes.data, keys_ptr.value, int(count) * 8)
+        ctypes.memmove(dist.ctypes.data, dist_ptr.value, int(count) * 8)
+    if keys_ptr.value:
+        lib.tz_free(keys_ptr)
+    if dist_ptr.value:
+        lib.tz_free(dist_ptr)
+    tm = TELEMETRY
+    if tm.enabled:
+        tm.count("build.frontier_settled", int(stats[0]))
+        tm.count("build.relaxed_arcs", int(stats[1]))
+    return keys, dist

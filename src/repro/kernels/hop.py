@@ -1,0 +1,228 @@
+"""ctypes wrapper for the native router hop loop (``tz_hop_loop``).
+
+The C kernel walks each committed row independently to its outcome;
+because the numpy loop also accumulates weight per row in hop order, the
+scalar walk sums the identical float64 values in the identical order and
+the outcome columns are bit-for-bit equal (``tests/test_kernels.py``).
+
+The compiled scheme's fourteen entry columns are packed once per
+:class:`CompiledScheme` object into a single record table
+(:class:`NativeSchemeView`, cached on the scheme), so a hop touches two
+cache lines instead of fourteen scattered columns and repeated route
+calls pay zero conversion cost.  The view also carries ``tree_indptr``
+— each tree root's slice of the key-sorted entry table — which lets the
+kernel binary-search one cluster's records instead of the global table
+after every light-port crossing.
+
+Packing must not fork the scheme's state: the engine suite corrupts
+compiled tables *in place* (severed heavy links, poisoned ports) and
+both kernels must see the damage.  So after packing, the view re-points
+the scheme's per-entry field columns and step tables at the packed
+records themselves — later ``cs.ent_heavy_epos[:] = -1`` writes through
+to the exact memory the C kernel reads, and no per-call staleness check
+is needed (re-verifying 4M+ entries would cost more than the hop loop).
+Columns an attribute *rebind* replaces are caught by an identity check
+in :meth:`NativeSchemeView.of`, which rebuilds the view.  Only
+``entry_keys`` (and the ``tree_indptr`` derived from it) stays a
+contiguous original: the keys define entry identity and feed
+``searchsorted`` in the shared commit path, where a strided view would
+force an internal copy per call — they are compiled-in immutable.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import _build
+
+__all__ = ["NativeSchemeView", "hop_loop_native"]
+
+_VIEW_ATTR = "_native_view"
+
+#: Field order and widths must match `ent_rec` in _native.c exactly
+#: (14 × 8 bytes, no padding).
+ENT_DTYPE = np.dtype(
+    [
+        ("key", "<i8"),
+        ("vertex", "<i8"),
+        ("f", "<i8"),
+        ("finish", "<i8"),
+        ("heavy_finish", "<i8"),
+        ("light_depth", "<i8"),
+        ("parent_epos", "<i8"),
+        ("parent_wt", "<f8"),
+        ("parent_edge", "<i8"),
+        ("parent_next", "<i8"),
+        ("heavy_epos", "<i8"),
+        ("heavy_wt", "<f8"),
+        ("heavy_edge", "<i8"),
+        ("heavy_next", "<i8"),
+    ]
+)
+
+#: Must match `step_rec` in _native.c (3 × 8 bytes).
+STEP_DTYPE = np.dtype([("next", "<i8"), ("edge", "<i8"), ("wt", "<f8")])
+
+
+def _i64(a: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(a, dtype=np.int64)
+
+
+def _ptr(a: Optional[np.ndarray]):
+    if a is None:
+        return None
+    return a.ctypes.data_as(ctypes.c_void_p)
+
+
+#: Entry field columns that are re-pointed at the packed record table
+#: (everything except the immutable ``entry_keys``).
+_ENT_FIELDS = (
+    "vertex",
+    "f",
+    "finish",
+    "heavy_finish",
+    "light_depth",
+    "parent_epos",
+    "parent_wt",
+    "parent_edge",
+    "parent_next",
+    "heavy_epos",
+    "heavy_wt",
+    "heavy_edge",
+    "heavy_next",
+)
+
+_STEP_FIELDS = ("next", "edge", "wt")
+
+
+class NativeSchemeView:
+    """Packed, dtype-pinned form of one scheme's routing tables."""
+
+    __slots__ = ("n", "ent", "tree_indptr", "lp_data", "g_indptr", "step", "_bound")
+
+    def __init__(self, cs) -> None:
+        """Pack the tables of ``cs`` (one-time cost, cached via :meth:`of`)."""
+        self.n = int(cs.n)
+        keys = _i64(cs.entry_keys)
+        ent = np.empty(keys.shape[0], dtype=ENT_DTYPE)
+        ent["key"] = keys
+        for name in _ENT_FIELDS:
+            ent[name] = getattr(cs, "ent_" + name)
+        self.ent = ent
+        # Tree w's entries occupy one contiguous slice of the key-sorted
+        # table (keys are w * n + member).
+        self.tree_indptr = np.searchsorted(
+            keys, np.arange(self.n + 1, dtype=np.int64) * np.int64(self.n)
+        ).astype(np.int64)
+        self.lp_data = _i64(cs.lp_data)
+        self.g_indptr = _i64(cs.g_indptr)
+        step = np.empty(np.asarray(cs.step_next).shape[0], dtype=STEP_DTYPE)
+        for name in _STEP_FIELDS:
+            step[name] = getattr(cs, "step_" + name)
+        self.step = step
+        # Write-through aliasing (module doc): the scheme's field
+        # columns become views into the packed records, so in-place
+        # mutation of the compiled tables reaches the kernel.  _bound
+        # remembers the exact objects assigned; `of` treats any rebound
+        # attribute as a new scheme state and repacks.
+        self._bound = {}
+        for name in _ENT_FIELDS:
+            col = ent[name]
+            setattr(cs, "ent_" + name, col)
+            self._bound["ent_" + name] = col
+        for name in _STEP_FIELDS:
+            col = step[name]
+            setattr(cs, "step_" + name, col)
+            self._bound["step_" + name] = col
+        cs.lp_data = self.lp_data
+        cs.g_indptr = self.g_indptr
+        self._bound["lp_data"] = self.lp_data
+        self._bound["g_indptr"] = self.g_indptr
+        self._bound["entry_keys"] = cs.entry_keys
+
+    def _fresh(self, cs) -> bool:
+        """True while every aliased column is still the one we bound."""
+        return all(getattr(cs, name) is arr for name, arr in self._bound.items())
+
+    @classmethod
+    def of(cls, cs) -> "NativeSchemeView":
+        """The cached view of ``cs`` (built on first use, or when a
+        column attribute was rebound since the last pack)."""
+        view = getattr(cs, _VIEW_ATTR, None)
+        if view is None or not view._fresh(cs):
+            view = cls(cs)
+            setattr(cs, _VIEW_ATTR, view)
+        return view
+
+
+def hop_loop_native(
+    cs,
+    dst: np.ndarray,
+    state: Tuple[np.ndarray, ...],
+    ttl: int,
+    dead_masks: Optional[np.ndarray],
+    trial: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Run the compiled hop loop over one committed batch.
+
+    Arguments mirror :meth:`BatchRouter._hop_loop` (``state`` is the
+    ``_commit`` tuple; its ``fail`` column is mutated in place, exactly
+    like the numpy path).  Returns ``(delivered, weight, hops, fail,
+    rounds)`` where ``rounds`` is the synchronized-round count for the
+    ``route.hop_iterations`` counter.
+    """
+    lib = _build.load()
+    if lib is None:  # pragma: no cover - callers resolve the kernel first
+        raise RuntimeError(f"native kernels unavailable: {_build.native_error()}")
+    view = NativeSchemeView.of(cs)
+    fail, _tree, _header, dest_f, lp_lo, lp_hi, epos_src, epos_dst = state
+    count = int(dst.shape[0])
+    delivered = np.zeros(count, dtype=np.uint8)
+    weight = np.zeros(count, dtype=np.float64)
+    hops = np.zeros(count, dtype=np.int64)
+    if fail.dtype != np.int8 or not fail.flags.c_contiguous:
+        raise RuntimeError("commit state 'fail' must be contiguous int8")
+    # Bind every converted buffer to a local: ctypes only captures raw
+    # pointers, so the arrays must outlive the call.
+    committed_tree = _i64(_tree)
+    dst = _i64(dst)
+    epos_src, epos_dst = _i64(epos_src), _i64(epos_dst)
+    dest_f, lp_lo, lp_hi = _i64(dest_f), _i64(lp_lo), _i64(lp_hi)
+    masks_u8 = None
+    trial_i64 = None
+    mask_width = 0
+    if dead_masks is not None:
+        if dead_masks.dtype == np.bool_ and dead_masks.flags.c_contiguous:
+            masks_u8 = dead_masks.view(np.uint8)  # zero-copy reinterpret
+        else:
+            masks_u8 = np.ascontiguousarray(dead_masks, dtype=np.uint8)
+        trial_i64 = _i64(trial)
+        mask_width = int(masks_u8.shape[1])
+    rounds = lib.tz_hop_loop(
+        count,
+        _ptr(epos_src),
+        _ptr(epos_dst),
+        _ptr(dst),
+        _ptr(dest_f),
+        _ptr(committed_tree),
+        _ptr(lp_lo),
+        _ptr(lp_hi),
+        _ptr(delivered),
+        _ptr(weight),
+        _ptr(hops),
+        _ptr(fail),
+        view.n,
+        _ptr(view.ent),
+        _ptr(view.tree_indptr),
+        _ptr(view.lp_data),
+        _ptr(view.g_indptr),
+        _ptr(view.step),
+        _ptr(masks_u8),
+        _ptr(trial_i64),
+        mask_width,
+        int(ttl),
+    )
+    return delivered.view(np.bool_), weight, hops, fail, int(rounds)

@@ -45,6 +45,8 @@ import numpy as np
 from ...core.router import RoutingScheme
 from ...errors import RoutingError
 from ...graphs.ports import PortedGraph
+from ...kernels import resolve_kernel
+from ...kernels.hop import hop_loop_native
 from ...obs import TELEMETRY
 from ..network import RouteResult
 from .compile import CompiledScheme, compile_scheme
@@ -195,9 +197,17 @@ class BatchRouter:
         form through :meth:`~repro.core.router.RoutingScheme.compile_batch`;
         schemes that return ``None`` there (custom/pathological test
         schemes) cannot be batch-routed — use the reference simulator.
+    kernel:
+        Hop-loop backend: ``"numpy"`` (the bit-for-bit differential
+        reference), ``"native"`` (the compiled C kernel; raises
+        :class:`~repro.errors.KernelError` when no toolchain is
+        available) or ``"auto"`` (native when it loads, else numpy —
+        see :mod:`repro.kernels`).  Outcomes are identical either way.
     """
 
-    def __init__(self, ported: PortedGraph, scheme: RoutingScheme) -> None:
+    def __init__(
+        self, ported: PortedGraph, scheme: RoutingScheme, *, kernel: str = "auto"
+    ) -> None:
         """Compile ``scheme`` against ``ported`` (cached on the scheme)."""
         self.ported: Optional[PortedGraph] = ported
         self.scheme: Optional[RoutingScheme] = scheme
@@ -205,10 +215,15 @@ class BatchRouter:
         if compiled is None:
             compiled = compile_scheme(scheme, ported)  # raises RoutingError
         self.compiled: CompiledScheme = compiled
+        self.kernel: str = resolve_kernel(kernel)
 
     @classmethod
     def from_compiled(
-        cls, compiled: CompiledScheme, ported: Optional[PortedGraph] = None
+        cls,
+        compiled: CompiledScheme,
+        ported: Optional[PortedGraph] = None,
+        *,
+        kernel: str = "auto",
     ) -> "BatchRouter":
         """A router over an already-compiled (e.g. mmap-loaded) scheme.
 
@@ -220,6 +235,7 @@ class BatchRouter:
         router.ported = ported
         router.scheme = None
         router.compiled = compiled
+        router.kernel = resolve_kernel(kernel)
         return router
 
     # ------------------------------------------------------------------
@@ -405,19 +421,67 @@ class BatchRouter:
         dead_masks: Optional[np.ndarray],
         trial: Optional[np.ndarray],
     ) -> BatchResult:
-        """Advance all committed rows one synchronized hop per step.
+        """Advance all committed rows to their outcomes (kernel dispatch).
 
         ``state`` is :meth:`_commit`'s output (owned by this call — the
         ``fail`` column is mutated in place).  ``dead_masks`` is a
         ``(T, m)`` boolean matrix and ``trial`` the per-row trial index
         into it (both ``None`` when no edges are dead); plain
-        single-failure-set routing passes a one-row matrix.
+        single-failure-set routing passes a one-row matrix.  The numpy
+        and native kernels return bit-for-bit identical columns.
         """
+        if ttl is None:
+            ttl = 4 * self.compiled.n + 16
+        tm = TELEMETRY
+        with tm.span(
+            "kernel.hop_step", impl=self.kernel, rows=int(src.shape[0])
+        ):
+            if self.kernel == "native":
+                return self._hop_loop_c(src, dst, state, ttl, dead_masks, trial)
+            return self._hop_loop_numpy(src, dst, state, ttl, dead_masks, trial)
+
+    def _hop_loop_c(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        state: Tuple[np.ndarray, ...],
+        ttl: int,
+        dead_masks: Optional[np.ndarray],
+        trial: Optional[np.ndarray],
+    ) -> BatchResult:
+        """The compiled per-row walk (see :mod:`repro.kernels.hop`)."""
+        _fail, tree, header, *_rest = state
+        delivered, weight, hops, fail, rounds = hop_loop_native(
+            self.compiled, dst, state, ttl, dead_masks, trial
+        )
+        tm = TELEMETRY
+        if tm.enabled:
+            tm.count("route.hop_iterations", rounds)
+            tm.count("route.pairs_routed", int(src.shape[0]))
+            tm.count("route.delivered", int(delivered.sum()))
+        return BatchResult(
+            source=src,
+            dest=dst,
+            delivered=delivered,
+            weight=weight,
+            hops=hops,
+            tree=tree,
+            max_header_bits=header,
+            failure_code=fail,
+        )
+
+    def _hop_loop_numpy(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        state: Tuple[np.ndarray, ...],
+        ttl: int,
+        dead_masks: Optional[np.ndarray],
+        trial: Optional[np.ndarray],
+    ) -> BatchResult:
+        """The synchronized numpy reference loop (one hop per array step)."""
         cs = self.compiled
         count = src.shape[0]
-        n = cs.n
-        if ttl is None:
-            ttl = 4 * n + 16
         fail, tree, header, dest_f, lp_lo, lp_hi, epos_src, epos_dst = state
         delivered = np.zeros(count, dtype=bool)
         weight = np.zeros(count)

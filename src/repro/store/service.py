@@ -41,7 +41,11 @@ def _shard_results(parts, order, count):
 
 
 def _route_shard(
-    path: str, pairs: np.ndarray, ttl: Optional[int], record: bool = False
+    path: str,
+    pairs: np.ndarray,
+    ttl: Optional[int],
+    record: bool = False,
+    kernel: str = "auto",
 ):
     """Worker entry point: mmap the store file and route one shard.
 
@@ -56,7 +60,7 @@ def _route_shard(
         TELEMETRY.reset()
         TELEMETRY.enable()
     t0 = perf_counter()
-    service = RouteService(path)
+    service = RouteService(path, kernel=kernel)
     # Route through the router directly: the parent already counted the
     # serve.* metrics for the whole request, so the merged worker
     # snapshots must carry only the route.*-level ones.
@@ -80,8 +84,19 @@ def _route_shard(
 class RouteService:
     """Serve traffic matrices from one stored scheme (see module doc)."""
 
-    def __init__(self, path: Union[str, Path], *, mmap: bool = True) -> None:
-        """Open the container at ``path`` (zero-copy mmap by default)."""
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        mmap: bool = True,
+        kernel: str = "auto",
+    ) -> None:
+        """Open the container at ``path`` (zero-copy mmap by default).
+
+        ``kernel`` selects the hop-loop backend of the serving router
+        (``"numpy"``/``"native"``/``"auto"``, see :mod:`repro.kernels`);
+        answers are bit-identical either way.
+        """
         from .store import SchemeStore
 
         self.path = Path(path)
@@ -89,7 +104,8 @@ class RouteService:
             stored = SchemeStore(self.path.parent).load(self.path, mmap=mmap)
             self.meta = stored.meta
             self.compiled = stored.compiled
-            self._router = BatchRouter.from_compiled(stored.compiled)
+            self.kernel = kernel
+            self._router = BatchRouter.from_compiled(stored.compiled, kernel=kernel)
 
     @property
     def n(self) -> int:
@@ -163,7 +179,9 @@ class RouteService:
         ]
         with cf.ProcessPoolExecutor(max_workers=shards) as pool:
             futures = [
-                pool.submit(_route_shard, str(self.path), chunk, ttl, record)
+                pool.submit(
+                    _route_shard, str(self.path), chunk, ttl, record, self.kernel
+                )
                 for chunk in chunks
                 if chunk.shape[0]
             ]

@@ -446,6 +446,7 @@ class SchemeStore:
         strict: bool = False,
         mmap: bool = True,
         method: Optional[str] = None,
+        kernel: str = "auto",
     ) -> StoredScheme:
         """The front door: a memo table over scheme construction.
 
@@ -453,8 +454,10 @@ class SchemeStore:
         ported)``, building, compiling and saving it first if the store
         has no entry.  The build threads ``seed`` through the same
         hierarchy-sampling path as :func:`repro.core.build.build_arrays`,
-        so a store hit is bit-identical to what the miss would build.
-        ``method=`` is the deprecated alias of ``builder=``.
+        so a store hit is bit-identical to what the miss would build —
+        and so is either value of ``kernel`` (the build-time frontier
+        backend, see :mod:`repro.kernels`; it is not part of the store
+        key).  ``method=`` is the deprecated alias of ``builder=``.
         """
         builder = resolve_builder(builder, method)
         if ported is None:
@@ -466,11 +469,11 @@ class SchemeStore:
             tm.count("store.hits" if path.exists() else "store.misses")
         with tm.span("store.get_or_build", k=k, hit=path.exists()):
             return self._get_or_build(
-                graph, k, seed, ported, builder, strict, mmap, path
+                graph, k, seed, ported, builder, strict, mmap, path, kernel
             )
 
     def _get_or_build(
-        self, graph, k, seed, ported, builder, strict, mmap, path
+        self, graph, k, seed, ported, builder, strict, mmap, path, kernel="auto"
     ) -> StoredScheme:
         """Build-save-load behind :meth:`get_or_build` (key resolved)."""
         if path.exists() and strict:
@@ -492,7 +495,9 @@ class SchemeStore:
                     builder=prior.meta.get("builder", builder),
                 )
         if not path.exists():
-            arrays = build_arrays(graph, k, ported=ported, builder=builder, rng=seed)
+            arrays = build_arrays(
+                graph, k, ported=ported, builder=builder, rng=seed, kernel=kernel
+            )
             self.save(
                 graph, ported, arrays, seed=seed, strict=strict, builder=builder
             )

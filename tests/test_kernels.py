@@ -1,0 +1,419 @@
+"""Differential kernel suite: native compiled paths ≡ numpy reference.
+
+The native hop loop and builder frontier sweep (:mod:`repro.kernels`)
+must reproduce the numpy paths **bit-for-bit** — same delivered flags,
+weights, hop counts, header bits and failure codes out of the router,
+same :class:`SchemeArrays` out of the builder — across graph families ×
+k × seeds, in the same spirit ``test_builder_equivalence.py`` gates the
+vectorized builder against the per-node reference.
+
+Four layers:
+
+1. **selection** — ``resolve_kernel`` semantics: explicit ``native``
+   raises :class:`KernelError` when unavailable, ``auto`` degrades to
+   numpy with a ``kernel.fallback`` counter + one-shot warning, and
+   ``REPRO_NATIVE_KERNELS=0`` disables the backend outright;
+2. **router differential** — ``route_pairs``/``route_trials`` column
+   equality between kernels, including dead-edge trials and tiny ttls;
+3. **builder differential** — ``vectorized_arrays(mode="pruned")``
+   field equality between kernels (``mode`` forced past
+   ``FULL_CENTER_LIMIT`` so small graphs exercise the sweep);
+4. **degenerate inputs** — zero-pair matrices, zero-trial sweeps,
+   single-vertex/edgeless graphs and all-dead-edge masks return
+   identically-shaped results instead of raising, on every kernel; and
+   non-float64-exact weights fall back loudly on every kernel.
+
+Native-only tests skip cleanly when no C toolchain is present.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from strategies import FAMILIES, family_from_seed, ks, seeds
+
+from repro.core.build import SchemeArrays, build_arrays, build_scheme
+from repro.core.build.vectorized import FULL_CENTER_LIMIT, vectorized_arrays
+from repro.core.landmarks import build_hierarchy
+from repro.errors import KernelError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.ports import assign_ports
+from repro.kernels import (
+    KERNELS,
+    KernelFallbackWarning,
+    _build,
+    available,
+    native_error,
+    resolve_kernel,
+)
+from repro.obs import TELEMETRY
+from repro.rng import derive, make_rng
+from repro.sim.engine.batch import BatchRouter
+
+needs_native = pytest.mark.skipif(
+    not available(), reason=f"native kernels unavailable: {native_error()}"
+)
+
+RESULT_FIELDS = (
+    "source",
+    "dest",
+    "delivered",
+    "weight",
+    "hops",
+    "tree",
+    "max_header_bits",
+    "failure_code",
+)
+
+ARRAY_FIELDS = [
+    f.name
+    for f in dataclasses.fields(SchemeArrays)
+    if f.name not in ("n", "k", "hierarchy")
+]
+
+
+def assert_results_equal(a, b, context=""):
+    """Bitwise column equality between two route results."""
+    for name in RESULT_FIELDS:
+        x, y = getattr(a, name), getattr(b, name)
+        assert x.dtype == y.dtype, f"{name} dtype differs {context}"
+        assert np.array_equal(x, y), f"{name} differs {context}"
+
+
+def routers_for(graph, k, seed, kernels=("numpy", "native")):
+    """One scheme, one router per kernel (the scheme is shared)."""
+    ported = assign_ports(graph, "sorted")
+    scheme = build_scheme(graph, k, ported=ported, rng=seed, kernel="numpy")
+    return ported, {kern: BatchRouter(ported, scheme, kernel=kern) for kern in kernels}
+
+
+def sample_pairs(graph, count, seed):
+    rng = make_rng(derive(seed, "kernel-pairs"))
+    pairs = rng.integers(0, graph.n, size=(count, 2))
+    pairs[: max(1, count // 8), 1] = pairs[: max(1, count // 8), 0]  # trivial rows
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# 1. Kernel selection
+# ----------------------------------------------------------------------
+class TestResolveKernel:
+    def test_numpy_always_resolves(self):
+        assert resolve_kernel("numpy") == "numpy"
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KernelError, match="unknown kernel"):
+            resolve_kernel("fortran")
+
+    def test_kernels_tuple_is_the_cli_choice_set(self):
+        assert KERNELS == ("auto", "native", "numpy")
+
+    @needs_native
+    def test_native_and_auto_resolve_native(self):
+        assert resolve_kernel("native") == "native"
+        assert resolve_kernel("auto") == "native"
+
+    def test_env_disable_forces_numpy(self, monkeypatch):
+        monkeypatch.setenv(_build.ENV_DISABLE, "0")
+        _build.reset_for_tests()
+        try:
+            assert not available()
+            assert native_error() is not None
+            with pytest.raises(KernelError, match="unavailable"):
+                resolve_kernel("native")
+            TELEMETRY.reset()
+            TELEMETRY.enable()
+            try:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", KernelFallbackWarning)
+                    assert resolve_kernel("auto") == "numpy"
+                assert TELEMETRY.counters.get("kernel.fallback") == 1
+            finally:
+                TELEMETRY.disable()
+                TELEMETRY.reset()
+        finally:
+            monkeypatch.delenv(_build.ENV_DISABLE)
+            _build.reset_for_tests()
+
+    def test_disabled_backend_routes_bit_identically(self, monkeypatch):
+        graph = family_from_seed(3, "gnp", n=32)
+        ported, routers = routers_for(graph, 2, 3, kernels=("numpy",))
+        pairs = sample_pairs(graph, 64, 3)
+        want = routers["numpy"].route_pairs(pairs)
+        monkeypatch.setenv(_build.ENV_DISABLE, "0")
+        _build.reset_for_tests()
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", KernelFallbackWarning)
+                scheme = build_scheme(graph, 2, ported=ported, rng=3, kernel="auto")
+                got = BatchRouter(ported, scheme, kernel="auto").route_pairs(pairs)
+            assert_results_equal(want, got, "(auto degraded to numpy)")
+        finally:
+            monkeypatch.delenv(_build.ENV_DISABLE)
+            _build.reset_for_tests()
+
+
+# ----------------------------------------------------------------------
+# 2. Router differential: native hop loop ≡ numpy hop loop
+# ----------------------------------------------------------------------
+@needs_native
+class TestHopLoopDifferential:
+    @given(seed=seeds(), family=st.sampled_from(FAMILIES), k=ks(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_route_pairs_bitwise(self, seed, family, k):
+        graph = family_from_seed(seed, family, n=40)
+        _, routers = routers_for(graph, k, seed)
+        pairs = sample_pairs(graph, 120, seed)
+        assert_results_equal(
+            routers["numpy"].route_pairs(pairs),
+            routers["native"].route_pairs(pairs),
+            f"(family={family} k={k} seed={seed})",
+        )
+
+    @given(seed=seeds(), k=ks(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_route_trials_bitwise(self, seed, k):
+        graph = family_from_seed(seed, "gnp", n=36)
+        _, routers = routers_for(graph, k, seed)
+        pairs = sample_pairs(graph, 40, seed)
+        rng = make_rng(derive(seed, "kernel-masks"))
+        masks = rng.random((4, graph.m)) < 0.15
+        assert_results_equal(
+            routers["numpy"].route_trials(pairs, masks),
+            routers["native"].route_trials(pairs, masks),
+            f"(trials k={k} seed={seed})",
+        )
+
+    @pytest.mark.parametrize("ttl", [0, 1, 3])
+    def test_tiny_ttl_bitwise(self, ttl):
+        graph = family_from_seed(7, "grid", n=36)
+        _, routers = routers_for(graph, 2, 7)
+        pairs = sample_pairs(graph, 80, 7)
+        assert_results_equal(
+            routers["numpy"].route_pairs(pairs, ttl=ttl),
+            routers["native"].route_pairs(pairs, ttl=ttl),
+            f"(ttl={ttl})",
+        )
+
+    def test_telemetry_counters_match(self):
+        graph = family_from_seed(11, "ba", n=48)
+        _, routers = routers_for(graph, 3, 11)
+        pairs = sample_pairs(graph, 200, 11)
+        counts = {}
+        for kern in ("numpy", "native"):
+            TELEMETRY.reset()
+            TELEMETRY.enable()
+            try:
+                routers[kern].route_pairs(pairs)
+                counts[kern] = {
+                    name: TELEMETRY.counters.get(name)
+                    for name in (
+                        "route.hop_iterations",
+                        "route.pairs_routed",
+                        "route.delivered",
+                    )
+                }
+            finally:
+                TELEMETRY.disable()
+                TELEMETRY.reset()
+        assert counts["numpy"] == counts["native"]
+
+    def test_hop_step_span_records_impl(self):
+        graph = family_from_seed(5, "gnp", n=32)
+        _, routers = routers_for(graph, 2, 5)
+        pairs = sample_pairs(graph, 30, 5)
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            routers["native"].route_pairs(pairs)
+            impls = [
+                sp.attrs["impl"]
+                for sp, _ in TELEMETRY.spans()
+                if sp.name == "kernel.hop_step"
+            ]
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert impls == ["native"]
+
+
+# ----------------------------------------------------------------------
+# 3. Builder differential: native frontier sweep ≡ numpy sweep
+# ----------------------------------------------------------------------
+@needs_native
+class TestFrontierSweepDifferential:
+    @given(seed=seeds(), family=st.sampled_from(FAMILIES), k=ks(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_pruned_arrays_bitwise(self, seed, family, k):
+        graph = family_from_seed(seed, family, n=44)
+        ported = assign_ports(graph, "sorted")
+        hierarchy = build_hierarchy(graph, k, make_rng(seed))
+        # mode="pruned" forces the sweep even below FULL_CENTER_LIMIT
+        # (these graphs are far smaller than 32-center levels require).
+        ref = vectorized_arrays(graph, ported, hierarchy, mode="pruned", kernel="numpy")
+        nat = vectorized_arrays(graph, ported, hierarchy, mode="pruned", kernel="native")
+        assert ref.n == nat.n and ref.k == nat.k
+        for name in ARRAY_FIELDS:
+            assert np.array_equal(getattr(ref, name), getattr(nat, name)), (
+                f"{name} differs (family={family} k={k} seed={seed})"
+            )
+
+    def test_auto_mode_large_level_paths_agree(self):
+        # A graph big enough that mode="auto" actually picks "pruned".
+        graph = gen.gnp(3 * FULL_CENTER_LIMIT, 0.08, rng=5, weights=(1, 7))
+        ported = assign_ports(graph, "sorted")
+        hierarchy = build_hierarchy(graph, 3, make_rng(5))
+        ref = vectorized_arrays(graph, ported, hierarchy, kernel="numpy")
+        nat = vectorized_arrays(graph, ported, hierarchy, kernel="native")
+        for name in ARRAY_FIELDS:
+            assert np.array_equal(getattr(ref, name), getattr(nat, name)), name
+
+    def test_frontier_span_and_counters(self):
+        graph = family_from_seed(9, "gnp", n=40)
+        ported = assign_ports(graph, "sorted")
+        hierarchy = build_hierarchy(graph, 3, make_rng(9))
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            vectorized_arrays(graph, ported, hierarchy, mode="pruned", kernel="native")
+            impls = {
+                sp.attrs["impl"]
+                for sp, _ in TELEMETRY.spans()
+                if sp.name == "kernel.frontier_sweep"
+            }
+            settled = TELEMETRY.counters.get("build.frontier_settled", 0)
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert impls == {"native"}
+        assert settled > 0
+
+
+# ----------------------------------------------------------------------
+# 4a. Degenerate inputs: identical empty shapes, never a raise
+# ----------------------------------------------------------------------
+def kernel_params():
+    return [
+        pytest.param("numpy"),
+        pytest.param("auto"),
+        pytest.param("native", marks=needs_native),
+    ]
+
+
+@pytest.mark.parametrize("kernel", kernel_params())
+class TestDegenerateInputs:
+    def test_zero_pair_matrix(self, kernel):
+        graph = family_from_seed(2, "gnp", n=30)
+        _, routers = routers_for(graph, 2, 2, kernels=(kernel,))
+        res = routers[kernel].route_pairs(np.zeros((0, 2), dtype=np.int64))
+        for name in RESULT_FIELDS:
+            assert getattr(res, name).shape == (0,), name
+        assert res.attempted == 0
+
+    def test_zero_trial_sweep(self, kernel):
+        graph = family_from_seed(2, "gnp", n=30)
+        _, routers = routers_for(graph, 2, 2, kernels=(kernel,))
+        pairs = np.array([[0, 5], [3, 7]])
+        res = routers[kernel].route_trials(
+            pairs, np.zeros((0, graph.m), dtype=bool)
+        )
+        assert res.delivered.shape == (0, 2)
+        assert res.weight.shape == (0, 2)
+        assert res.failure_code.shape == (0, 2)
+        assert res.source.shape == (2,)
+
+    def test_zero_pairs_zero_trials(self, kernel):
+        graph = family_from_seed(2, "gnp", n=30)
+        _, routers = routers_for(graph, 2, 2, kernels=(kernel,))
+        res = routers[kernel].route_trials(
+            np.zeros((0, 2), dtype=np.int64), np.zeros((0, graph.m), dtype=bool)
+        )
+        assert res.delivered.shape == (0, 0)
+
+    def test_single_vertex_edgeless_graph(self, kernel):
+        graph = Graph(1, [], [])
+        ported = assign_ports(graph, "sorted")
+        for k in (1, 3):
+            scheme = build_scheme(graph, k, ported=ported, rng=0, kernel=kernel)
+            router = BatchRouter(ported, scheme, kernel=kernel)
+            empty = router.route_pairs(np.zeros((0, 2), dtype=np.int64))
+            assert empty.delivered.shape == (0,)
+            res = router.route_pairs(np.array([[0, 0]]))
+            assert res.delivered.tolist() == [True]
+            assert res.weight.tolist() == [0.0]
+            assert res.hops.tolist() == [0]
+            trials = router.route_trials(
+                np.array([[0, 0]]), np.zeros((3, 0), dtype=bool)
+            )
+            assert trials.delivered.all() and trials.delivered.shape == (3, 1)
+
+    def test_single_vertex_pruned_builder(self, kernel):
+        graph = Graph(1, [], [])
+        ported = assign_ports(graph, "sorted")
+        hierarchy = build_hierarchy(graph, 2, make_rng(0))
+        arrays = vectorized_arrays(
+            graph, ported, hierarchy, mode="pruned", kernel=kernel
+        )
+        assert arrays.entry_count == 1
+
+    def test_all_dead_edge_masks(self, kernel):
+        graph = family_from_seed(4, "gnp", n=30)
+        _, routers = routers_for(graph, 2, 4, kernels=("numpy", kernel))
+        pairs = np.array([[0, 5], [1, 9], [2, 2]])
+        masks = np.ones((2, graph.m), dtype=bool)
+        res = routers[kernel].route_trials(pairs, masks)
+        # Non-trivial pairs can never move; trivial pairs still deliver.
+        assert not res.delivered[:, :2].any()
+        assert res.delivered[:, 2].all()
+        assert (res.weight[:, :2] == 0.0).all()
+        assert_results_equal(
+            routers["numpy"].route_trials(pairs, masks), res, "(all-dead)"
+        )
+
+
+# ----------------------------------------------------------------------
+# 4b. Non-float64-exact weights: loud fallback on every kernel
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", kernel_params())
+class TestWeightFallback:
+    def test_integer_weights_stay_on_fast_path(self, kernel):
+        graph = family_from_seed(6, "gnp", n=30)  # integer-valued (1, 7)
+        ported = assign_ports(graph, "sorted")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", KernelFallbackWarning)
+            build_arrays(graph, 2, ported=ported, rng=6, kernel=kernel)
+
+    def test_fractional_weights_fall_back_loudly(self, kernel):
+        base = family_from_seed(6, "gnp", n=24, weights=None)
+        rng = make_rng(derive(6, "frac"))
+        graph = Graph(base.n, base.edges, rng.uniform(0.1, 1.0, base.m))
+        ported = assign_ports(graph, "sorted")
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            with pytest.warns(KernelFallbackWarning, match="not float64-exact"):
+                arrays = build_arrays(graph, 2, ported=ported, rng=6, kernel=kernel)
+            assert TELEMETRY.counters.get("kernel.fallback", 0) >= 1
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert arrays.entry_count > 0
+
+    def test_float32_weights_fall_back_loudly(self, kernel):
+        base = family_from_seed(8, "gnp", n=24, weights=None)
+        rng = make_rng(derive(8, "f32"))
+        w32 = rng.uniform(0.5, 2.0, base.m).astype(np.float32)
+        graph = Graph(base.n, base.edges, w32)
+        ported = assign_ports(graph, "sorted")
+        with pytest.warns(KernelFallbackWarning, match="not float64-exact"):
+            ref = build_arrays(graph, 2, ported=ported, rng=8, kernel="numpy")
+        with pytest.warns(KernelFallbackWarning, match="not float64-exact"):
+            got = build_arrays(graph, 2, ported=ported, rng=8, kernel=kernel)
+        for name in ARRAY_FIELDS:
+            assert np.array_equal(getattr(ref, name), getattr(got, name)), name
