@@ -150,6 +150,7 @@ class OracleBackend(_FlatTZBackend):
         seed: Optional[int] = 0,
         *,
         ported: Optional[PortedGraph] = None,
+        kernel: str = "auto",
     ) -> "OracleBackend":
         oracle = build_distance_oracle(
             graph, k, rng=derive(seed, "backend", cls.backend_name, k)
@@ -183,6 +184,7 @@ class LabelingBackend(_FlatTZBackend):
         seed: Optional[int] = 0,
         *,
         ported: Optional[PortedGraph] = None,
+        kernel: str = "auto",
     ) -> "LabelingBackend":
         labeling = build_distance_labels(
             graph, k, rng=derive(seed, "backend", cls.backend_name, k)

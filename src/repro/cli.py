@@ -210,6 +210,118 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_update(args) -> int:
+    import json
+
+    from .analysis.experiments import reference_graph
+    from .analysis.reporting import render_table
+    from .scenarios import run_churn
+
+    graph = reference_graph(args.graph, args.n, args.seed).largest_component()
+    print(f"[{args.graph}: n={graph.n} m={graph.m}]", file=sys.stderr)
+
+    store = None
+    if args.store is not None:
+        from .store import SchemeStore
+
+        store = SchemeStore(args.store)
+
+    with timed("cli.update", epochs=args.epochs, policy=args.policy) as tsp:
+        result = run_churn(
+            graph,
+            k=args.k,
+            seed=args.seed,
+            epochs=args.epochs,
+            pairs=args.pairs,
+            policy=args.policy,
+            store=store,
+            kernel=args.kernel,
+            workload=args.workload,
+            graph_label=args.graph,
+            max_versions=args.max_versions,
+        )
+
+    print(
+        render_table(
+            result.rows(),
+            title=(
+                f"churn sweep: {args.graph} n={graph.n} k={args.k} "
+                f"policy={args.policy}"
+            ),
+        )
+    )
+    print(
+        f"\n[{len(result.epochs)} epochs, {result.patched_epochs} patched, "
+        f"mean update {result.mean_update_seconds * 1e3:.1f} ms, "
+        f"initial build {result.build_seconds:.2f}s, in {tsp.seconds:.1f}s]"
+        + (f" lineage={result.lineage[:16]}…" if result.lineage else "")
+    )
+    if args.json:
+        from pathlib import Path
+
+        out = Path(args.json)
+        out.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+def _cmd_store(args) -> int:
+    import json
+
+    from .analysis.reporting import render_table
+    from .store import SchemeStore
+
+    store = SchemeStore(args.dir)
+    if args.action == "ls":
+        rows = []
+        for lineage in store.lineages():
+            current = store.current(lineage)
+            for meta in store.versions(lineage):
+                key = meta.get("key", "")
+                rows.append(
+                    {
+                        "lineage": lineage[:12],
+                        "v": meta.get("version", 0),
+                        "key": key[:12],
+                        "n": meta.get("n"),
+                        "m": meta.get("m"),
+                        "k": meta.get("k"),
+                        "builder": meta.get("builder"),
+                        "current": "*" if key == current else "",
+                    }
+                )
+        versioned = {m.get("key") for lg in store.lineages() for m in store.versions(lg)}
+        legacy = [k for k in store.keys() if k not in versioned]
+        print(render_table(rows, title=f"store {store.root} ({len(rows)} versions)"))
+        if legacy:
+            print(f"\n[{len(legacy)} unversioned container(s) not shown: "
+                  + ", ".join(k[:12] for k in legacy) + "]")
+        return 0
+    if args.action == "info":
+        if not args.key:
+            print("store info requires a key argument", file=sys.stderr)
+            return 2
+        if args.key not in store:
+            print(f"no stored scheme {args.key!r} in {store.root}", file=sys.stderr)
+            return 1
+        print(json.dumps(store.info(args.key), indent=2, sort_keys=True))
+        return 0
+    if args.action == "gc":
+        removed = []
+        lineages = [args.key] if args.key else store.lineages()
+        for lineage in lineages:
+            removed.extend(store.gc(lineage, args.max_versions))
+        print(
+            f"gc: removed {len(removed)} version(s) across "
+            f"{len(lineages)} lineage(s), keeping {args.max_versions} each"
+        )
+        for key in removed:
+            print(f"  - {key}")
+        return 0
+    print(f"unknown store action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def _cmd_scenarios(args) -> int:
     from .analysis.scenario_report import (
         render_scenario_table,
@@ -569,6 +681,98 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_kernel_flag(p_serve)
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_upd = sub.add_parser(
+        "update",
+        help="churn sweep: mutate the graph each epoch, patch or rebuild the scheme",
+        description=(
+            "Run the incremental-maintenance loop: build a scheme, then "
+            "for each epoch draw a random connectivity-preserving graph "
+            "delta (weight changes, edge adds/drops), refresh the scheme "
+            "by patching only the dirty clusters (or a full rebuild, per "
+            "--policy), and route a traffic matrix on the mutated graph. "
+            "Each epoch reports update cost (wall time, dirty clusters, "
+            "reused-entry fraction) and routing quality (delivery, "
+            "stretch against exact distances)."
+        ),
+        epilog=(
+            "With --store DIR every version is published into one "
+            "versioned lineage (atomic .current pointer, parent links, "
+            "delta digests) and traffic is answered by a hot-swapping "
+            "RouteService following the pointer — the serving path a "
+            "long-running server would use. --max-versions N garbage-"
+            "collects older versions as the lineage grows."
+        ),
+    )
+    p_upd.add_argument("--graph", default="gnp", choices=ROUTE_GRAPHS)
+    p_upd.add_argument("--n", type=int, default=512, help="vertex count")
+    p_upd.add_argument("--k", type=int, default=2, help="hierarchy levels")
+    p_upd.add_argument(
+        "--epochs", type=int, default=4, help="number of mutation rounds"
+    )
+    p_upd.add_argument(
+        "--pairs", type=int, default=1024, help="traffic matrix size per epoch"
+    )
+    p_upd.add_argument(
+        "--policy",
+        default="auto",
+        choices=["auto", "patch", "rebuild"],
+        help=(
+            "maintenance strategy: patch dirty clusters, full rebuild, "
+            "or auto (patch with rebuild fallback)"
+        ),
+    )
+    p_upd.add_argument(
+        "--workload",
+        default="uniform",
+        choices=["uniform", "gravity", "all-to-one"],
+        help="traffic model (see repro.sim.workloads)",
+    )
+    p_upd.add_argument(
+        "--store",
+        default=None,
+        help="publish versions into this store directory and serve via its pointer",
+    )
+    p_upd.add_argument(
+        "--max-versions",
+        type=int,
+        default=None,
+        help="garbage-collect the lineage down to this many versions",
+    )
+    p_upd.add_argument("--json", default=None, help="write the churn report here")
+    p_upd.add_argument("--seed", type=int, default=0)
+    _add_kernel_flag(p_upd)
+    _add_obs_flags(p_upd)
+    p_upd.set_defaults(func=_cmd_update)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect and garbage-collect a versioned scheme store",
+        description=(
+            "Operate on a scheme store directory: 'ls' tables every "
+            "version of every lineage (current versions starred), "
+            "'info KEY' prints one container's header metadata plus "
+            "file facts, 'gc' deletes old versions beyond "
+            "--max-versions (the pointer target is never deleted)."
+        ),
+    )
+    p_store.add_argument("action", choices=["ls", "info", "gc"])
+    p_store.add_argument(
+        "key",
+        nargs="?",
+        default=None,
+        help="container key (info) or lineage id (gc; default: all lineages)",
+    )
+    p_store.add_argument(
+        "--dir", default=".tzstore", help="scheme store directory"
+    )
+    p_store.add_argument(
+        "--max-versions",
+        type=int,
+        default=4,
+        help="versions to keep per lineage when gc-ing",
+    )
+    p_store.set_defaults(func=_cmd_store)
 
     p_scen = sub.add_parser(
         "scenarios",

@@ -61,14 +61,17 @@ from ...obs import TELEMETRY
 from ...rng import RngLike, make_rng
 from ..landmarks import Hierarchy, build_hierarchy, hierarchy_from_levels
 from .arrays import SchemeArrays, assemble_arrays, scheme_from_arrays
+from .patch import PatchResult, patch_arrays
 from .reference import reference_arrays
 from .vectorized import vectorized_arrays
 
 __all__ = [
+    "PatchResult",
     "SchemeArrays",
     "assemble_arrays",
     "build_arrays",
     "build_scheme",
+    "patch_arrays",
     "reference_arrays",
     "resolve_builder",
     "scheme_from_arrays",

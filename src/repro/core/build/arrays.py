@@ -215,7 +215,7 @@ def assemble_arrays(
     ent_member: np.ndarray,
     ent_dist: np.ndarray,
     ent_parent: np.ndarray,
-    heavy_vertex: np.ndarray,
+    heavy_vertex: Optional[np.ndarray] = None,
     tr_f: np.ndarray,
     tr_finish: np.ndarray,
     tr_heavy_finish: np.ndarray,
@@ -226,14 +226,21 @@ def assemble_arrays(
     lp_data: np.ndarray,
     ent_parent_epos: Optional[np.ndarray] = None,
     ent_heavy_epos: Optional[np.ndarray] = None,
+    bunch_order: Optional[np.ndarray] = None,
 ) -> SchemeArrays:
     """Derive the shared structures from builder-specific core fields.
 
     ``heavy_vertex[e]`` is the heavy child's *vertex id* (-1 at leaves);
     parents/heavy children are resolved back to entry positions here
-    (builders that already hold the entry links pass them through), and
+    (builders that already hold the entry links pass them through — when
+    ``ent_heavy_epos`` is supplied ``heavy_vertex`` may be omitted), and
     the member maps, label positions and bunch CSR are computed the same
     way for both builders (so they cannot mask a core-field mismatch).
+    ``bunch_order`` optionally supplies the CSR→CSC permutation when the
+    caller already holds it (the patch fast path passes the previous
+    scheme's ``bunch_epos`` when cluster membership is unchanged); it is
+    trusted, so only pass a permutation known to match ``(cl_indptr,
+    ent_member)``.
     """
     n = graph.n
     k = hierarchy.k
@@ -254,6 +261,10 @@ def assemble_arrays(
     if ent_heavy_epos is not None:
         ent_heavy_epos = np.ascontiguousarray(ent_heavy_epos, dtype=np.int64)
     else:
+        if heavy_vertex is None:
+            raise PreprocessingError(
+                "assemble_arrays needs heavy_vertex when ent_heavy_epos is absent"
+            )
         ent_heavy_epos = np.full(E, -1, dtype=np.int64)
         hash_ = heavy_vertex >= 0
         ent_heavy_epos[hash_] = _locate(
@@ -287,7 +298,9 @@ def assemble_arrays(
     # ascending within each member, preserving the entry tie-break).
     from scipy.sparse import csr_matrix
 
-    if E:
+    if bunch_order is not None:
+        order = np.ascontiguousarray(bunch_order, dtype=np.int64)
+    elif E:
         # 1-based payload so no entry is an explicit zero scipy could drop.
         order = (
             csr_matrix(

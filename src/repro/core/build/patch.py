@@ -1,0 +1,687 @@
+"""Delta-aware incremental rebuild: patch a built scheme in place of a
+full reconstruction.
+
+Given the :class:`SchemeArrays` of a built scheme, the graph it was built
+on and a :class:`~repro.graphs.delta.GraphDelta`, :func:`patch_arrays`
+produces the scheme of the mutated graph by rebuilding only the clusters
+the delta can possibly touch and splicing the untouched entry rows
+across.  The output is **bit-for-bit identical** to a fresh
+:func:`~repro.core.build.vectorized.vectorized_arrays` run on the
+mutated graph with the surviving landmark levels
+(``tests/test_update.py`` gates this on the ``core/serialize`` digest).
+
+Why a conservative *touched set* suffices
+-----------------------------------------
+Clusters are subpath-closed (every prefix of a shortest path to a member
+is a member), so any change to what a cluster ``C(w)`` stores must leave
+a witness **inside the old cluster**:
+
+* a member gained or lost, a distance or an SPT parent/tie-break change
+  all require a changed edge endpoint, a neighbor of a
+  threshold-changed vertex, or a dropped vertex's neighbor on the old
+  cluster's shortest paths — each of which sits in ``C_old(w)``;
+* the §2 tree records and light-port sequences embed *port numbers* of
+  cluster vertices, so they can only drift at a vertex whose port row
+  changed — and those vertices are diffed explicitly.
+
+Collect the set ``S`` of all such witnesses (delta endpoints, dropped
+nodes' neighbors, added nodes, threshold-changed vertices ``X`` and
+their new-graph neighbors, port-changed vertices); every cluster whose
+data changes has ``S ∩ C_old(w) ≠ ∅``.  The stored bunches are exactly
+the transpose of cluster membership, so the dirty centers are one ragged
+gather: ``∪_{o ∈ S} bunch(o)``.  Everything else is spliced verbatim
+(modulo the monotone vertex relabeling node removal induces, which
+preserves sorted adjacency rows and hence ``"sorted"`` port values).
+
+The rebuild itself reuses the vectorized builder's level engines
+(chunked full Dijkstra rows, the numpy frontier sweep or the native
+``tz_frontier_sweep`` kernel) — per-center results are engine- and
+batching-independent by the float64-exact determinism contract, so the
+dirty subset may be rebuilt with whichever engine fits its size.
+
+Two refinements keep small deltas from degenerating into near-full
+rebuilds.  First, for **weight-only** deltas the conservative witness
+set would dirty every *top-level* cluster (a top-level center sits in
+every bunch), so those centers get an exact relevance test against
+their stored distances and are exonerated when no updated edge can
+carry a shortest path (:func:`_exonerate_unbounded`).  Second, when no
+vertex was relabeled and the rebuilt clusters kept their exact member
+sets, every entry keeps its global position, and the patched arrays
+are produced by overwriting dirty rows in copies of the old columns —
+no E-scale gather/merge at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...errors import PreprocessingError
+from ...graphs.delta import GraphDelta, apply_delta
+from ...graphs.graph import Graph
+from ...graphs.ports import PortedGraph, assign_ports
+from ...kernels import resolve_kernel
+from ...kernels.frontier import frontier_sweep_native
+from ...obs import TELEMETRY
+from ..landmarks import Hierarchy, hierarchy_from_levels
+from .arrays import SchemeArrays, assemble_arrays
+from .vectorized import (
+    FULL_CENTER_LIMIT,
+    _full_level,
+    _is_float64_exact,
+    _level_parents,
+    _pruned_level,
+    _tree_arrays,
+)
+
+__all__ = ["PatchResult", "patch_arrays"]
+
+
+@dataclass
+class PatchResult:
+    """Everything the store/serve layers need after an incremental update."""
+
+    graph: Graph  # the mutated graph
+    ported: PortedGraph  # its port assignment
+    hierarchy: Hierarchy  # surviving levels, recomputed pivots/distances
+    arrays: SchemeArrays  # the patched scheme
+    id_map: np.ndarray  # old vertex id → new id (−1 = dropped)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def _segment_indices(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Flat indices covering ``[starts[i], starts[i]+lens[i])`` in order."""
+    total = int(lens.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    rep = np.repeat(np.arange(starts.shape[0], dtype=np.int64), lens)
+    ex = np.cumsum(lens) - lens
+    return starts[rep] + np.arange(total, dtype=np.int64) - ex[rep]
+
+
+def _scatter_segments(
+    dst: np.ndarray, dst_starts: np.ndarray, src: np.ndarray, src_starts: np.ndarray, lens: np.ndarray
+) -> None:
+    """Ragged copy: segment ``i`` of ``src`` into position ``dst_starts[i]``."""
+    total = int(lens.sum())
+    if total == 0:
+        return
+    rep = np.repeat(np.arange(lens.shape[0], dtype=np.int64), lens)
+    off = np.arange(total, dtype=np.int64) - (np.cumsum(lens) - lens)[rep]
+    dst[dst_starts[rep] + off] = src[src_starts[rep] + off]
+
+
+def _port_changed_vertices(
+    graph: Graph,
+    new_graph: Graph,
+    ported: PortedGraph,
+    new_ported: PortedGraph,
+    id_map: np.ndarray,
+    n_keep: int,
+) -> np.ndarray:
+    """New ids of surviving vertices whose port row drifted despite an
+    unchanged adjacency row (possible under non-``"sorted"`` assignments).
+
+    Vertices whose adjacency row changed structurally are already in the
+    touched set via the delta's endpoints, so only degree-preserved rows
+    need the element-wise compare.  Surviving arcs stay sorted by
+    ``(tail, head)`` under the monotone relabeling, so both sides align
+    without a sort.
+    """
+    if graph.m == 0 or n_keep == 0:
+        return np.zeros(0, dtype=np.int64)
+    tail = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(graph.indptr))
+    ok = (id_map[tail] >= 0) & (id_map[graph.adj] >= 0)
+    t2 = id_map[tail[ok]]
+    h2 = id_map[graph.adj[ok]]
+    p_old = ported.port_of_arc[ok]
+    deg_kept = np.bincount(t2, minlength=new_graph.n)
+    cand = np.zeros(new_graph.n, dtype=bool)
+    cand[:n_keep] = deg_kept[:n_keep] == np.diff(new_graph.indptr)[:n_keep]
+    start = np.zeros(new_graph.n, dtype=np.int64)
+    np.cumsum(deg_kept[:-1], out=start[1:])
+    rank = np.arange(t2.shape[0], dtype=np.int64) - start[t2]
+    sel = cand[t2]
+    if not sel.any():
+        return np.flatnonzero(~cand[:n_keep]).astype(np.int64)
+    pos = (new_graph.indptr[t2] + rank)[sel]
+    mism = (new_graph.adj[pos] != h2[sel]) | (
+        new_ported.port_of_arc[pos] != p_old[sel]
+    )
+    drifted = np.unique(t2[sel][mism])
+    # Degree-changed survivors are structurally touched; return them too
+    # so the caller need not special-case (cheap union, mostly empty).
+    return np.union1d(drifted, np.flatnonzero(~cand[:n_keep]).astype(np.int64))
+
+
+def _map_levels(hierarchy: Hierarchy, id_map: np.ndarray, n_new: int):
+    """Surviving landmark levels in new ids (level 0 is all vertices)."""
+    levels = [np.arange(n_new, dtype=np.int64)]
+    for i in range(1, hierarchy.k):
+        mapped = id_map[hierarchy.levels[i]]
+        mapped = np.sort(mapped[mapped >= 0])
+        if mapped.shape[0] == 0:
+            raise PreprocessingError(
+                f"delta drops every level-{i} landmark: the surviving "
+                "hierarchy is degenerate — rebuild with fresh sampling"
+            )
+        levels.append(mapped)
+    return levels
+
+
+def _touched_set(
+    arrays: SchemeArrays,
+    graph: Graph,
+    new_graph: Graph,
+    delta: GraphDelta,
+    id_map: np.ndarray,
+    h_new: Hierarchy,
+    ported: PortedGraph,
+    new_ported: PortedGraph,
+    old_of: np.ndarray,
+) -> np.ndarray:
+    """The witness set ``S`` in new ids (see module docstring)."""
+    n_old, n_new = graph.n, new_graph.n
+    n_keep = old_of.shape[0]
+    s = set()
+
+    def mapped(x: int) -> int:
+        return int(id_map[x]) if x < n_old else x - n_old + n_keep
+
+    for u, v, _w in delta.weight_updates:
+        s.update((int(id_map[u]), int(id_map[v])))
+    for u, v in delta.drop_edges:
+        s.update((int(id_map[u]), int(id_map[v])))
+    for u, v, _w in delta.add_edges:
+        s.update((mapped(u), mapped(v)))
+    for d in delta.drop_nodes:
+        s.update(int(x) for x in id_map[graph.neighbors(d)])
+    s.discard(-1)
+    s.update(range(n_keep, n_new))  # added nodes
+
+    # X: vertices whose distance-to-level (cluster threshold) changed.
+    x_mask = np.zeros(n_new, dtype=bool)
+    x_mask[n_keep:] = True
+    for i in range(1, h_new.k):
+        x_mask[:n_keep] |= h_new.dist[i][:n_keep] != arrays.hierarchy.dist[i][old_of]
+    xs = np.flatnonzero(x_mask)
+    s.update(xs.tolist())
+    if xs.shape[0]:  # membership can spread one hop from X in the new graph
+        arcs = _segment_indices(new_graph.indptr[xs], np.diff(new_graph.indptr)[xs])
+        s.update(np.unique(new_graph.adj[arcs]).tolist())
+
+    s.update(
+        _port_changed_vertices(graph, new_graph, ported, new_ported, id_map, n_keep).tolist()
+    )
+    return np.array(sorted(x for x in s if 0 <= x < n_new), dtype=np.int64)
+
+
+def _exonerate_unbounded(
+    arrays: SchemeArrays,
+    graph: Graph,
+    delta: GraphDelta,
+    h_new: Hierarchy,
+    dirty_new: np.ndarray,
+) -> np.ndarray:
+    """Weight-only deltas: clear top-level centers no updated edge is
+    *relevant* to.
+
+    A top-level cluster is unbounded (``C(c) = V``), so its stored rows
+    are exactly ``c``'s shortest-path tree — distances, deterministic
+    parents and the port-bearing §2 records derived from them.
+    Membership and thresholds cannot move it, and the caller has already
+    checked that no port row drifted.  For an update ``w_old → w_new``
+    on ``{u, v}`` that tree can only change when the edge carries (or
+    comes to carry) a shortest path:
+    ``d(c,u) + min(w_old, w_new) <= d(c,v)`` or symmetrically.  An
+    increase needs the old edge *tight* (``==`` by the triangle
+    inequality) to lose a path or a parent tie-break; a decrease needs a
+    new relaxation or tie (``<=``) to gain one.  If every updated edge
+    fails both tests against ``c``'s stored distances, the old field
+    still satisfies Bellman optimality on the new graph with an
+    unchanged tight-edge set, so every stored byte survives and the
+    cluster splices instead of rebuilding.  (All comparisons are exact:
+    patching requires float64-exact weights, so the distances are
+    integer-valued.)  Bounded lower-level clusters stay conservative —
+    their membership thresholds can move.
+    """
+    k = arrays.k
+    top = dirty_new[h_new.level_of[dirty_new] == k - 1]
+    if top.shape[0] == 0:
+        return dirty_new
+    ci = arrays.cl_indptr
+    # A full cluster holds every vertex in member order, so (c, x) sits
+    # at ``ci[c] + x`` — no search.  Anything smaller (impossible for a
+    # top-level center, but cheap to verify) just stays dirty.
+    relevant = ci[top + 1] - ci[top] != arrays.n
+    base = ci[top]
+    last = max(arrays.entry_count - 1, 0)
+    for u, v, w_new in delta.weight_updates:
+        w_min = min(graph.edge_weight(u, v), float(w_new))
+        du = arrays.ent_dist[np.minimum(base + u, last)]
+        dv = arrays.ent_dist[np.minimum(base + v, last)]
+        relevant |= (du + w_min <= dv) | (dv + w_min <= du)
+    if relevant.all():
+        return dirty_new
+    drop = np.zeros(arrays.n, dtype=bool)
+    drop[top[~relevant]] = True
+    TELEMETRY.count("patch.exonerated_clusters", int((~relevant).sum()))
+    return dirty_new[~drop[dirty_new]]
+
+
+def patch_arrays(
+    arrays: SchemeArrays,
+    graph: Graph,
+    delta: GraphDelta,
+    *,
+    ported: PortedGraph,
+    new_ported: Optional[PortedGraph] = None,
+    mode: str = "auto",
+    kernel: str = "auto",
+) -> PatchResult:
+    """Incrementally rebuild ``arrays`` (built on ``graph`` with
+    ``ported``) after ``delta``; see the module docstring for the
+    classification argument.
+
+    ``new_ported`` defaults to ``assign_ports(new_graph, "sorted")``; a
+    caller with its own assignment passes it explicitly (assignments
+    that renumber untouched rows simply enlarge the dirty set).  Raises
+    :class:`PreprocessingError` when the delta leaves incremental
+    maintenance undefined — non-float64-exact weights, a disconnected
+    mutated graph, or a hierarchy level losing its last landmark — and
+    the caller decides whether to fall back to a full rebuild.
+    """
+    if arrays.n != graph.n:
+        raise PreprocessingError(
+            f"arrays were built for n={arrays.n}, got a graph with n={graph.n}"
+        )
+    if mode not in ("auto", "full", "pruned"):
+        raise PreprocessingError(f"unknown patch builder mode {mode!r}")
+    kernel = resolve_kernel(kernel)
+    tm = TELEMETRY
+
+    new_graph, id_map = apply_delta(graph, delta)
+    if not _is_float64_exact(graph) or not _is_float64_exact(new_graph):
+        raise PreprocessingError(
+            "incremental patching requires float64-exact (integer-valued) "
+            "edge weights; rebuild from scratch instead"
+        )
+    if not new_graph.is_connected():
+        raise PreprocessingError(
+            "delta disconnects the graph: TZ routing requires a connected graph"
+        )
+    weight_only = not (
+        delta.add_edges or delta.drop_edges or delta.drop_nodes or delta.add_nodes
+    )
+    if new_ported is None:
+        # Weight changes leave every adjacency row — and hence every
+        # "sorted" port — untouched, so the assignment rebinds in O(1).
+        # (This also preserves non-"sorted" assignments across
+        # weight-only deltas, keeping their clusters spliceable.)
+        new_ported = (
+            ported.rebind(new_graph)
+            if weight_only
+            else assign_ports(new_graph, "sorted")
+        )
+    old_of = np.flatnonzero(id_map >= 0)
+    n_keep = int(old_of.shape[0])
+    n2 = np.int64(new_graph.n)
+    k = arrays.k
+
+    with tm.span("patch.classify"):
+        h_new = hierarchy_from_levels(new_graph, _map_levels(arrays.hierarchy, id_map, new_graph.n))
+        s_new = _touched_set(
+            arrays, graph, new_graph, delta, id_map, h_new, ported, new_ported, old_of
+        )
+        # Dirty centers: every cluster that contains a witness, read off
+        # the stored bunches (the membership transpose), plus the
+        # clusters of dropped vertices and the added nodes' own clusters.
+        s_old = old_of[s_new[s_new < n_keep]]
+        sources = np.unique(
+            np.concatenate([s_old, np.asarray(delta.drop_nodes, dtype=np.int64)])
+        ).astype(np.int64)
+        bi = arrays.bunch_indptr
+        dirty_old = np.unique(
+            arrays.bunch_centers[
+                _segment_indices(bi[sources], bi[sources + 1] - bi[sources])
+            ]
+        )
+        mapped_dirty = id_map[dirty_old] if dirty_old.shape[0] else dirty_old
+        dirty_new = np.unique(
+            np.concatenate(
+                [
+                    mapped_dirty[mapped_dirty >= 0],
+                    np.arange(n_keep, new_graph.n, dtype=np.int64),
+                ]
+            )
+        ).astype(np.int64)
+        if weight_only and (
+            new_ported.port_of_arc is ported.port_of_arc
+            or np.array_equal(ported.port_of_arc, new_ported.port_of_arc)
+        ):
+            dirty_new = _exonerate_unbounded(arrays, graph, delta, h_new, dirty_new)
+        dirty_mask = np.zeros(new_graph.n, dtype=bool)
+        dirty_mask[dirty_new] = True
+        clean_new = np.flatnonzero(~dirty_mask).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Rebuild: dirty clusters re-grown level by level with the same
+    # engines as a fresh build (per-center output is engine-invariant).
+    # ------------------------------------------------------------------
+    with tm.span("patch.rebuild", clusters=int(dirty_new.shape[0])):
+        key_parts, dist_parts, parent_parts = [], [], []
+        for i in range(k):
+            centers = dirty_new[h_new.level_of[dirty_new] == i]
+            if centers.shape[0] == 0:
+                continue
+            thr = h_new.dist[i + 1]
+            unbounded = bool(np.all(np.isinf(thr)))
+            use_full = mode == "full" or unbounded or (
+                mode == "auto" and centers.shape[0] <= FULL_CENTER_LIMIT
+            )
+            if use_full:
+                keys, dist = _full_level(new_graph, centers, thr)
+            else:
+                with tm.span(
+                    "kernel.frontier_sweep",
+                    impl=kernel,
+                    level=i,
+                    centers=int(centers.shape[0]),
+                ):
+                    keys, dist = (
+                        frontier_sweep_native(new_graph, centers, thr)
+                        if kernel == "native"
+                        else _pruned_level(new_graph, centers, thr)
+                    )
+            key_parts.append(keys)
+            dist_parts.append(dist)
+            parent_parts.append(_level_parents(new_graph, keys, dist))
+        d_keys = np.concatenate(key_parts) if key_parts else np.zeros(0, dtype=np.int64)
+        d_dist = np.concatenate(dist_parts) if dist_parts else np.zeros(0)
+        d_parent = (
+            np.concatenate(parent_parts) if parent_parts else np.zeros(0, dtype=np.int64)
+        )
+        order = np.argsort(d_keys, kind="stable")
+        d_keys, d_dist, d_parent = d_keys[order], d_dist[order], d_parent[order]
+        d_center = d_keys // n2
+        d_member = d_keys - d_center * n2
+        cl_dirty = np.zeros(new_graph.n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(d_center, minlength=new_graph.n), out=cl_dirty[1:])
+        tree = _tree_arrays(
+            new_graph, new_ported, d_keys, d_center, d_member, d_parent, cl_dirty
+        )
+
+    # ------------------------------------------------------------------
+    # Identity fast path: when no vertex was relabeled and every rebuilt
+    # cluster kept its exact member set, every entry keeps its global
+    # position — overwrite the dirty rows in copies of the old columns
+    # instead of re-gathering and re-merging all E entries.
+    # ------------------------------------------------------------------
+    ci = arrays.cl_indptr
+    ed = int(d_keys.shape[0])
+    hv_new = tree["heavy_vertex"]
+    identity = new_graph.n == graph.n and n_keep == graph.n
+    if identity:
+        d_lens = ci[dirty_new + 1] - ci[dirty_new]
+        dirty_epos = _segment_indices(ci[dirty_new], d_lens)
+        identity = ed == int(dirty_epos.shape[0]) and np.array_equal(
+            d_keys, arrays.entry_keys[dirty_epos]
+        )
+    if identity:
+        with tm.span("patch.assemble", mode="in-place"):
+            E = arrays.entry_count
+            ec = E - ed
+
+            def patched(col, dvals, dtype):
+                # Copy-on-write: arrays are append-only once assembled,
+                # so a column whose dirty rows came back byte-identical
+                # is shared verbatim — the common case for exonerated
+                # weight deltas, where copying 8B·E per column would
+                # dominate the whole patch.
+                if np.array_equal(col[dirty_epos], dvals):
+                    return col
+                out = np.array(col, dtype=dtype)
+                out[dirty_epos] = dvals
+                return out
+
+            # Entry links survive verbatim (positions are unchanged);
+            # dirty rows re-locate within the same key array.
+            new_pe = np.full(ed, -1, dtype=np.int64)
+            hasp = d_parent >= 0
+            new_pe[hasp] = np.searchsorted(
+                arrays.entry_keys, d_center[hasp] * n2 + d_parent[hasp]
+            )
+            new_he = np.full(ed, -1, dtype=np.int64)
+            hash_ = hv_new >= 0
+            new_he[hash_] = np.searchsorted(
+                arrays.entry_keys, d_center[hash_] * n2 + hv_new[hash_]
+            )
+            tr_light_depth = patched(
+                arrays.tr_light_depth, tree["tr_light_depth"], np.int64
+            )
+            d_lp_lens = np.diff(tree["lp_indptr"])
+            if tr_light_depth is arrays.tr_light_depth:
+                # Unchanged lengths: same lp layout; share the payload
+                # too when the dirty sequences came back identical.
+                lp_indptr = arrays.lp_indptr
+                old_lp = arrays.lp_data[
+                    _segment_indices(arrays.lp_indptr[dirty_epos], d_lp_lens)
+                ]
+                if np.array_equal(old_lp, tree["lp_data"]):
+                    lp_data = arrays.lp_data
+                else:
+                    lp_data = arrays.lp_data.copy()
+                    _scatter_segments(
+                        lp_data,
+                        lp_indptr[dirty_epos],
+                        tree["lp_data"],
+                        tree["lp_indptr"][:-1],
+                        d_lp_lens,
+                    )
+            else:
+                lp_indptr = np.zeros(E + 1, dtype=np.int64)
+                np.cumsum(tr_light_depth, out=lp_indptr[1:])
+                clean_mask = np.ones(E, dtype=bool)
+                clean_mask[dirty_epos] = False
+                ce_pos = np.flatnonzero(clean_mask)
+                lp_data = np.zeros(int(lp_indptr[-1]), dtype=np.int64)
+                _scatter_segments(
+                    lp_data,
+                    lp_indptr[ce_pos],
+                    arrays.lp_data,
+                    arrays.lp_indptr[ce_pos],
+                    arrays.tr_light_depth[ce_pos],
+                )
+                _scatter_segments(
+                    lp_data,
+                    lp_indptr[dirty_epos],
+                    tree["lp_data"],
+                    tree["lp_indptr"][:-1],
+                    d_lp_lens,
+                )
+
+            new_arrays = assemble_arrays(
+                new_graph,
+                new_ported,
+                h_new,
+                cl_indptr=ci,
+                ent_member=arrays.ent_member,
+                ent_dist=patched(arrays.ent_dist, d_dist, np.float64),
+                ent_parent=patched(arrays.ent_parent, d_parent, np.int64),
+                tr_f=patched(arrays.tr_f, tree["tr_f"], np.int64),
+                tr_finish=patched(arrays.tr_finish, tree["tr_finish"], np.int64),
+                tr_heavy_finish=patched(
+                    arrays.tr_heavy_finish, tree["tr_heavy_finish"], np.int64
+                ),
+                tr_light_depth=tr_light_depth,
+                tr_parent_port=patched(
+                    arrays.tr_parent_port, tree["tr_parent_port"], np.int64
+                ),
+                tr_heavy_port=patched(
+                    arrays.tr_heavy_port, tree["tr_heavy_port"], np.int64
+                ),
+                lp_indptr=lp_indptr,
+                lp_data=lp_data,
+                ent_parent_epos=patched(arrays.ent_parent_epos, new_pe, np.int64),
+                ent_heavy_epos=patched(arrays.ent_heavy_epos, new_he, np.int64),
+                # Membership is unchanged on this path, so the old bunch
+                # permutation is exactly the CSR→CSC order of the new
+                # entries.
+                bunch_order=arrays.bunch_epos,
+            )
+        return _finish(
+            tm, new_graph, new_ported, h_new, new_arrays, id_map, s_new,
+            dirty_new, clean_new, ed, ec,
+        )
+
+    # ------------------------------------------------------------------
+    # Splice: untouched clusters cross over with ids remapped and every
+    # distance / tree record / port byte preserved verbatim.
+    # ------------------------------------------------------------------
+    with tm.span("patch.splice", clusters=int(clean_new.shape[0])):
+        clean_old = old_of[clean_new]
+        lens = ci[clean_old + 1] - ci[clean_old]
+        epos = _segment_indices(ci[clean_old], lens)
+        c_member = id_map[arrays.ent_member[epos]]
+        if c_member.shape[0] and c_member.min() < 0:
+            raise PreprocessingError(
+                "patch classification missed a dropped member in a clean "
+                "cluster (incremental maintenance invariant violated)"
+            )
+        c_center = np.repeat(clean_new, lens)
+        c_keys = c_center * n2 + c_member
+        old_parent = arrays.ent_parent[epos]
+        c_parent = np.where(old_parent >= 0, id_map[np.maximum(old_parent, 0)], -1)
+        heavy_epos = arrays.ent_heavy_epos[epos]
+        c_heavy = np.where(
+            heavy_epos >= 0, id_map[arrays.ent_member[np.maximum(heavy_epos, 0)]], -1
+        )
+        c_lp_lens = arrays.tr_light_depth[epos]
+        c_lp = arrays.lp_data[_segment_indices(arrays.lp_indptr[epos], c_lp_lens)]
+
+    # ------------------------------------------------------------------
+    # Merge into global entry order.  Clean and dirty center sets are
+    # disjoint and both runs are key-sorted, so two searchsorted calls
+    # give every entry's final position.
+    # ------------------------------------------------------------------
+    with tm.span("patch.assemble", mode="merge"):
+        ec = int(c_keys.shape[0])
+        pos_c = np.arange(ec, dtype=np.int64) + np.searchsorted(d_keys, c_keys)
+        pos_d = np.arange(ed, dtype=np.int64) + np.searchsorted(c_keys, d_keys)
+        total = ec + ed
+
+        def merge(cvals, dvals, dtype):
+            out = np.empty(total, dtype=dtype)
+            out[pos_c] = cvals
+            out[pos_d] = dvals
+            return out
+
+        ent_member = merge(c_member, d_member, np.int64)
+        ent_dist = merge(arrays.ent_dist[epos], d_dist, np.float64)
+        ent_parent = merge(c_parent, d_parent, np.int64)
+        heavy_vertex = merge(c_heavy, hv_new, np.int64)
+        tr_f = merge(arrays.tr_f[epos], tree["tr_f"], np.int64)
+        tr_finish = merge(arrays.tr_finish[epos], tree["tr_finish"], np.int64)
+        tr_heavy_finish = merge(
+            arrays.tr_heavy_finish[epos], tree["tr_heavy_finish"], np.int64
+        )
+        tr_light_depth = merge(c_lp_lens, tree["tr_light_depth"], np.int64)
+        tr_parent_port = merge(
+            arrays.tr_parent_port[epos], tree["tr_parent_port"], np.int64
+        )
+        tr_heavy_port = merge(arrays.tr_heavy_port[epos], tree["tr_heavy_port"], np.int64)
+
+        lp_indptr = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(tr_light_depth, out=lp_indptr[1:])
+        lp_data = np.zeros(int(lp_indptr[-1]), dtype=np.int64)
+        c_lp_ex = np.cumsum(c_lp_lens) - c_lp_lens
+        _scatter_segments(lp_data, lp_indptr[pos_c], c_lp, c_lp_ex, c_lp_lens)
+        _scatter_segments(
+            lp_data,
+            lp_indptr[pos_d],
+            tree["lp_data"],
+            tree["lp_indptr"][:-1],
+            np.diff(tree["lp_indptr"]),
+        )
+
+        ent_center = merge(c_center, d_center, np.int64)
+        cl_indptr = np.zeros(new_graph.n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(ent_center, minlength=new_graph.n), out=cl_indptr[1:])
+
+        # Entry links: clean parents/heavy children live in the same
+        # clean cluster (old positions known), dirty ones in the same
+        # rebuilt cluster — map both through the final positions instead
+        # of letting assemble_arrays re-locate all E of them.
+        old_to_new = np.full(arrays.entry_count, -1, dtype=np.int64)
+        old_to_new[epos] = pos_c
+        ope = arrays.ent_parent_epos[epos]
+        c_pe = np.where(ope >= 0, old_to_new[np.maximum(ope, 0)], -1)
+        ohe = arrays.ent_heavy_epos[epos]
+        c_he = np.where(ohe >= 0, old_to_new[np.maximum(ohe, 0)], -1)
+        d_pe = np.full(ed, -1, dtype=np.int64)
+        m_p = d_parent >= 0
+        d_pe[m_p] = pos_d[np.searchsorted(d_keys, d_center[m_p] * n2 + d_parent[m_p])]
+        d_he = np.full(ed, -1, dtype=np.int64)
+        m_h = hv_new >= 0
+        d_he[m_h] = pos_d[np.searchsorted(d_keys, d_center[m_h] * n2 + hv_new[m_h])]
+
+        new_arrays = assemble_arrays(
+            new_graph,
+            new_ported,
+            h_new,
+            cl_indptr=cl_indptr,
+            ent_member=ent_member,
+            ent_dist=ent_dist,
+            ent_parent=ent_parent,
+            heavy_vertex=heavy_vertex,
+            tr_f=tr_f,
+            tr_finish=tr_finish,
+            tr_heavy_finish=tr_heavy_finish,
+            tr_light_depth=tr_light_depth,
+            tr_parent_port=tr_parent_port,
+            tr_heavy_port=tr_heavy_port,
+            lp_indptr=lp_indptr,
+            lp_data=lp_data,
+            ent_parent_epos=merge(c_pe, d_pe, np.int64),
+            ent_heavy_epos=merge(c_he, d_he, np.int64),
+        )
+
+    return _finish(
+        tm, new_graph, new_ported, h_new, new_arrays, id_map, s_new,
+        dirty_new, clean_new, ed, ec,
+    )
+
+
+def _finish(
+    tm,
+    new_graph: Graph,
+    new_ported: PortedGraph,
+    h_new: Hierarchy,
+    new_arrays: SchemeArrays,
+    id_map: np.ndarray,
+    s_new: np.ndarray,
+    dirty_new: np.ndarray,
+    clean_new: np.ndarray,
+    ed: int,
+    ec: int,
+) -> PatchResult:
+    stats = {
+        "touched_vertices": int(s_new.shape[0]),
+        "dirty_clusters": int(dirty_new.shape[0]),
+        "clean_clusters": int(clean_new.shape[0]),
+        "entries_rebuilt": ed,
+        "entries_reused": ec,
+    }
+    tm.count("patch.dirty_clusters", stats["dirty_clusters"])
+    tm.count("patch.entries_rebuilt", ed)
+    tm.count("patch.entries_reused", ec)
+    return PatchResult(
+        graph=new_graph,
+        ported=new_ported,
+        hierarchy=h_new,
+        arrays=new_arrays,
+        id_map=id_map,
+        stats=stats,
+    )

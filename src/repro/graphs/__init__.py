@@ -2,6 +2,7 @@
 and the port model routing schemes operate on."""
 
 from .csr import CSRKernel
+from .delta import GraphDelta, apply_delta
 from .graph import Graph, GraphBuilder
 from .ports import PortedGraph, assign_ports
 from .shortest_paths import (
@@ -17,6 +18,8 @@ __all__ = [
     "CSRKernel",
     "Graph",
     "GraphBuilder",
+    "GraphDelta",
+    "apply_delta",
     "PortedGraph",
     "assign_ports",
     "dijkstra",

@@ -132,6 +132,35 @@ class Graph:
         self._edge_index: Optional[Dict[Tuple[int, int], int]] = None
         self._csr = None
 
+    def with_edge_weights(self, weights: Sequence[float]) -> "Graph":
+        """A structurally identical graph with new per-edge weights.
+
+        O(m): the CSR topology (``indptr``/``adj``/``arc_edge``), the
+        canonical edge list and the lazy edge index are shared verbatim
+        (all treated as immutable); only the weight columns are rebuilt,
+        ``adj_weights`` by a single gather through ``arc_edge``.  The
+        result is bit-identical to ``Graph(n, edges, weights)`` without
+        the per-edge CSR construction loop — the weight-only delta path
+        leans on this.
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (self.m,):
+            raise GraphError(f"weights must have shape ({self.m},), got {w.shape}")
+        if self.m and (not np.all(np.isfinite(w)) or np.any(w <= 0)):
+            raise GraphError("edge weights must be finite and strictly positive")
+        g = object.__new__(Graph)
+        g.n = self.n
+        g.m = self.m
+        g.indptr = self.indptr
+        g.adj = self.adj
+        g.adj_weights = w[self.arc_edge]
+        g.arc_edge = self.arc_edge
+        g.edges = self.edges
+        g.edge_weights = w
+        g._edge_index = self._edge_index
+        g._csr = None
+        return g
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
@@ -265,6 +294,13 @@ class Graph:
                 edges.append((index[u], index[v]))
                 weights.append(float(self.edge_weights[eid]))
         return Graph(len(verts), edges, weights)
+
+    def apply_delta(self, delta) -> Tuple["Graph", np.ndarray]:
+        """Apply a :class:`~repro.graphs.delta.GraphDelta`; returns the
+        mutated graph plus the old→new vertex id map (−1 = dropped)."""
+        from .delta import apply_delta
+
+        return apply_delta(self, delta)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -61,6 +61,30 @@ class PortedGraph:
                 arc_of_port[lo + p - 1] = arc
         self.arc_of_port = arc_of_port
 
+    def rebind(self, new_graph) -> "PortedGraph":
+        """This port assignment attached to a topology-identical graph.
+
+        O(1): shares ``port_of_arc``/``arc_of_port`` verbatim (both are
+        treated as immutable), skipping the per-vertex validation loop.
+        The graphs must share CSR topology — weight-only rebuilds via
+        :meth:`Graph.with_edge_weights` qualify; anything else is
+        rejected.
+        """
+        old = self.graph
+        if new_graph.n != old.n or not (
+            new_graph.indptr is old.indptr
+            or (
+                np.array_equal(new_graph.indptr, old.indptr)
+                and np.array_equal(new_graph.adj, old.adj)
+            )
+        ):
+            raise PortError("rebind requires an identical CSR topology")
+        ported = object.__new__(PortedGraph)
+        ported.graph = new_graph
+        ported.port_of_arc = self.port_of_arc
+        ported.arc_of_port = self.arc_of_port
+        return ported
+
     @property
     def n(self) -> int:
         return self.graph.n

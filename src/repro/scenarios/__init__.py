@@ -12,15 +12,20 @@ JSON + markdown (:mod:`repro.analysis.scenario_report`).  CLI:
 ``repro scenarios``.
 """
 
+from .churn import ChurnEpoch, ChurnResult, random_delta, run_churn
 from .lab import ScenarioResult, default_failure_params, run_scenario, run_scenarios
 from .spec import ScenarioSpec, expand_grid, normalize_params
 
 __all__ = [
+    "ChurnEpoch",
+    "ChurnResult",
     "ScenarioSpec",
     "ScenarioResult",
     "expand_grid",
     "normalize_params",
     "default_failure_params",
+    "random_delta",
+    "run_churn",
     "run_scenario",
     "run_scenarios",
 ]

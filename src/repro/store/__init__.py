@@ -19,6 +19,8 @@ the file mapping:
 from .format import FORMAT_VERSION, read_container, write_container
 from .service import RouteService
 from .store import (
+    POINTER_SUFFIX,
+    STORE_SUFFIX,
     SchemeStore,
     StoredScheme,
     graph_content_hash,
@@ -29,7 +31,9 @@ from .store import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "POINTER_SUFFIX",
     "RouteService",
+    "STORE_SUFFIX",
     "SchemeStore",
     "StoredScheme",
     "graph_content_hash",

@@ -14,10 +14,25 @@ results are scattered back into the caller's row order.  Rows are
 routed independently by construction, so the sharded result is
 bit-for-bit the single-process result (tested) — sharding changes wall
 time, never answers.
+
+Hot swap
+--------
+Point the service at a lineage's ``.current`` pointer file (see
+:meth:`SchemeStore.publish_patch <repro.store.store.SchemeStore.publish_patch>`)
+instead of a container and it follows version publishes **between
+batches**: every :meth:`route` call starts by resolving the pointer
+under a lock, re-mmapping the new container if it moved, and then
+routes the whole batch on that one mapping.  An in-flight batch keeps
+routing on the mapping it started with (the old memory map stays alive
+exactly as long as a batch references it — draining is just reference
+lifetime), so every batch is answered by exactly one scheme version:
+none are dropped, none are mixed.  Sharded workers receive the already
+resolved container path, never the pointer, for the same reason.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Optional, Union
 
@@ -48,6 +63,10 @@ def _route_shard(
     kernel: str = "auto",
 ):
     """Worker entry point: mmap the store file and route one shard.
+
+    ``path`` is always a resolved container path — the parent pins the
+    version for the whole batch before fanning out, so shards of one
+    batch can never map different versions.
 
     With ``record=True`` the worker resets its (possibly fork-inherited)
     telemetry registry, enables it for the duration of the shard, and
@@ -90,22 +109,79 @@ class RouteService:
         *,
         mmap: bool = True,
         kernel: str = "auto",
+        follow: Optional[bool] = None,
     ) -> None:
         """Open the container at ``path`` (zero-copy mmap by default).
 
-        ``kernel`` selects the hop-loop backend of the serving router
+        ``path`` may be a ``.tzs`` container or a lineage's ``.current``
+        pointer file; the latter (or ``follow=True``) puts the service
+        in hot-swap mode — see the module docstring.  ``kernel`` selects
+        the hop-loop backend of the serving router
         (``"numpy"``/``"native"``/``"auto"``, see :mod:`repro.kernels`);
         answers are bit-identical either way.
         """
-        from .store import SchemeStore
+        from .store import POINTER_SUFFIX
 
         self.path = Path(path)
-        with TELEMETRY.span("serve.open", mmap=bool(mmap)):
-            stored = SchemeStore(self.path.parent).load(self.path, mmap=mmap)
+        if follow is None:
+            follow = self.path.name.endswith(POINTER_SUFFIX)
+        self.follow = bool(follow)
+        self.mmap = bool(mmap)
+        self.kernel = kernel
+        self.swap_count = 0
+        self._swap_lock = threading.Lock()
+        self._open(self._resolve())
+
+    def _resolve(self) -> Path:
+        """The container path to serve right now (follows the pointer)."""
+        if not self.follow:
+            return self.path
+        try:
+            key = self.path.read_text().strip()
+        except OSError as exc:
+            raise RoutingError(
+                f"cannot resolve current version from {self.path}: {exc}"
+            ) from exc
+        if not key:
+            raise RoutingError(f"version pointer {self.path} is empty")
+        from .store import STORE_SUFFIX
+
+        return self.path.parent / f"{key}{STORE_SUFFIX}"
+
+    def _open(self, resolved: Path) -> None:
+        """Map ``resolved`` and install its router as the serving state."""
+        from .store import SchemeStore
+
+        with TELEMETRY.span("serve.open", mmap=self.mmap):
+            stored = SchemeStore(resolved.parent).load(resolved, mmap=self.mmap)
             self.meta = stored.meta
             self.compiled = stored.compiled
-            self.kernel = kernel
-            self._router = BatchRouter.from_compiled(stored.compiled, kernel=kernel)
+            self._router = BatchRouter.from_compiled(stored.compiled, kernel=self.kernel)
+            self._resolved = resolved
+
+    def _serving_state(self):
+        """The (router, container path) for one batch.
+
+        In hot-swap mode this is the swap point: the pointer is resolved
+        under the lock and a moved pointer re-mmaps before the batch
+        starts.  The returned references pin the chosen version for the
+        caller's whole batch regardless of later swaps.
+        """
+        if not self.follow:
+            return self._router, self._resolved
+        with self._swap_lock:
+            resolved = self._resolve()
+            if resolved != self._resolved:
+                self._open(resolved)
+                self.swap_count += 1
+                TELEMETRY.count("serve.swaps")
+            return self._router, self._resolved
+
+    def reload(self) -> bool:
+        """Force a pointer re-resolve now; True if a swap happened."""
+        before = self.swap_count
+        self._serving_state()
+        return self.swap_count != before
 
     @property
     def n(self) -> int:
@@ -116,6 +192,12 @@ class RouteService:
     def k(self) -> int:
         """Hierarchy depth of the served scheme."""
         return self.compiled.k
+
+    @property
+    def version(self) -> Optional[int]:
+        """Version number of the served container (None pre-versioning)."""
+        v = self.meta.get("version")
+        return None if v is None else int(v)
 
     def route(
         self,
@@ -129,12 +211,15 @@ class RouteService:
         ``shards > 1`` source-shards the matrix across that many worker
         processes, each memory-mapping this service's store file; the
         result is bit-identical to ``shards=1`` in the input row order.
+        In hot-swap mode the serving version is pinned once per call, so
+        the whole matrix is answered by exactly one scheme version.
         """
         pair_arr = np.asarray(pairs, dtype=np.int64)
         if pair_arr.size == 0:
             pair_arr = pair_arr.reshape(0, 2)
         if pair_arr.ndim != 2 or pair_arr.shape[1] != 2:
             raise RoutingError("pairs must be an (m, 2) integer array")
+        router, resolved = self._serving_state()
         tm = TELEMETRY
         with tm.span(
             "serve.route", pairs=int(pair_arr.shape[0]), shards=int(max(shards, 1))
@@ -147,7 +232,7 @@ class RouteService:
                     from time import perf_counter
 
                     t0 = perf_counter()
-                    result = self._router.route_pairs(pair_arr, ttl=ttl)
+                    result = router.route_pairs(pair_arr, ttl=ttl)
                     elapsed = perf_counter() - t0
                     tm.observe("serve.shard_seconds", elapsed)
                     if elapsed > 0:
@@ -155,16 +240,22 @@ class RouteService:
                             "serve.pairs_per_second", pair_arr.shape[0] / elapsed
                         )
                     return result
-                return self._router.route_pairs(pair_arr, ttl=ttl)
-            return self._route_sharded(pair_arr, ttl, int(shards))
+                return router.route_pairs(pair_arr, ttl=ttl)
+            return self._route_sharded(pair_arr, ttl, int(shards), resolved)
 
     def _route_sharded(
-        self, pair_arr: np.ndarray, ttl: Optional[int], shards: int
+        self,
+        pair_arr: np.ndarray,
+        ttl: Optional[int],
+        shards: int,
+        resolved: Optional[Path] = None,
     ) -> BatchResult:
         """Fan one traffic matrix out across worker processes."""
         import concurrent.futures as cf
         from time import perf_counter
 
+        if resolved is None:
+            resolved = self._resolved
         tm = TELEMETRY
         record = tm.enabled
         t0 = perf_counter()
@@ -180,7 +271,7 @@ class RouteService:
         with cf.ProcessPoolExecutor(max_workers=shards) as pool:
             futures = [
                 pool.submit(
-                    _route_shard, str(self.path), chunk, ttl, record, self.kernel
+                    _route_shard, str(resolved), chunk, ttl, record, self.kernel
                 )
                 for chunk in chunks
                 if chunk.shape[0]

@@ -39,9 +39,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -52,7 +53,7 @@ from ..graphs.graph import Graph
 from ..graphs.ports import PortedGraph, assign_ports
 from ..obs import TELEMETRY
 from ..sim.engine.compile import CompiledScheme, compile_from_arrays
-from .format import FORMAT_VERSION, read_container, write_container
+from .format import FORMAT_VERSION, _tmp_counter, read_container, write_container
 from .schemes import (
     arrays_from_manifest,
     arrays_to_manifest,
@@ -63,6 +64,7 @@ from .schemes import (
 )
 
 STORE_SUFFIX = ".tzs"
+POINTER_SUFFIX = ".current"
 
 
 def graph_content_hash(graph: Graph) -> str:
@@ -206,12 +208,14 @@ class SchemeStore:
         compiled: Optional[CompiledScheme] = None,
         strict: bool = False,
         builder: str = "vectorized",
+        extra_meta: Optional[dict] = None,
     ) -> Path:
         """Persist one built scheme; returns the container path.
 
         ``strict=True`` additionally records the bit-exact serialization
         digest (see :func:`serialize_digest`) so strict loads can replay
-        and compare it.
+        and compare it.  ``extra_meta`` entries are merged into the
+        container header (the version layer rides on this).
         """
         with TELEMETRY.span("store.save", k=int(arrays.k), n=int(arrays.n)):
             if compiled is None:
@@ -237,6 +241,8 @@ class SchemeStore:
             }
             if strict:
                 meta["serialize_sha256"] = serialize_digest(graph, ported, arrays)
+            if extra_meta:
+                meta.update(extra_meta)
             blobs = arrays_to_manifest(arrays)
             blobs.update(compiled_to_manifest(compiled))
             path = self.path_for(key)
@@ -320,6 +326,192 @@ class SchemeStore:
                 f"digest ({got[:12]}… != {expect[:12]}…): the array form "
                 "and the bitstream form have diverged"
             )
+
+    # ------------------------------------------------------------------
+    # Versioned lineages: publish / publish_patch / current / gc
+    # ------------------------------------------------------------------
+    def pointer_path(self, lineage: str) -> Path:
+        """The lineage's ``.current`` pointer file (atomic, text key)."""
+        return self.root / f"{lineage}{POINTER_SUFFIX}"
+
+    def set_current(self, lineage: str, key: str) -> None:
+        """Atomically repoint the lineage's current version to ``key``.
+
+        Same publish discipline as the containers themselves: a unique
+        per-writer tmp name plus one ``rename``, so concurrent
+        publishers race to a *complete* pointer and readers can never
+        observe a half-written one.
+        """
+        pointer = self.pointer_path(lineage)
+        tmp = pointer.with_suffix(
+            pointer.suffix + f".tmp.{os.getpid()}.{_tmp_counter()}"
+        )
+        tmp.write_text(key + "\n")
+        tmp.replace(pointer)
+
+    def current(self, lineage: str) -> Optional[str]:
+        """Key of the lineage's current version (``None`` if unpublished)."""
+        pointer = self.pointer_path(lineage)
+        try:
+            key = pointer.read_text().strip()
+        except OSError:
+            return None
+        return key or None
+
+    def current_path(self, lineage: str) -> Optional[Path]:
+        """Container path of the lineage's current version."""
+        key = self.current(lineage)
+        return None if key is None else self.path_for(key)
+
+    def lineages(self) -> List[str]:
+        """Sorted lineage ids that have a published pointer."""
+        return sorted(p.name[: -len(POINTER_SUFFIX)] for p in self.root.glob(f"*{POINTER_SUFFIX}"))
+
+    def publish(
+        self,
+        graph: Graph,
+        ported: PortedGraph,
+        arrays: SchemeArrays,
+        *,
+        seed: Optional[int] = None,
+        compiled: Optional[CompiledScheme] = None,
+        strict: bool = False,
+        builder: str = "vectorized",
+    ) -> str:
+        """Save a scheme as the **root version** of a new lineage.
+
+        The lineage id is the root's own content key; the ``.current``
+        pointer is created atomically pointing at it.  Returns the key.
+        """
+        if compiled is None:
+            compiled = compile_from_arrays(arrays, ported)
+        key = scheme_key(
+            graph_content_hash(graph),
+            arrays.k,
+            seed,
+            port_hash(ported),
+            handshake=compiled.handshake,
+        )
+        self.save(
+            graph,
+            ported,
+            arrays,
+            seed=seed,
+            compiled=compiled,
+            strict=strict,
+            builder=builder,
+            extra_meta={
+                "lineage": key,
+                "version": 0,
+                "parent_key": None,
+                "delta_sha256": None,
+            },
+        )
+        self.set_current(key, key)
+        return key
+
+    def publish_patch(
+        self,
+        parent: Union[str, StoredScheme],
+        graph: Graph,
+        ported: PortedGraph,
+        arrays: SchemeArrays,
+        *,
+        delta,
+        seed: Optional[int] = None,
+        compiled: Optional[CompiledScheme] = None,
+        strict: bool = False,
+        builder: str = "patch",
+        max_versions: Optional[int] = None,
+    ) -> str:
+        """Save a new version derived from ``parent`` by ``delta``.
+
+        Writes a content-addressed container whose header links it to
+        its parent (``parent_key``, the delta's SHA-256, the incremented
+        ``version``), atomically repoints the lineage's ``.current``,
+        and — when ``max_versions`` is given — garbage-collects older
+        versions beyond that count.  Returns the new key.
+        """
+        parent_key = parent.key if isinstance(parent, StoredScheme) else str(parent)
+        parent_path = self.path_for(parent_key)
+        if not parent_path.exists():
+            raise EncodingError(
+                f"cannot publish a patch of {parent_key}: no such stored scheme"
+            )
+        parent_meta = read_container(parent_path)[0].get("meta", {})
+        lineage = parent_meta.get("lineage") or parent_key
+        version = int(parent_meta.get("version", 0)) + 1
+        if compiled is None:
+            compiled = compile_from_arrays(arrays, ported)
+        key = scheme_key(
+            graph_content_hash(graph),
+            arrays.k,
+            seed,
+            port_hash(ported),
+            handshake=compiled.handshake,
+        )
+        with TELEMETRY.span("store.publish_patch", lineage=lineage, version=version):
+            self.save(
+                graph,
+                ported,
+                arrays,
+                seed=seed,
+                compiled=compiled,
+                strict=strict,
+                builder=builder,
+                extra_meta={
+                    "lineage": lineage,
+                    "version": version,
+                    "parent_key": parent_key,
+                    "delta_sha256": delta.digest() if delta is not None else None,
+                },
+            )
+            self.set_current(lineage, key)
+            if max_versions is not None:
+                self.gc(lineage, max_versions)
+        return key
+
+    def versions(self, lineage: str) -> List[dict]:
+        """Header meta of every stored version of ``lineage``, sorted by
+        version number (legacy containers count as their own lineage)."""
+        out = []
+        for key in self.keys():
+            meta = read_container(self.path_for(key))[0].get("meta", {})
+            if meta.get("kind") != "tz-scheme":
+                continue
+            if (meta.get("lineage") or meta.get("key")) == lineage:
+                out.append(meta)
+        out.sort(key=lambda m: (int(m.get("version", 0)), m.get("key", "")))
+        return out
+
+    def info(self, key: str) -> dict:
+        """Header meta plus file facts for one stored container."""
+        path = self.path_for(key)
+        header = read_container(path)[0]
+        meta = dict(header.get("meta", {}))
+        meta["path"] = str(path)
+        meta["file_bytes"] = int(path.stat().st_size)
+        meta["data_sha256"] = header.get("data_sha256")
+        return meta
+
+    def gc(self, lineage: str, max_versions: int) -> List[str]:
+        """Delete all but the newest ``max_versions`` versions of a
+        lineage; the pointer target is never deleted.  Returns the
+        removed keys."""
+        if max_versions < 1:
+            raise ValueError(f"max_versions must be >= 1, got {max_versions}")
+        metas = self.versions(lineage)
+        current = self.current(lineage)
+        removed = []
+        for meta in metas[:-max_versions] if len(metas) > max_versions else []:
+            key = meta.get("key")
+            if key is None or key == current:
+                continue
+            self.path_for(key).unlink(missing_ok=True)
+            removed.append(key)
+        if removed:
+            TELEMETRY.count("store.gc_removed", len(removed))
+        return removed
 
     # ------------------------------------------------------------------
     # Backend-generic persistence (the Backend protocol's store hook)
@@ -412,12 +604,15 @@ class SchemeStore:
         *,
         ported: Optional[PortedGraph] = None,
         mmap: bool = True,
+        kernel: str = "auto",
     ):
         """Memo table over backend construction, like :meth:`get_or_build`.
 
         A hit opens the container and returns the deserialized backend;
         a miss builds through the registry, saves, and re-opens (so the
         returned instance is always the file-backed one, hit or miss).
+        ``kernel`` is the construction-time compute backend of a miss
+        (bit-identical outputs either way, so not part of the key).
         """
         from ..backends.registry import build_backend
 
@@ -430,7 +625,9 @@ class SchemeStore:
             )
         with tm.span("store.get_or_build_backend", backend=name, k=k):
             if not path.exists():
-                backend = build_backend(name, graph, k, seed, ported=ported)
+                backend = build_backend(
+                    name, graph, k, seed, ported=ported, kernel=kernel
+                )
                 self.save_backend(backend, graph, k=k, seed=seed)
             return self.load_backend(path, mmap=mmap)
 

@@ -119,3 +119,116 @@ def family_graphs(
 
 def rooted_trees(*, n: int = 60) -> st.SearchStrategy[RootedTree]:
     return seeds().map(lambda s: random_rooted(s, n=n))
+
+
+# ----------------------------------------------------------------------
+# Graph deltas (incremental maintenance)
+# ----------------------------------------------------------------------
+#: Delta classes the strategy can mix (node-add rides on edge-add).
+DELTA_CLASSES = ("weight", "edge-add", "edge-drop", "node-drop", "node-add")
+
+
+def delta_from_seed(
+    graph: Graph,
+    seed: int,
+    *,
+    classes: Tuple[str, ...] = DELTA_CLASSES,
+    max_weight: int = 7,
+):
+    """A deterministic random :class:`~repro.graphs.GraphDelta` for
+    ``graph`` mixing the requested ``classes``.
+
+    Weights are integers (the float64-exact contract the patch builder
+    requires).  The delta is *not* guaranteed to keep the graph
+    connected — property tests accept either a successful patch or the
+    patch builder's explicit ``PreprocessingError`` refusal; use
+    :func:`repro.scenarios.random_delta` when connectivity must hold.
+    """
+    import numpy as np
+
+    from repro.graphs.delta import GraphDelta
+
+    rng = np.random.Generator(np.random.PCG64([seed, 0xDE17A]))
+    used = set()
+    w_upd, adds, drops, drop_nodes = [], [], [], ()
+    add_nodes = 0
+
+    def pick_edges(count):
+        count = min(count, graph.m)
+        if count <= 0:
+            return []
+        eids = rng.choice(graph.m, size=count, replace=False)
+        out = []
+        for eid in eids:
+            u, v = (int(x) for x in graph.edges[eid])
+            if (u, v) not in used:
+                used.add((u, v))
+                out.append((eid, u, v))
+        return out
+
+    if "weight" in classes:
+        for eid, u, v in pick_edges(int(rng.integers(1, 4))):
+            w = float(rng.integers(1, max_weight + 1))
+            if w == float(graph.edge_weights[eid]):
+                w += 1.0
+            w_upd.append((u, v, w))
+    if "edge-drop" in classes:
+        drops = [(u, v) for _, u, v in pick_edges(int(rng.integers(1, 3)))]
+    if "node-drop" in classes and graph.n > 4:
+        drop_nodes = tuple(
+            int(x) for x in rng.choice(graph.n, size=1, replace=False)
+        )
+    if "node-add" in classes:
+        add_nodes = 1
+    if "edge-add" in classes or add_nodes:
+        existing = {tuple(int(x) for x in e) for e in graph.edges}
+        want = int(rng.integers(1, 3)) if "edge-add" in classes else 0
+        hi = graph.n + add_nodes
+        for _ in range(4 * (want + add_nodes)):
+            if len(adds) >= want + 2 * add_nodes:
+                break
+            u, v = (int(x) for x in rng.integers(0, hi, size=2))
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in existing or key in used:
+                continue
+            used.add(key)
+            adds.append((*key, float(rng.integers(1, max_weight + 1))))
+        if add_nodes and not any(
+            max(u, v) >= graph.n for u, v, _ in adds
+        ):
+            # ensure the appended node is wired to something
+            anchor = int(rng.integers(0, graph.n))
+            adds.append((anchor, graph.n, float(rng.integers(1, max_weight + 1))))
+
+    return GraphDelta(
+        weight_updates=tuple(w_upd),
+        add_edges=tuple(adds),
+        drop_edges=tuple(drops),
+        drop_nodes=drop_nodes,
+        add_nodes=add_nodes,
+    )
+
+
+def graph_deltas(
+    *,
+    classes: Tuple[str, ...] = DELTA_CLASSES,
+    max_weight: int = 7,
+) -> st.SearchStrategy:
+    """Strategy over non-empty deltas for a graph chosen by the test.
+
+    Draws ``(seed, class-subset)`` and returns a builder closure
+    ``make(graph) -> GraphDelta`` so one draw can be applied to any
+    instance (tests typically pair it with :func:`family_graphs`).
+    """
+    subsets = st.sets(
+        st.sampled_from(classes), min_size=1, max_size=len(classes)
+    ).map(lambda s: tuple(sorted(s)))
+    return st.tuples(seeds(), subsets).map(
+        lambda sc: (
+            lambda graph: delta_from_seed(
+                graph, sc[0], classes=sc[1], max_weight=max_weight
+            )
+        )
+    )

@@ -81,7 +81,7 @@ class TestCli:
         assert sorted(documented) == sorted(
             [
                 "list", "run", "all", "build", "route", "serve",
-                "scenarios", "frontier", "profile",
+                "scenarios", "frontier", "profile", "update", "store",
             ]
         )
         with pytest.raises(SystemExit):
@@ -94,7 +94,7 @@ class TestCli:
         "cmd",
         [
             "list", "run", "all", "build", "route", "serve",
-            "scenarios", "frontier", "profile",
+            "scenarios", "frontier", "profile", "update", "store",
         ],
     )
     def test_subcommand_help_exits_zero(self, cmd, capsys):
@@ -133,6 +133,60 @@ class TestCli:
         assert len(doc["scenarios"]) == 2
         assert all(len(s["delivery_rates"]) == 3 for s in doc["scenarios"])
         assert "| scenario |" in out_md.read_text()
+
+    def test_update_churn_sweep_with_store(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "churn.json"
+        store_dir = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "update",
+                    "--graph", "gnp",
+                    "--n", "128",
+                    "--k", "2",
+                    "--epochs", "2",
+                    "--pairs", "100",
+                    "--policy", "auto",
+                    "--store", str(store_dir),
+                    "--json", str(out_json),
+                    "--seed", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "churn sweep" in out and "update_s" in out
+        doc = json.loads(out_json.read_text())
+        assert doc["kind"] == "tz-churn-report"
+        assert len(doc["epochs"]) == 2
+        assert doc["lineage"] is not None
+        # versions climbed: root is 0, each epoch publishes one more
+        assert [e["version"] for e in doc["epochs"]] == [1, 2]
+
+        # store ls sees the lineage; the newest version is current
+        assert main(["store", "ls", "--dir", str(store_dir)]) == 0
+        ls_out = capsys.readouterr().out
+        assert doc["lineage"][:12] in ls_out and "*" in ls_out
+
+        # info on the current key round-trips the header meta
+        last_key = doc["epochs"][-1]["key"]
+        assert main(["store", "info", last_key, "--dir", str(store_dir)]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["version"] == 2 and info["lineage"] == doc["lineage"]
+
+        # gc to one version; ls shows exactly the current one
+        assert main(
+            ["store", "gc", "--dir", str(store_dir), "--max-versions", "1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["store", "ls", "--dir", str(store_dir)]) == 0
+        assert "(1 versions)" in capsys.readouterr().out
+
+    def test_store_info_unknown_key_fails_cleanly(self, capsys, tmp_path):
+        assert main(["store", "info", "deadbeef", "--dir", str(tmp_path)]) == 1
+        assert "no stored scheme" in capsys.readouterr().err
 
     def test_frontier_sweep_writes_reports(self, capsys, tmp_path):
         import json

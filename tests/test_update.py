@@ -1,0 +1,507 @@
+"""Incremental maintenance: deltas, the patch builder, versioned store,
+hot-swapping service, and the churn scenario loop.
+
+The load-bearing contract here is the **differential gate**: for any
+delta the patch builder accepts, ``patch_arrays`` must produce arrays
+*bit-for-bit identical* to a fresh vectorized build of the mutated
+graph under the mapped hierarchy — checked through the store's
+bit-exact :func:`~repro.store.serialize_digest`.  Everything else
+(version lineages, pointer swaps, churn epochs) layers on top of that
+equality.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import kernels
+from repro.core.build import build_arrays, patch_arrays
+from repro.errors import GraphError, PreprocessingError
+from repro.graphs.delta import GraphDelta, apply_delta
+from repro.graphs.ports import assign_ports
+from repro.obs import TELEMETRY
+from repro.sim.engine.batch import BatchRouter
+from repro.sim.engine.compile import compile_from_arrays
+from repro.store import SchemeStore, RouteService, serialize_digest
+
+from strategies import (
+    DELTA_CLASSES,
+    delta_from_seed,
+    family_from_seed,
+    family_graphs,
+    graph_deltas,
+    seeds,
+)
+
+GATE_FAMILIES = ("gnp", "ba", "grid")
+
+
+def _fresh_digest(patched):
+    """Digest of a from-scratch vectorized build of the patched state.
+
+    Uses the patch result's own (mapped) hierarchy and ports, so the
+    only difference from the patch is *how* the arrays were produced.
+    """
+    fresh = build_arrays(
+        patched.graph,
+        patched.arrays.k,
+        ported=patched.ported,
+        hierarchy=patched.hierarchy,
+    )
+    return serialize_digest(patched.graph, patched.ported, fresh)
+
+
+def _patch_some_seed(family, k, classes, tries=10):
+    """First seed in range whose delta the patch builder accepts."""
+    for seed in range(tries):
+        graph = family_from_seed(seed, family)
+        arrays = build_arrays(graph, k, rng=seed)
+        ported = assign_ports(graph, "sorted")
+        delta = delta_from_seed(graph, seed, classes=classes)
+        try:
+            return patch_arrays(arrays, graph, delta, ported=ported)
+        except (PreprocessingError, GraphError):
+            continue
+    pytest.fail(
+        f"no accepted delta in {tries} seeds for {family} k={k} {classes}"
+    )
+
+
+class TestGraphDelta:
+    def test_canonicalization_and_digest(self):
+        a = GraphDelta(weight_updates=((3, 1, 5), (0, 2, 4.0)))
+        b = GraphDelta(weight_updates=((2, 0, 4), (1, 3, 5.0)))
+        assert a == b and a.digest() == b.digest()
+
+    def test_classes_enumeration(self):
+        d = GraphDelta(
+            weight_updates=((0, 1, 2.0),),
+            add_edges=((0, 5, 1.0),),
+            drop_edges=((1, 2),),
+            drop_nodes=(3,),
+            add_nodes=1,
+        )
+        assert set(d.classes()) == {
+            "weight", "edge-add", "edge-drop", "node-drop", "node-add"
+        }
+        assert not d.is_empty()
+        assert GraphDelta().is_empty()
+
+    def test_roundtrip_dict(self):
+        d = GraphDelta(weight_updates=((0, 1, 2.0),), add_nodes=2)
+        assert GraphDelta.from_dict(d.to_dict()) == d
+
+    def test_apply_monotone_relabel(self):
+        graph = family_from_seed(0, "gnp")
+        drop = graph.n // 2
+        new_graph, id_map = apply_delta(graph, GraphDelta(drop_nodes=(drop,)))
+        assert new_graph.n == graph.n - 1
+        assert id_map[drop] == -1
+        survivors = id_map[id_map >= 0]
+        assert np.array_equal(survivors, np.arange(graph.n - 1))
+
+    def test_apply_rejects_missing_edge_drop(self):
+        graph = family_from_seed(0, "grid")
+        with pytest.raises(GraphError):
+            apply_delta(graph, GraphDelta(drop_edges=((0, graph.n - 1),)))
+
+    def test_apply_rejects_duplicate_edge_add(self):
+        graph = family_from_seed(0, "gnp")
+        u, v = (int(x) for x in graph.edges[0])
+        with pytest.raises(GraphError):
+            apply_delta(graph, GraphDelta(add_edges=((u, v, 1.0),)))
+
+
+class TestPatchDifferentialGate:
+    """patch == fresh vectorized rebuild, bit for bit, per delta class."""
+
+    @pytest.mark.parametrize("family", GATE_FAMILIES)
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    @pytest.mark.parametrize("cls", DELTA_CLASSES)
+    def test_single_class(self, family, k, cls):
+        patched = _patch_some_seed(family, k, (cls,))
+        got = serialize_digest(patched.graph, patched.ported, patched.arrays)
+        assert got == _fresh_digest(patched)
+
+    @pytest.mark.parametrize("family", GATE_FAMILIES)
+    def test_compound_delta(self, family):
+        patched = _patch_some_seed(family, 3, DELTA_CLASSES)
+        got = serialize_digest(patched.graph, patched.ported, patched.arrays)
+        assert got == _fresh_digest(patched)
+
+    def test_stats_account_for_every_entry(self):
+        patched = _patch_some_seed("gnp", 2, ("weight",))
+        s = patched.stats
+        assert (
+            s["entries_rebuilt"] + s["entries_reused"]
+            == patched.arrays.entry_count
+        )
+        assert s["dirty_clusters"] + s["clean_clusters"] == patched.graph.n
+
+    def test_empty_delta_is_identity(self):
+        graph = family_from_seed(1, "gnp")
+        arrays = build_arrays(graph, 2, rng=1)
+        ported = assign_ports(graph, "sorted")
+        patched = patch_arrays(arrays, graph, GraphDelta(), ported=ported)
+        assert serialize_digest(
+            patched.graph, patched.ported, patched.arrays
+        ) == serialize_digest(graph, ported, arrays)
+
+
+class TestPatchProperties:
+    @given(family_graphs(), graph_deltas(), seeds(max_value=100))
+    @settings(max_examples=12, deadline=None)
+    def test_patch_matches_fresh_or_refuses(self, graph, make_delta, seed):
+        arrays = build_arrays(graph, 3, rng=seed)
+        ported = assign_ports(graph, "sorted")
+        delta = make_delta(graph)
+        try:
+            patched = patch_arrays(arrays, graph, delta, ported=ported)
+        except (PreprocessingError, GraphError):
+            return  # explicit refusal (disconnection, empty level) is fine
+        got = serialize_digest(patched.graph, patched.ported, patched.arrays)
+        assert got == _fresh_digest(patched)
+
+    @given(family_graphs(), graph_deltas())
+    @settings(max_examples=10, deadline=None)
+    def test_patched_scheme_routes(self, graph, make_delta):
+        arrays = build_arrays(graph, 2, rng=0)
+        ported = assign_ports(graph, "sorted")
+        try:
+            patched = patch_arrays(
+                arrays, graph, make_delta(graph), ported=ported
+            )
+        except (PreprocessingError, GraphError):
+            return
+        router = BatchRouter.from_compiled(
+            compile_from_arrays(patched.arrays, patched.ported)
+        )
+        n = patched.graph.n
+        pairs = np.column_stack(
+            [np.arange(min(n, 16)), (np.arange(min(n, 16)) + 1) % n]
+        )
+        res = router.route_pairs(pairs)
+        assert res.delivered.all()
+
+
+class TestCSRKernelInvalidation:
+    """Derived caches must never leak across apply_delta."""
+
+    @given(family_graphs(), graph_deltas())
+    @settings(max_examples=12, deadline=None)
+    def test_caches_do_not_leak(self, graph, make_delta):
+        # Warm every derived cache on the original graph.
+        csr_before = graph.csr()
+        weights_before = csr_before.weights.copy()
+        mat_before = graph.to_scipy().copy()
+        u0, v0 = (int(x) for x in graph.edges[0])
+        graph.edge_id(u0, v0)
+
+        delta = make_delta(graph)
+        try:
+            new_graph, id_map = apply_delta(graph, delta)
+        except GraphError:
+            return
+
+        # The old graph's caches are untouched...
+        assert graph.csr() is csr_before
+        assert np.array_equal(graph.csr().weights, weights_before)
+        assert (graph.to_scipy() != mat_before).nnz == 0
+        # ...and the new graph's are rebuilt, not inherited.
+        assert new_graph.csr() is not csr_before
+        for u, v, w in delta.weight_updates:
+            nu, nv = int(id_map[u]), int(id_map[v])
+            if nu >= 0 and nv >= 0:
+                assert new_graph.edge_weight(nu, nv) == w
+        for u, v in delta.drop_edges:
+            nu, nv = int(id_map[u]), int(id_map[v])
+            if nu >= 0 and nv >= 0:
+                with pytest.raises(GraphError):
+                    new_graph.edge_id(nu, nv)
+
+    def test_weight_update_reflected_in_new_kernel_only(self):
+        graph = family_from_seed(2, "gnp")
+        u, v = (int(x) for x in graph.edges[0])
+        old_w = graph.edge_weight(u, v)
+        new_graph, _ = apply_delta(
+            graph, GraphDelta(weight_updates=((u, v, old_w + 3.0),))
+        )
+        assert graph.edge_weight(u, v) == old_w
+        assert new_graph.edge_weight(u, v) == old_w + 3.0
+        sources = np.array([u], dtype=np.int64)
+        d_old, _ = graph.csr().sssp_batch(sources)
+        d_new, _ = new_graph.csr().sssp_batch(sources)
+        assert d_old[0, v] <= old_w
+        assert not np.array_equal(d_old, d_new) or old_w + 3.0 >= d_old[0, v]
+
+
+class TestVersionedStore:
+    def _build(self, seed=0, k=2):
+        graph = family_from_seed(seed, "gnp")
+        ported = assign_ports(graph, "sorted")
+        arrays = build_arrays(graph, k, ported=ported, rng=seed)
+        return graph, ported, arrays
+
+    def test_publish_lineage_and_patch_chain(self, tmp_path):
+        store = SchemeStore(tmp_path)
+        graph, ported, arrays = self._build()
+        root = store.publish(graph, ported, arrays, seed=0)
+        assert store.current(root) == root
+        assert store.lineages() == [root]
+
+        u, v = (int(x) for x in graph.edges[0])
+        delta = GraphDelta(
+            weight_updates=((u, v, graph.edge_weight(u, v) + 1.0),)
+        )
+        patched = patch_arrays(arrays, graph, delta, ported=ported)
+        key1 = store.publish_patch(
+            root, patched.graph, patched.ported, patched.arrays,
+            delta=delta, seed=0,
+        )
+        assert store.current(root) == key1
+        metas = store.versions(root)
+        assert [m["version"] for m in metas] == [0, 1]
+        assert metas[1]["parent_key"] == root
+        assert metas[1]["delta_sha256"] == delta.digest()
+
+        info = store.info(key1)
+        assert info["lineage"] == root and info["file_bytes"] > 0
+
+    def test_gc_keeps_newest_and_pointer_target(self, tmp_path):
+        store = SchemeStore(tmp_path)
+        graph, ported, arrays = self._build()
+        root = store.publish(graph, ported, arrays, seed=0)
+        prev, prev_state = root, (graph, ported, arrays)
+        for i in range(3):
+            g, p, a = prev_state
+            u, v = (int(x) for x in g.edges[i])
+            delta = GraphDelta(weight_updates=((u, v, g.edge_weight(u, v) + 1.0),))
+            patched = patch_arrays(a, g, delta, ported=p)
+            prev = store.publish_patch(
+                prev, patched.graph, patched.ported, patched.arrays,
+                delta=delta, seed=0,
+            )
+            prev_state = (patched.graph, patched.ported, patched.arrays)
+        removed = store.gc(root, 2)
+        assert len(removed) == 2
+        left = store.versions(root)
+        assert [m["version"] for m in left] == [2, 3]
+        assert store.current(root) == prev
+        with pytest.raises(ValueError):
+            store.gc(root, 0)
+
+    def test_concurrent_pointer_publish_never_torn(self, tmp_path):
+        """The unique-tmp + rename discipline under real thread contention:
+        a reader can only ever observe a complete published key."""
+        store = SchemeStore(tmp_path)
+        lineage = "stress-lineage"
+        valid = {f"key-{t}-{i}" for t in range(4) for i in range(50)}
+        store.set_current(lineage, "key-0-0")
+        stop = threading.Event()
+        torn = []
+
+        def writer(t):
+            for i in range(50):
+                store.set_current(lineage, f"key-{t}-{i}")
+
+        def reader():
+            while not stop.is_set():
+                got = store.current(lineage)
+                if got is not None and got not in valid:
+                    torn.append(got)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for th in readers + writers:
+            th.start()
+        for th in writers:
+            th.join()
+        stop.set()
+        for th in readers:
+            th.join()
+        assert torn == []
+        assert store.current(lineage) in valid
+        # no half-written tmp files left behind
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+
+class TestHotSwapService:
+    def test_batches_never_mix_versions(self, tmp_path):
+        """Route continuously across a publish: every batch's answers
+        must match exactly one version — old or new, never a blend."""
+        store = SchemeStore(tmp_path)
+        graph = family_from_seed(4, "gnp")
+        ported = assign_ports(graph, "sorted")
+        arrays = build_arrays(graph, 2, ported=ported, rng=4)
+        root = store.publish(graph, ported, arrays, seed=4)
+
+        # v1 changes several weights so the two versions answer
+        # measurably differently on the same pairs.
+        updates = tuple(
+            (int(u), int(v), float(graph.edge_weights[eid] + 5.0))
+            for eid, (u, v) in enumerate(graph.edges[:8])
+        )
+        delta = GraphDelta(weight_updates=updates)
+        patched = patch_arrays(arrays, graph, delta, ported=ported)
+
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, graph.n, size=(64, 2)).astype(np.int64)
+        ref0 = BatchRouter.from_compiled(
+            compile_from_arrays(arrays, ported)
+        ).route_pairs(pairs)
+        ref1 = BatchRouter.from_compiled(
+            compile_from_arrays(patched.arrays, patched.ported)
+        ).route_pairs(pairs)
+        assert not np.array_equal(ref0.weight, ref1.weight)
+
+        service = RouteService(store.pointer_path(root))
+        assert service.follow and service.version == 0
+
+        published = threading.Event()
+
+        def publisher():
+            store.publish_patch(
+                root, patched.graph, patched.ported, patched.arrays,
+                delta=delta, seed=4,
+            )
+            published.set()
+
+        thread = threading.Thread(target=publisher)
+        matched_new = 0
+        thread.start()
+        for _ in range(200):
+            res = service.route(pairs)
+            is_old = np.array_equal(res.weight, ref0.weight)
+            is_new = np.array_equal(res.weight, ref1.weight)
+            assert is_old != is_new, "batch mixed scheme versions"
+            if is_new:
+                matched_new += 1
+                if matched_new >= 3:
+                    break
+        thread.join()
+        # after the publish has landed, the very next batch swaps
+        res = service.route(pairs)
+        assert np.array_equal(res.weight, ref1.weight)
+        assert service.swap_count == 1 and service.version == 1
+
+    def test_reload_reports_swap(self, tmp_path):
+        store = SchemeStore(tmp_path)
+        graph = family_from_seed(5, "grid")
+        ported = assign_ports(graph, "sorted")
+        arrays = build_arrays(graph, 2, ported=ported, rng=5)
+        root = store.publish(graph, ported, arrays, seed=5)
+        service = RouteService(store.pointer_path(root))
+        assert service.reload() is False
+
+        u, v = (int(x) for x in graph.edges[0])
+        delta = GraphDelta(weight_updates=((u, v, graph.edge_weight(u, v) + 2.0),))
+        patched = patch_arrays(arrays, graph, delta, ported=ported)
+        store.publish_patch(
+            root, patched.graph, patched.ported, patched.arrays,
+            delta=delta, seed=5,
+        )
+        assert service.reload() is True
+        assert service.version == 1
+
+
+class TestBackendKernelGate:
+    """kernel= threads from the registry down to the frontier sweep."""
+
+    @pytest.mark.parametrize("name", ["tz", "cowen"])
+    def test_numpy_native_blobs_bit_equal(self, name):
+        if not kernels.available():
+            pytest.skip(f"native kernel unavailable: {kernels.native_error()}")
+        from repro.backends.registry import build_backend
+
+        graph = family_from_seed(6, "gnp", n=96)
+        b_np = build_backend(name, graph, k=3, seed=1, kernel="numpy")
+        b_nat = build_backend(name, graph, k=3, seed=1, kernel="native")
+        meta_np, blobs_np = b_np.serialize()
+        meta_nat, blobs_nat = b_nat.serialize()
+        assert meta_np == meta_nat
+        assert sorted(blobs_np) == sorted(blobs_nat)
+        for key in blobs_np:
+            assert np.array_equal(blobs_np[key], blobs_nat[key]), key
+
+    def test_cowen_level0_grows_through_native_sweep(self):
+        """The Cowen backend's level-0 grow (n centers, far above the
+        full-engine limit) must hit the native frontier sweep when the
+        native kernel is requested — observed through telemetry."""
+        if not kernels.available():
+            pytest.skip(f"native kernel unavailable: {kernels.native_error()}")
+        from repro.backends.registry import build_backend
+
+        graph = family_from_seed(7, "gnp", n=96)
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            build_backend("cowen", graph, seed=2, kernel="native")
+            sweeps = [
+                sp for sp, _ in TELEMETRY.spans()
+                if sp.name == "kernel.frontier_sweep"
+            ]
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert sweeps, "no frontier-sweep span recorded"
+        assert all(sp.attrs.get("impl") == "native" for sp in sweeps)
+        assert any(sp.attrs.get("level") == 0 for sp in sweeps)
+
+
+class TestChurnScenario:
+    def test_run_churn_patches_and_reports(self):
+        from repro.scenarios import run_churn
+
+        graph = family_from_seed(8, "gnp", n=64)
+        result = run_churn(
+            graph, k=2, seed=3, epochs=3, pairs=64, policy="auto",
+            graph_label="gnp",
+        )
+        assert len(result.epochs) == 3
+        doc = result.to_dict()
+        assert doc["kind"] == "tz-churn-report"
+        for epoch in result.epochs:
+            assert epoch.method in ("patch", "rebuild")
+            assert epoch.delivery == 1.0  # no failures injected
+            assert epoch.mean_stretch >= 1.0
+        # with small additive deltas the patch path should dominate
+        assert result.patched_epochs >= 1
+
+    def test_run_churn_with_store_serves_hot_swapped(self, tmp_path):
+        from repro.scenarios import run_churn
+
+        store = SchemeStore(tmp_path)
+        graph = family_from_seed(9, "gnp", n=64)
+        result = run_churn(
+            graph, k=2, seed=5, epochs=2, pairs=48, policy="auto",
+            store=store, max_versions=2,
+        )
+        assert result.lineage is not None
+        assert [e.version for e in result.epochs] == [1, 2]
+        assert len(store.versions(result.lineage)) == 2  # gc'd to 2
+
+    def test_rebuild_policy_never_patches(self):
+        from repro.scenarios import run_churn
+
+        graph = family_from_seed(10, "grid", n=36)
+        result = run_churn(
+            graph, k=2, seed=1, epochs=2, pairs=32, policy="rebuild"
+        )
+        assert all(e.method == "rebuild" for e in result.epochs)
+        assert result.patched_epochs == 0
+
+    def test_random_delta_preserves_connectivity(self):
+        from repro.rng import derive
+        from repro.scenarios import random_delta
+
+        graph = family_from_seed(11, "gnp", n=48)
+        for i in range(5):
+            delta = random_delta(
+                graph, derive(11, "t", i), edge_drops=2, node_drops=1
+            )
+            mutated, _ = apply_delta(graph, delta)
+            assert mutated.is_connected()
