@@ -1,0 +1,154 @@
+"""Serving daemon under Zipf load: end-to-end throughput and latency.
+
+The acceptance gate of the serving PR: a real ``repro serve --daemon``
+subprocess (separate interpreter, real TCP, real JSON framing) must
+sustain at least :data:`PAIRS_PER_SECOND_FLOOR` routed pairs/s under
+the Zipf load generator — N skewed users over M concurrent
+connections, the daemon's production traffic model.  Client-observed
+p50/p99 request latencies ride along in ``BENCH_serve.json``; the
+latency numbers are recorded, the throughput is gated.
+
+The floor is deliberately far below a healthy local measurement
+(~10×): it exists to catch a serving-path collapse (accidental
+per-request re-mmap, a serialization quadratic, an event-loop stall),
+not to benchmark shared CI hardware.
+
+``REPRO_BENCH_N`` overrides the vertex count for local iteration.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+from _emit import emit
+
+from repro.core.build import build_arrays
+from repro.graphs import generators as gen
+from repro.graphs.ports import assign_ports
+from repro.serve import run_loadgen
+from repro.store import SchemeStore
+
+#: Routed pairs/s the daemon must sustain under Zipf load in CI.
+PAIRS_PER_SECOND_FLOOR = 2_000.0
+
+N_DEFAULT = 2_000
+K = 2
+USERS = 200
+CONNECTIONS = 4
+REQUESTS = 64
+BATCH = 512
+ZIPF_S = 1.2
+
+
+@pytest.fixture(scope="module")
+def published_store(tmp_path_factory):
+    """Build and publish the served scheme lineage once."""
+    store_dir = tmp_path_factory.mktemp("tzserve")
+    n = int(os.environ.get("REPRO_BENCH_N", N_DEFAULT))
+    graph = gen.gnp(n, 8.0 / n, rng=2026, weights=(1, 8)).largest_component()
+    ported = assign_ports(graph, "sorted")
+    arrays = build_arrays(graph, K, ported=ported, rng=13)
+    store = SchemeStore(store_dir)
+    key = store.publish(graph, ported, arrays, seed=13)
+    return store_dir, key, graph
+
+
+def test_daemon_sustains_zipf_load(published_store):
+    store_dir, key, graph = published_store
+    repo_root = Path(__file__).resolve().parent.parent
+    port_file = store_dir / "port"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(repo_root / "src"), env.get("PYTHONPATH")) if p
+    )
+    # The daemon exports its telemetry on drain: serve.request spans to
+    # the trace, latency histograms + queue/LRU gauges to the metrics
+    # doc (both uploaded as CI artifacts next to BENCH_serve.json).
+    trace_path = os.environ.get("BENCH_SERVE_TRACE", "serve_trace.jsonl")
+    metrics_path = os.environ.get("BENCH_SERVE_METRICS", "serve_metrics.json")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--daemon",
+            "--store", str(store_dir), "--scheme", key,
+            "--port", "0", "--port-file", str(port_file),
+            "--queue-limit", str(CONNECTIONS * 4),
+            "--trace", trace_path, "--metrics", metrics_path,
+        ],
+        cwd=repo_root,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while not port_file.exists() and time.monotonic() < deadline:
+            assert proc.poll() is None, proc.stdout.read()
+            time.sleep(0.05)
+        assert port_file.exists(), "daemon never wrote its port file"
+        port = int(port_file.read_text())
+
+        # One untimed warm-up request, then the measured run.
+        run_loadgen(
+            "127.0.0.1", port, users=USERS, connections=1, requests=2,
+            batch=BATCH, zipf_s=ZIPF_S, seed=1,
+        )
+        report = run_loadgen(
+            "127.0.0.1", port, users=USERS, connections=CONNECTIONS,
+            requests=REQUESTS, batch=BATCH, zipf_s=ZIPF_S, seed=2,
+        )
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.communicate()
+
+    assert proc.returncode == 0, "daemon did not drain to a clean exit"
+    assert report.errors == 0, report.to_dict()["error_codes"]
+    assert report.total_pairs == REQUESTS * BATCH
+
+    pps = report.pairs_per_second
+    print(
+        f"\nserve @ n={graph.n} m={graph.m} k={K}: "
+        f"{pps:,.0f} pairs/s over {CONNECTIONS} connections "
+        f"({USERS} Zipf(s={ZIPF_S}) users, {REQUESTS}x{BATCH} pairs) | "
+        f"latency p50 {report.p50 * 1e3:.1f} ms, "
+        f"p99 {report.p99 * 1e3:.1f} ms"
+    )
+
+    emit(
+        "serve",
+        params={
+            "n": int(graph.n),
+            "m": int(graph.m),
+            "k": K,
+            "users": USERS,
+            "connections": CONNECTIONS,
+            "requests": REQUESTS,
+            "batch": BATCH,
+            "zipf_s": ZIPF_S,
+        },
+        metrics={
+            "pairs_per_second": pps,
+            "latency_p50_seconds": report.p50,
+            "latency_p99_seconds": report.p99,
+            "wall_seconds": report.wall_seconds,
+            "delivered_fraction": report.delivered_pairs
+            / max(report.total_pairs, 1),
+        },
+        floors={"pairs_per_second": PAIRS_PER_SECOND_FLOOR},
+    )
+
+    assert pps >= PAIRS_PER_SECOND_FLOOR, (
+        f"daemon sustained only {pps:,.0f} pairs/s under Zipf load "
+        f"(floor {PAIRS_PER_SECOND_FLOOR:,.0f})"
+    )

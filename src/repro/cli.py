@@ -38,6 +38,7 @@ from .analysis.reporting import (
     render_table,
 )
 from .obs import TELEMETRY, timed, write_metrics, write_trace
+from .sim.workloads import WORKLOADS
 
 #: Graph families accepted by ``repro route`` (see ``reference_graph``).
 ROUTE_GRAPHS = ("gnp", "ba", "as-like", "grid", "geometric")
@@ -146,6 +147,75 @@ def _cmd_route(args) -> int:
     return 0
 
 
+def _cmd_serve_daemon(args) -> int:
+    """The ``serve --daemon`` path: run the persistent route server."""
+    from pathlib import Path
+
+    from .analysis.experiments import reference_graph
+    from .graphs.ports import assign_ports
+    from .rng import derive
+    from .serve import run_daemon
+    from .store import SchemeStore
+
+    store = SchemeStore(args.store)
+    scheme = args.scheme
+    if scheme is None:
+        # No tenant named: make sure the (graph, k, seed) scheme exists
+        # as a published lineage, then serve that lineage by default.
+        graph = reference_graph(args.graph, args.n, args.seed).largest_component()
+        ported = assign_ports(graph, "random", rng=derive(args.seed, "serve-ports"))
+        key = store.key_for(graph, args.k, args.seed, ported)
+        if store.current(key) is None:
+            with timed("cli.store_open") as t_open:
+                stored = store.get_or_build(
+                    graph,
+                    args.k,
+                    args.seed,
+                    ported=ported,
+                    strict=args.strict_verify,
+                    kernel=args.kernel,
+                )
+                store.publish(
+                    graph,
+                    ported,
+                    stored.arrays,
+                    seed=args.seed,
+                    compiled=stored.compiled,
+                    strict=args.strict_verify,
+                )
+            print(
+                f"published lineage {key} "
+                f"(n={graph.n}, k={args.k}, {t_open.seconds:.2f}s)",
+                flush=True,
+            )
+        scheme = key
+
+    def on_ready(daemon) -> None:
+        host, port = daemon.address
+        print(f"serving {scheme} on {host}:{port}", flush=True)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{port}\n")
+
+    stats = run_daemon(
+        args.store,
+        host=args.host,
+        port=args.port,
+        default_scheme=scheme,
+        lru_capacity=args.lru_capacity,
+        queue_limit=args.queue_limit,
+        timeout=args.timeout,
+        workers=args.workers,
+        kernel=args.kernel,
+        on_ready=on_ready,
+    )
+    print(
+        f"daemon drained: {stats['requests']} requests, "
+        f"{stats['routed_pairs']:,} pairs, {stats['shed']} shed, "
+        f"{stats['timeouts']} timed out, {stats['errors']} errors"
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import numpy as np
 
@@ -156,6 +226,9 @@ def _cmd_serve(args) -> int:
     from .sim.stats import stretch_stats
     from .sim.workloads import make_workload
     from .store import RouteService, SchemeStore
+
+    if args.daemon:
+        return _cmd_serve_daemon(args)
 
     graph = reference_graph(args.graph, args.n, args.seed).largest_component()
     ported = assign_ports(graph, "random", rng=derive(args.seed, "serve-ports"))
@@ -207,6 +280,52 @@ def _cmd_serve(args) -> int:
         f"\nserve: route {t_route.seconds:.2f}s ({rate:,.0f} pairs/s, "
         f"shards={args.shards}, kernel={args.kernel})"
     )
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .serve import run_loadgen
+
+    with timed("cli.loadgen", connections=args.connections) as tsp:
+        report = run_loadgen(
+            args.host,
+            args.port,
+            scheme=args.scheme,
+            users=args.users,
+            connections=args.connections,
+            requests=args.requests,
+            batch=args.batch,
+            zipf_s=args.zipf_s,
+            seed=args.seed,
+            ttl=args.ttl,
+            timeout=args.timeout,
+        )
+
+    doc = report.to_dict()
+    print(
+        f"loadgen: {report.requests} requests x {report.batch} pairs from "
+        f"{report.users} users over {report.connections} connections "
+        f"(zipf s={report.zipf_s})"
+    )
+    delivery = doc["delivery_rate"]
+    print(
+        f"  {report.pairs_per_second:,.0f} pairs/s | latency "
+        f"p50 {report.p50 * 1e3:.2f} ms, p99 {report.p99 * 1e3:.2f} ms | "
+        f"delivery {'n/a' if delivery is None else f'{delivery:.1%}'}"
+    )
+    if report.errors:
+        codes = ", ".join(
+            f"{code}={count}" for code, count in sorted(report.error_codes.items())
+        )
+        print(f"  {report.errors} failed requests ({codes})")
+    print(f"  [{tsp.seconds:.1f}s wall]")
+    if args.json:
+        out = Path(args.json)
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out}")
     return 0
 
 
@@ -618,7 +737,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_route.add_argument(
         "--workload",
         default="uniform",
-        choices=["uniform", "gravity", "all-to-one"],
+        choices=list(WORKLOADS),
         help="traffic model (see repro.sim.workloads)",
     )
     p_route.add_argument(
@@ -634,12 +753,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_serve = sub.add_parser(
         "serve",
-        help="serve a traffic matrix from the persistent scheme store",
+        help="serve traffic from the persistent scheme store (one batch or --daemon)",
         description=(
             "Answer a traffic matrix from a persisted scheme: the store "
             "is checked first (content-addressed by graph, k, seed and "
             "port assignment) and only a miss pays the build; hits "
-            "memory-map the saved arrays and route immediately."
+            "memory-map the saved arrays and route immediately. "
+            "--daemon instead starts the persistent asyncio TCP server "
+            "over the store directory and serves until SIGTERM (or a "
+            "protocol 'shutdown' request), draining in-flight batches."
         ),
         epilog=(
             "The store keeps one .tzs container per scheme, holding "
@@ -648,7 +770,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             "across N worker processes that all mmap the same file. "
             "--strict-verify replays the bit-exact core.serialize "
             "codec over the loaded arrays and compares the recorded "
-            "digest before serving."
+            "digest before serving. In --daemon mode requests name any "
+            "lineage/key in the store (multi-tenant, LRU-bounded by "
+            "--lru-capacity); lineage tenants hot-reload when their "
+            ".current pointer repoints, the --queue-limit bounded "
+            "request queue sheds overload with an explicit "
+            "backpressure error, and --timeout caps each request's "
+            "enqueue-to-response budget. Drive it with repro loadgen."
         ),
     )
     p_serve.add_argument("--graph", default="gnp", choices=ROUTE_GRAPHS)
@@ -663,7 +791,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument(
         "--workload",
         default="uniform",
-        choices=["uniform", "gravity", "all-to-one"],
+        choices=list(WORKLOADS),
         help="traffic model (see repro.sim.workloads)",
     )
     p_serve.add_argument(
@@ -677,10 +805,111 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="replay the bit-exact serialization codec before serving",
     )
+    p_serve.add_argument(
+        "--daemon",
+        action="store_true",
+        help="run the persistent TCP serving daemon instead of one batch",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="daemon bind address"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="daemon port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="FILE",
+        help="write the bound port here once listening (for scripts/tests)",
+    )
+    p_serve.add_argument(
+        "--scheme",
+        default=None,
+        help=(
+            "default tenant to serve (lineage id, container key, or "
+            "path); default: build/publish from the graph flags"
+        ),
+    )
+    p_serve.add_argument(
+        "--lru-capacity",
+        type=int,
+        default=4,
+        help="max open tenants; least-recently-used is evicted (re-mmapped on next hit)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="bounded request queue; excess requests get a backpressure error",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request budget in seconds, from enqueue to response",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent route executors in the daemon",
+    )
     p_serve.add_argument("--seed", type=int, default=0)
     _add_kernel_flag(p_serve)
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="replay Zipf-skewed traffic against a running serve daemon",
+        description=(
+            "Connect to a repro serve --daemon instance and replay "
+            "Zipf-skewed source/destination traffic from N simulated "
+            "users over M concurrent connections, recording every "
+            "request's client-observed latency. Prints pairs/s "
+            "throughput plus p50/p99 latency; --json writes the full "
+            "tz-loadgen-report document."
+        ),
+        epilog=(
+            "Traffic is pre-generated from --seed before the clock "
+            "starts: sources are drawn Zipf(s)-ranked from --users "
+            "vertices, destinations from an independent Zipf ranking "
+            "over the whole graph (the daemon's describe op supplies "
+            "the vertex count). Failed requests (backpressure, "
+            "timeout) are counted per error code, not raised."
+        ),
+    )
+    p_load.add_argument("--host", default="127.0.0.1", help="daemon address")
+    p_load.add_argument("--port", type=int, required=True, help="daemon port")
+    p_load.add_argument(
+        "--scheme",
+        default=None,
+        help="tenant to route on (default: the daemon's default scheme)",
+    )
+    p_load.add_argument(
+        "--users", type=int, default=100, help="simulated users (Zipf sources)"
+    )
+    p_load.add_argument(
+        "--connections", type=int, default=4, help="concurrent client connections"
+    )
+    p_load.add_argument(
+        "--requests", type=int, default=64, help="total route requests"
+    )
+    p_load.add_argument(
+        "--batch", type=int, default=256, help="pairs per route request"
+    )
+    p_load.add_argument(
+        "--zipf-s", type=float, default=1.2, help="Zipf skew exponent"
+    )
+    p_load.add_argument(
+        "--ttl", type=int, default=None, help="per-pair routing TTL"
+    )
+    p_load.add_argument(
+        "--timeout", type=float, default=60.0, help="client socket timeout (s)"
+    )
+    p_load.add_argument("--json", default=None, help="write the report here")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.set_defaults(func=_cmd_loadgen)
 
     p_upd = sub.add_parser(
         "update",
@@ -725,7 +954,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_upd.add_argument(
         "--workload",
         default="uniform",
-        choices=["uniform", "gravity", "all-to-one"],
+        choices=list(WORKLOADS),
         help="traffic model (see repro.sim.workloads)",
     )
     p_upd.add_argument(
@@ -807,7 +1036,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_scen.add_argument(
         "--workloads", nargs="+", default=["uniform"],
-        choices=["uniform", "gravity", "all-to-one"],
+        choices=list(WORKLOADS),
         help="traffic models to sweep (see repro.sim.workloads)",
     )
     p_scen.add_argument(
@@ -961,7 +1190,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_prof.add_argument(
         "--workload",
         default="uniform",
-        choices=["uniform", "gravity", "all-to-one"],
+        choices=list(WORKLOADS),
         help="traffic model (see repro.sim.workloads)",
     )
     p_prof.add_argument(

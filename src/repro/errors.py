@@ -49,3 +49,8 @@ class EncodingError(ReproError):
 class KernelError(ReproError):
     """A compute-kernel selection is invalid or the requested backend is
     unavailable (e.g. ``kernel="native"`` with no C toolchain)."""
+
+
+class ProtocolError(ReproError):
+    """A serving-protocol frame is malformed (bad length, garbage JSON,
+    mid-frame hangup) or violates the daemon's size limits."""

@@ -1,0 +1,187 @@
+"""Wire protocol of the serving daemon: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  The framing is deliberately minimal — any client
+in any language can speak it with a socket and a JSON library — and the
+length prefix gives the server an *a-priori* bound check: a frame
+claiming more than ``max_bytes`` is rejected before a single payload
+byte is read, so a hostile or broken client cannot make the daemon
+allocate unbounded memory.
+
+Requests and responses are JSON objects.  Every response carries
+``"ok"``: ``true`` with op-specific fields, or ``false`` with an
+``"error"`` code (one of :data:`ERROR_CODES`) and a human-readable
+``"message"``.  The route payload round-trips
+:class:`~repro.sim.engine.batch.BatchResult` column-by-column through
+:func:`result_to_wire` / :func:`result_from_wire`; Python's JSON float
+serialization uses ``repr`` (shortest round-tripping form), so float64
+route weights survive the wire **bit for bit** — the serving soak test
+pins this against in-process reference routing.
+
+Sync helpers (:func:`read_frame` / :func:`write_frame`) serve the
+blocking client side (load generator, tests); the daemon reads frames
+through :func:`read_frame_async` on an :class:`asyncio.StreamReader`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..sim.engine.batch import BatchResult
+
+#: Protocol revision carried in every ``ping`` response.
+PROTOCOL_VERSION = 1
+
+#: Default per-frame payload ceiling (32 MiB ≈ a 400k-pair route batch).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+#: Error codes a response's ``"error"`` field may carry.
+ERROR_CODES = (
+    "bad-frame",      # unparseable or non-object payload
+    "bad-request",    # well-formed JSON but invalid fields
+    "unknown-op",     # op not in the dispatch table
+    "unknown-scheme", # no such lineage/key/container in the store
+    "backpressure",   # request queue full; retry later
+    "timeout",        # request exceeded the daemon's per-request budget
+    "routing-error",  # the route itself raised
+    "shutting-down",  # daemon is draining; no new work accepted
+)
+
+#: ``BatchResult`` columns in wire order, with their exact dtypes —
+#: the decode side must rebuild precisely these for bit-identity.
+RESULT_COLUMNS = (
+    ("source", np.int64),
+    ("dest", np.int64),
+    ("delivered", np.bool_),
+    ("weight", np.float64),
+    ("hops", np.int64),
+    ("tree", np.int64),
+    ("max_header_bits", np.int64),
+    ("failure_code", np.int8),
+)
+
+
+def encode_frame(obj: dict) -> bytes:
+    """Serialize one message to its on-wire form (length + JSON)."""
+    payload = json.dumps(obj, separators=(",", ":")).encode()
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame payload; raises :class:`ProtocolError` on garbage."""
+    try:
+        obj = json.loads(payload)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader, *, max_bytes: int = MAX_FRAME_BYTES
+) -> dict:
+    """Read one frame from an asyncio stream.
+
+    Raises :class:`ProtocolError` on an oversized length prefix or a
+    garbage payload, and :class:`asyncio.IncompleteReadError` when the
+    peer closes mid-frame (the caller treats that as a hangup, not an
+    error to answer).
+    """
+    header = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > max_bytes:
+        exc = ProtocolError(
+            f"frame of {length} bytes exceeds the {max_bytes}-byte limit"
+        )
+        # The refused payload is still on the wire: the stream is out
+        # of sync and the connection must be closed after answering.
+        exc.payload_consumed = False
+        raise exc
+    return decode_payload(await reader.readexactly(length))
+
+
+def write_frame(sock: socket.socket, obj: dict) -> None:
+    """Send one message over a blocking socket (client side)."""
+    sock.sendall(encode_frame(obj))
+
+
+def read_frame(
+    sock: socket.socket, *, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[dict]:
+    """Read one frame from a blocking socket (client side).
+
+    Returns ``None`` on a clean EOF before any byte of the frame;
+    raises :class:`ProtocolError` on a mid-frame hangup, an oversized
+    prefix, or a garbage payload.
+    """
+    header = _recv_exact(sock, _LEN.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_bytes}-byte limit"
+        )
+    payload = _recv_exact(sock, length, eof_ok=False)
+    return decode_payload(payload)
+
+
+def _recv_exact(sock: socket.socket, count: int, *, eof_ok: bool):
+    """Read exactly ``count`` bytes; ``None`` on immediate EOF if allowed."""
+    chunks = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(min(count - got, 1 << 20))
+        if not chunk:
+            if eof_ok and got == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def result_to_wire(result: BatchResult) -> Dict[str, list]:
+    """Encode a routing result column-by-column as JSON-able lists."""
+    wire: Dict[str, list] = {}
+    for name, _ in RESULT_COLUMNS:
+        wire[name] = getattr(result, name).tolist()
+    return wire
+
+
+def result_from_wire(wire: Dict[str, list]) -> BatchResult:
+    """Rebuild a :class:`BatchResult` with its exact column dtypes.
+
+    The inverse of :func:`result_to_wire`: because JSON floats
+    round-trip float64 exactly and every integer column fits its dtype
+    by construction, ``result_from_wire(result_to_wire(r))`` is
+    bit-identical to ``r`` on every column (tested).
+    """
+    try:
+        columns = {
+            name: np.asarray(wire[name], dtype=dtype)
+            for name, dtype in RESULT_COLUMNS
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed route result payload: {exc}") from exc
+    return BatchResult(**columns)
+
+
+def error_response(code: str, message: str, **extra) -> dict:
+    """Build one ``ok: false`` response (``code`` ∈ :data:`ERROR_CODES`)."""
+    assert code in ERROR_CODES, code
+    return {"ok": False, "error": code, "message": message, **extra}

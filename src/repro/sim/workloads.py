@@ -11,6 +11,9 @@ ask sharper questions:
   classic gravity model of Internet traffic).
 * :func:`all_to_one` — everyone talks to one server (stress on a single
   landmark tree).
+* :func:`zipf_pairs` — endpoints drawn from a Zipf(``s``) popularity
+  law over a seeded random vertex ranking (the serving daemon's load
+  model: a few hot sources and destinations dominate).
 * :func:`locality_pairs` — destination within a bounded distance of the
   source (stresses the cluster/member path of the schemes, which should
   route such pairs exactly).
@@ -70,6 +73,41 @@ def all_to_one(
     return np.stack([sources, np.full(sources.size, t, dtype=np.int64)], axis=1)
 
 
+def zipf_pairs(
+    graph: Graph,
+    count: int,
+    rng: RngLike = None,
+    *,
+    s: float = 1.2,
+    users: Optional[int] = None,
+) -> np.ndarray:
+    """Zipf-skewed endpoints: rank ``r`` is drawn with probability ∝ 1/r^s.
+
+    Sources come from ``users`` simulated users (default: every vertex)
+    Zipf-ranked along one seeded permutation; destinations follow an
+    independent Zipf ranking over all vertices.  ``s`` is the skew
+    exponent (≈1.2 matches classic web/DNS popularity measurements;
+    0 degenerates to uniform).  Self-pairs are resampled.
+    """
+    from ..serve.loadgen import zipf_weights
+
+    if graph.n < 2:
+        raise ValueError(f"need at least two vertices, got {graph.n}")
+    gen = make_rng(rng)
+    n_users = graph.n if users is None else max(1, min(int(users), graph.n))
+    user_vertices = gen.permutation(graph.n)[:n_users]
+    dest_ranking = gen.permutation(graph.n)
+    src_p = zipf_weights(n_users, s)
+    dst_p = zipf_weights(graph.n, s)
+    src = user_vertices[gen.choice(n_users, size=count, p=src_p)]
+    dst = dest_ranking[gen.choice(graph.n, size=count, p=dst_p)]
+    bad = src == dst
+    while bad.any():
+        dst[bad] = dest_ranking[gen.choice(graph.n, size=int(bad.sum()), p=dst_p)]
+        bad = src == dst
+    return np.stack([src, dst], axis=1).astype(np.int64)
+
+
 def locality_pairs(
     graph: Graph,
     count: int,
@@ -105,7 +143,7 @@ def locality_pairs(
 #: Workload names accepted by :func:`make_workload` (the self-contained
 #: generators; ``locality``/``adversarial`` need extra inputs and are
 #: called directly).
-WORKLOADS = ("uniform", "gravity", "all-to-one")
+WORKLOADS = ("uniform", "gravity", "all-to-one", "zipf")
 
 
 def make_workload(
@@ -125,6 +163,8 @@ def make_workload(
         return gravity_pairs(graph, count, rng, **params)
     if name == "all-to-one":
         return all_to_one(graph, rng=rng, **params)
+    if name == "zipf":
+        return zipf_pairs(graph, count, rng, **params)
     raise ValueError(
         f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}"
     )

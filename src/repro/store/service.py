@@ -130,7 +130,8 @@ class RouteService:
         self.kernel = kernel
         self.swap_count = 0
         self._swap_lock = threading.Lock()
-        self._open(self._resolve())
+        self._resolved: Optional[Path] = None
+        self._open_current()
 
     def _resolve(self) -> Path:
         """The container path to serve right now (follows the pointer)."""
@@ -159,20 +160,56 @@ class RouteService:
             self._router = BatchRouter.from_compiled(stored.compiled, kernel=self.kernel)
             self._resolved = resolved
 
+    #: Pointer re-resolve attempts before an open gives up (each retry
+    #: needs a fresh publish+gc to land in the race window, so two would
+    #: already be extraordinary).
+    _OPEN_RETRIES = 8
+
+    def _open_current(self) -> bool:
+        """Resolve the pointer and map the version it names; True on a move.
+
+        A store ``gc()`` racing a ``publish_patch`` can unlink the
+        version this service just resolved *between* the pointer read
+        and the mmap — the resolved container is then already gone, but
+        the lineage is fine: the pointer moved on to a live version.
+        So a vanished container is retried through a fresh pointer
+        resolve instead of surfacing as an error; only a container that
+        still exists and fails to open (real corruption) propagates.
+        """
+        from ..errors import EncodingError
+
+        last_exc = None
+        for _ in range(self._OPEN_RETRIES):
+            resolved = self._resolve()
+            if resolved == self._resolved:
+                return False
+            try:
+                self._open(resolved)
+                return True
+            except (FileNotFoundError, EncodingError) as exc:
+                if not self.follow or resolved.exists():
+                    raise  # genuine damage, not the gc race
+                TELEMETRY.count("serve.reload_retries")
+                last_exc = exc
+        raise RoutingError(
+            f"current version of {self.path} kept vanishing after "
+            f"{self._OPEN_RETRIES} resolve attempts"
+        ) from last_exc
+
     def _serving_state(self):
         """The (router, container path) for one batch.
 
         In hot-swap mode this is the swap point: the pointer is resolved
         under the lock and a moved pointer re-mmaps before the batch
-        starts.  The returned references pin the chosen version for the
-        caller's whole batch regardless of later swaps.
+        starts (retrying through the pointer if a gc unlinked the
+        resolved version mid-open, see :meth:`_open_current`).  The
+        returned references pin the chosen version for the caller's
+        whole batch regardless of later swaps.
         """
         if not self.follow:
             return self._router, self._resolved
         with self._swap_lock:
-            resolved = self._resolve()
-            if resolved != self._resolved:
-                self._open(resolved)
+            if self._open_current():
                 self.swap_count += 1
                 TELEMETRY.count("serve.swaps")
             return self._router, self._resolved

@@ -29,6 +29,53 @@ class TestCli:
         out = capsys.readouterr().out
         assert "| graph |" in out
 
+    def test_all_runs_every_experiment(self, capsys, monkeypatch):
+        """`repro all` iterates the registry; pin it to one cheap
+        experiment so the loop itself is what's under test."""
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "EXPERIMENTS", {"f3": cli.EXPERIMENTS["f3"]})
+        assert main(["all", "--scale", "small", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "F3" in out
+
+    def test_route_prints_stretch_and_throughput(self, capsys):
+        assert (
+            main(
+                [
+                    "route",
+                    "--graph", "gnp",
+                    "--n", "96",
+                    "--k", "2",
+                    "--pairs", "300",
+                    "--workload", "zipf",
+                    "--seed", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pairs/s" in out and "workload=zipf" in out
+
+    def test_route_reference_engine_k2_handshake(self, capsys):
+        assert (
+            main(
+                [
+                    "route",
+                    "--graph", "grid",
+                    "--n", "49",
+                    "--scheme", "k2",
+                    "--handshake",
+                    "--engine", "reference",
+                    "--pairs", "50",
+                    "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "engine=reference" in out
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "nope"])
@@ -82,6 +129,7 @@ class TestCli:
             [
                 "list", "run", "all", "build", "route", "serve",
                 "scenarios", "frontier", "profile", "update", "store",
+                "loadgen",
             ]
         )
         with pytest.raises(SystemExit):
@@ -95,6 +143,7 @@ class TestCli:
         [
             "list", "run", "all", "build", "route", "serve",
             "scenarios", "frontier", "profile", "update", "store",
+            "loadgen",
         ],
     )
     def test_subcommand_help_exits_zero(self, cmd, capsys):
@@ -319,3 +368,76 @@ class TestCli:
         assert main(args + ["--strict-verify"]) == 0
         out = capsys.readouterr().out
         assert "store hit" in out and "strict-verified" in out
+
+    def test_serve_daemon_and_loadgen_cli(self, capsys, tmp_path):
+        """``serve --daemon`` publishes + serves, ``loadgen`` drives it.
+
+        The daemon's ``main()`` runs in a thread (so coverage sees the
+        CLI path); the loadgen CLI runs in-process against it, then a
+        ``shutdown`` op drains the daemon to a zero exit."""
+        import json
+        import threading
+        import time
+
+        from repro.serve import DaemonClient
+
+        port_file = tmp_path / "port"
+        report_json = tmp_path / "loadgen.json"
+        rc = {}
+
+        def daemon_main():
+            rc["daemon"] = main(
+                [
+                    "serve", "--daemon",
+                    "--graph", "gnp",
+                    "--n", "96",
+                    "--k", "2",
+                    "--seed", "3",
+                    "--store", str(tmp_path / "store"),
+                    "--port", "0",
+                    "--port-file", str(port_file),
+                    "--queue-limit", "8",
+                    "--timeout", "20",
+                ]
+            )
+
+        thread = threading.Thread(target=daemon_main, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 60
+        while not port_file.exists():
+            assert time.monotonic() < deadline
+            assert thread.is_alive(), "daemon exited before binding"
+            time.sleep(0.05)
+        port = port_file.read_text().strip()
+
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--port", port,
+                    "--users", "10",
+                    "--connections", "2",
+                    "--requests", "6",
+                    "--batch", "32",
+                    "--seed", "1",
+                    "--json", str(report_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serving" in out  # the daemon's ready line
+        assert "pairs/s" in out and "p50" in out
+        doc = json.loads(report_json.read_text())
+        assert doc["kind"] == "tz-loadgen-report"
+        assert doc["errors"] == 0 and doc["total_pairs"] == 6 * 32
+
+        with DaemonClient("127.0.0.1", int(port)) as c:
+            assert c.request({"op": "shutdown"})["ok"]
+        thread.join(30)
+        assert not thread.is_alive() and rc["daemon"] == 0
+        assert "daemon drained" in capsys.readouterr().out
+
+    def test_loadgen_unreachable_daemon_fails_cleanly(self, tmp_path):
+        with pytest.raises(OSError):
+            main(["loadgen", "--port", "1", "--requests", "1"])

@@ -1,0 +1,764 @@
+"""The serving daemon: protocol, scheme LRU, backpressure, hot reload.
+
+The load-bearing contracts:
+
+* the wire codec round-trips ``BatchResult`` **bit for bit** (float64
+  weights survive JSON because Python serializes the shortest
+  round-tripping repr);
+* the scheme LRU never exceeds its capacity, evicts in LRU order, and
+  an evicted tenant re-mmapped on its next hit answers bit-identically;
+* the daemon sheds overload with explicit ``backpressure`` errors and
+  stays responsive to pings while doing so;
+* a graceful shutdown drains every admitted batch;
+* the subprocess soak test: ``publish_patch`` repoints the lineage
+  while clients stream batches — every response matches exactly one
+  version's reference answers, never a blend.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.build import build_arrays, patch_arrays
+from repro.errors import ProtocolError
+from repro.graphs.delta import GraphDelta
+from repro.graphs.ports import assign_ports
+from repro.serve import (
+    DaemonClient,
+    RouteDaemon,
+    SchemeLRU,
+    encode_frame,
+    result_from_wire,
+    result_to_wire,
+    run_daemon,
+    run_loadgen,
+    zipf_traffic,
+    zipf_weights,
+)
+from repro.serve.protocol import ERROR_CODES, decode_payload, error_response
+from repro.sim.engine.batch import BatchResult, BatchRouter
+from repro.sim.engine.compile import compile_from_arrays
+from repro.store import RouteService, SchemeStore
+
+from strategies import family_from_seed
+
+RESULT_COLS = (
+    "source", "dest", "delivered", "weight", "hops", "tree",
+    "max_header_bits", "failure_code",
+)
+
+
+def assert_results_identical(a: BatchResult, b: BatchResult) -> None:
+    for col in RESULT_COLS:
+        x, y = getattr(a, col), getattr(b, col)
+        assert x.dtype == y.dtype, col
+        assert np.array_equal(x, y), col
+
+
+def publish_scheme(tmp_path, seed=0, family="gnp", k=2):
+    """Build + publish one scheme lineage; returns (store, key, graph,
+    ported, arrays)."""
+    store = SchemeStore(tmp_path)
+    graph = family_from_seed(seed, family)
+    ported = assign_ports(graph, "sorted")
+    arrays = build_arrays(graph, k, ported=ported, rng=seed)
+    key = store.publish(graph, ported, arrays, seed=seed)
+    return store, key, graph, ported, arrays
+
+
+class running_daemon:
+    """Context manager: run a RouteDaemon in a background thread."""
+
+    def __init__(self, store_dir, **config):
+        self.store_dir = store_dir
+        self.config = config
+        self.daemon = None
+        self.stats = None
+
+    def __enter__(self):
+        ready = threading.Event()
+
+        def on_ready(d):
+            self.daemon = d
+            ready.set()
+
+        def main():
+            self.stats = run_daemon(
+                self.store_dir, on_ready=on_ready, **self.config
+            )
+
+        self.thread = threading.Thread(target=main, daemon=True)
+        self.thread.start()
+        assert ready.wait(30), "daemon never became ready"
+        return self
+
+    @property
+    def address(self):
+        return self.daemon.address
+
+    def client(self, **kw) -> DaemonClient:
+        host, port = self.address
+        return DaemonClient(host, port, **kw)
+
+    def __exit__(self, *exc):
+        if self.thread.is_alive():
+            try:
+                with self.client(timeout=5.0) as c:
+                    c.request({"op": "shutdown"})
+            except OSError:
+                pass
+        self.thread.join(30)
+        assert not self.thread.is_alive(), "daemon failed to drain"
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        obj = {"op": "route", "pairs": [[0, 1]], "id": "x", "ttl": None}
+        frame = encode_frame(obj)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_payload(frame[4:]) == obj
+
+    def test_decode_rejects_garbage_and_non_objects(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"not json!")
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1, 2, 3]")
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe")
+
+    def test_error_response_shape(self):
+        for code in ERROR_CODES:
+            resp = error_response(code, "why")
+            assert resp == {"ok": False, "error": code, "message": "why"}
+
+    @given(
+        n=st.integers(min_value=2, max_value=50),
+        m=st.integers(min_value=0, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_result_codec_bit_identity(self, n, m, seed):
+        """Arbitrary result columns survive the wire bit for bit —
+        including float64 weights that are not short decimals."""
+        rng = np.random.default_rng(seed)
+        result = BatchResult(
+            source=rng.integers(0, n, m).astype(np.int64),
+            dest=rng.integers(0, n, m).astype(np.int64),
+            delivered=rng.random(m) < 0.9,
+            weight=rng.random(m) * rng.integers(1, 1000, m),
+            hops=rng.integers(0, 30, m).astype(np.int64),
+            tree=rng.integers(-1, n, m).astype(np.int64),
+            max_header_bits=rng.integers(0, 200, m).astype(np.int64),
+            failure_code=rng.integers(0, 4, m).astype(np.int8),
+        )
+        wire = result_to_wire(result)
+        decoded = result_from_wire(decode_payload(encode_frame(wire)[4:]))
+        assert_results_identical(result, decoded)
+
+    def test_result_from_wire_rejects_malformed(self):
+        with pytest.raises(ProtocolError):
+            result_from_wire({"source": [0]})  # columns missing
+        wire = result_to_wire(
+            BatchResult(**{
+                c: np.zeros(1, dtype=d)
+                for c, d in zip(RESULT_COLS, (
+                    np.int64, np.int64, np.bool_, np.float64,
+                    np.int64, np.int64, np.int64, np.int8,
+                ))
+            })
+        )
+        wire["weight"] = ["NaN-ish garbage"]
+        with pytest.raises(ProtocolError):
+            result_from_wire(wire)
+
+
+# ---------------------------------------------------------------------------
+# scheme LRU
+# ---------------------------------------------------------------------------
+class _Closeable:
+    def __init__(self, key):
+        self.key = key
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestSchemeLRU:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SchemeLRU(0)
+
+    def test_opener_failure_leaves_cache_unchanged(self):
+        lru = SchemeLRU(2)
+        lru.get("a", lambda: _Closeable("a"))
+
+        def boom():
+            raise OSError("mmap failed")
+
+        with pytest.raises(OSError):
+            lru.get("b", boom)
+        assert lru.keys() == ["a"] and len(lru) == 1
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=5),
+        accesses=st.lists(
+            st.integers(min_value=0, max_value=9), min_size=1, max_size=60
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_capacity_bound_and_lru_order(self, capacity, accesses):
+        """Model check: for any access sequence the cache (a) never
+        exceeds capacity, (b) holds exactly the most-recently-used
+        distinct keys, LRU-first, (c) closes exactly the evicted
+        entries."""
+        lru = SchemeLRU(capacity)
+        opened = {}
+        recency = []  # most recent last, distinct keys
+
+        for a in accesses:
+            key = f"k{a}"
+            entry = lru.get(key, lambda k=key: opened.setdefault(
+                k, []
+            ).append(_Closeable(k)) or opened[k][-1])
+            assert entry.key == key
+            if key in recency:
+                recency.remove(key)
+            recency.append(key)
+            assert len(lru) <= capacity
+            expect = recency[-capacity:]
+            assert lru.keys() == expect
+            # the live entry for each cached key is its newest opening
+            for k in expect:
+                assert not opened[k][-1].closed
+        # every opening not currently cached has been closed
+        cached = set(lru.keys())
+        for k, instances in opened.items():
+            for inst in instances[:-1]:
+                assert inst.closed
+            if k not in cached:
+                assert instances[-1].closed
+        stats = lru.stats()
+        assert stats["size"] == len(lru) <= stats["capacity"] == capacity
+        assert stats["hits"] + stats["misses"] == len(accesses)
+        assert stats["misses"] == sum(len(v) for v in opened.values())
+
+    def test_explicit_evict_and_clear(self):
+        lru = SchemeLRU(3)
+        entries = [lru.get(k, lambda k=k: _Closeable(k)) for k in "abc"]
+        assert lru.evict("b") and not lru.evict("b")
+        assert entries[1].closed and not entries[0].closed
+        lru.clear()
+        assert len(lru) == 0 and all(e.closed for e in entries)
+        assert lru.evictions == 3
+
+    def test_evict_then_remmap_is_bit_identical(self, tmp_path):
+        """The correctness half of eviction: a tenant dropped from the
+        cache and re-opened on its next hit answers bit-identically."""
+        store, key, graph, ported, arrays = publish_scheme(tmp_path, seed=11)
+        path = str(store.pointer_path(key))
+        lru = SchemeLRU(1)
+        rng = np.random.default_rng(3)
+        pairs = rng.integers(0, graph.n, size=(64, 2)).astype(np.int64)
+
+        service = lru.get(path, lambda: RouteService(path))
+        before = service.route(pairs)
+        lru.get("other-tenant", lambda: _Closeable("other"))  # evicts
+        assert path not in lru
+        reopened = lru.get(path, lambda: RouteService(path))
+        assert reopened is not service
+        assert_results_identical(before, reopened.route(pairs))
+        assert lru.stats()["evictions"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# zipf traffic
+# ---------------------------------------------------------------------------
+class TestZipfTraffic:
+    def test_weights_normalized_and_skewed(self):
+        w = zipf_weights(100, 1.2)
+        assert w.shape == (100,) and np.isclose(w.sum(), 1.0)
+        assert np.all(np.diff(w) < 0)  # strictly rank-decreasing
+        flat = zipf_weights(50, 0.0)
+        assert np.allclose(flat, 1.0 / 50)
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.2)
+
+    def test_traffic_shape_determinism_and_bounds(self):
+        a = zipf_traffic(40, users=5, requests=6, batch=16, rng=9)
+        b = zipf_traffic(40, users=5, requests=6, batch=16, rng=9)
+        assert len(a) == 6
+        for ma, mb in zip(a, b):
+            assert np.array_equal(ma, mb)
+            assert ma.shape == (16, 2) and ma.dtype == np.int64
+            assert np.all(ma[:, 0] != ma[:, 1])
+            assert ma.min() >= 0 and ma.max() < 40
+        # sources are confined to the 5 user vertices
+        srcs = np.unique(np.concatenate([m[:, 0] for m in a]))
+        assert srcs.size <= 5
+        with pytest.raises(ValueError):
+            zipf_traffic(1, users=1, requests=1, batch=1)
+
+
+# ---------------------------------------------------------------------------
+# daemon, in process
+# ---------------------------------------------------------------------------
+class TestDaemon:
+    def test_route_bit_identical_to_direct_router(self, tmp_path):
+        store, key, graph, ported, arrays = publish_scheme(tmp_path, seed=21)
+        ref_router = BatchRouter.from_compiled(
+            compile_from_arrays(arrays, ported)
+        )
+        rng = np.random.default_rng(1)
+        pairs = rng.integers(0, graph.n, size=(48, 2)).astype(np.int64)
+        ref = ref_router.route_pairs(pairs)
+
+        with running_daemon(tmp_path, default_scheme=key) as rd:
+            with rd.client() as c:
+                pong = c.request({"op": "ping"})
+                assert pong["ok"] and pong["pid"] == os.getpid()
+                desc = c.request({"op": "describe"})
+                assert desc["ok"] and desc["n"] == graph.n and desc["k"] == 2
+                resp = c.request(
+                    {"op": "route", "pairs": pairs.tolist(), "id": 7}
+                )
+                assert resp["ok"] and resp["id"] == 7
+                assert resp["version"] == 0 and resp["key"] == key
+                assert_results_identical(ref, result_from_wire(resp["result"]))
+                stats = c.request({"op": "stats"})
+                assert stats["stats"]["routed_pairs"] == 48
+        assert rd.stats["requests"] == 1
+
+    def test_multi_tenant_lru_eviction_and_reopen(self, tmp_path):
+        """Two tenants through a capacity-1 LRU: alternating requests
+        force evict → re-mmap every time, answers stay correct."""
+        store, key_a, graph_a, ported_a, arrays_a = publish_scheme(
+            tmp_path, seed=31, family="gnp"
+        )
+        graph_b = family_from_seed(32, "grid")
+        ported_b = assign_ports(graph_b, "sorted")
+        arrays_b = build_arrays(graph_b, 2, ported=ported_b, rng=32)
+        key_b = store.publish(graph_b, ported_b, arrays_b, seed=32)
+
+        rng = np.random.default_rng(2)
+        pairs_a = rng.integers(0, graph_a.n, size=(16, 2)).astype(np.int64)
+        pairs_b = rng.integers(0, graph_b.n, size=(16, 2)).astype(np.int64)
+        ref_a = BatchRouter.from_compiled(
+            compile_from_arrays(arrays_a, ported_a)
+        ).route_pairs(pairs_a)
+        ref_b = BatchRouter.from_compiled(
+            compile_from_arrays(arrays_b, ported_b)
+        ).route_pairs(pairs_b)
+
+        with running_daemon(tmp_path, lru_capacity=1) as rd:
+            with rd.client() as c:
+                for _ in range(3):
+                    ra = c.request(
+                        {"op": "route", "scheme": key_a,
+                         "pairs": pairs_a.tolist()}
+                    )
+                    rb = c.request(
+                        {"op": "route", "scheme": key_b,
+                         "pairs": pairs_b.tolist()}
+                    )
+                    assert ra["ok"] and rb["ok"]
+                    assert_results_identical(
+                        ref_a, result_from_wire(ra["result"])
+                    )
+                    assert_results_identical(
+                        ref_b, result_from_wire(rb["result"])
+                    )
+                stats = c.request({"op": "stats"})
+            assert stats["lru"]["size"] == 1
+            assert stats["lru"]["evictions"] >= 5
+
+    def test_error_paths(self, tmp_path):
+        store, key, graph, *_ = publish_scheme(tmp_path, seed=41)
+        with running_daemon(tmp_path) as rd:
+            with rd.client() as c:
+                assert c.request({"op": "fly"})["error"] == "unknown-op"
+                assert (
+                    c.request({"op": "describe", "scheme": "nope"})["error"]
+                    == "unknown-scheme"
+                )
+                # no scheme named and no default configured
+                resp = c.request({"op": "route", "pairs": [[0, 1]]})
+                assert resp["error"] == "unknown-scheme"
+                for bad in (
+                    {"op": "route", "scheme": key},
+                    {"op": "route", "scheme": key, "pairs": [[0, 1, 2]]},
+                    {"op": "route", "scheme": key, "pairs": "zzz"},
+                    {"op": "route", "scheme": key,
+                     "pairs": [[0, graph.n + 5]]},
+                ):
+                    resp = c.request(bad)
+                    assert not resp["ok"]
+                    assert resp["error"] == "bad-request", bad
+                # the connection survived every error
+                assert c.request({"op": "ping"})["ok"]
+
+    def test_backpressure_sheds_and_stays_responsive(self, tmp_path):
+        store, key, graph, *_ = publish_scheme(tmp_path, seed=51)
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow_route(service, pairs, ttl):
+            started.set()
+            release.wait(30)
+            return RouteDaemon._route_sync(service, pairs, ttl)
+
+        with running_daemon(
+            tmp_path, default_scheme=key, queue_limit=2
+        ) as rd:
+            rd.daemon._route_sync = slow_route
+            host, port = rd.address
+            # one in-flight + two queued fill the daemon; the rest shed
+            clients = [DaemonClient(host, port) for _ in range(6)]
+            try:
+                clients[0].send_raw(encode_frame(
+                    {"op": "route", "pairs": [[0, 1]], "id": 0}
+                ))
+                assert started.wait(20)  # request 0 is now in flight
+                for i, c in enumerate(clients[1:], start=1):
+                    c.send_raw(encode_frame(
+                        {"op": "route", "pairs": [[0, 1]], "id": i}
+                    ))
+                with rd.client() as probe:
+                    deadline = time.monotonic() + 20
+                    while time.monotonic() < deadline:
+                        stats = probe.request({"op": "stats"})["stats"]
+                        if stats["shed"] >= 3:
+                            break
+                        time.sleep(0.05)
+                    assert stats["shed"] >= 3
+                    assert probe.request({"op": "ping"})["ok"]
+                release.set()
+                outcomes = {"ok": 0, "backpressure": 0}
+                for c in clients:
+                    resp = c.read_response()
+                    if resp["ok"]:
+                        outcomes["ok"] += 1
+                    else:
+                        assert resp["error"] == "backpressure"
+                        assert resp["queue_depth"] >= 0
+                        outcomes["backpressure"] += 1
+                assert outcomes["ok"] == 3  # 1 in flight + queue_limit
+                assert outcomes["backpressure"] == 3
+            finally:
+                release.set()
+                for c in clients:
+                    c.close()
+
+    def test_request_timeout(self, tmp_path):
+        store, key, graph, *_ = publish_scheme(tmp_path, seed=61)
+
+        def stuck_route(service, pairs, ttl):
+            time.sleep(2.0)
+            return RouteDaemon._route_sync(service, pairs, ttl)
+
+        with running_daemon(
+            tmp_path, default_scheme=key, timeout=0.2
+        ) as rd:
+            rd.daemon._route_sync = stuck_route
+            with rd.client() as c:
+                resp = c.request({"op": "route", "pairs": [[0, 1]]})
+                assert not resp["ok"] and resp["error"] == "timeout"
+            assert rd.daemon.stats["timeouts"] == 1
+
+    def test_graceful_shutdown_drains_queued_requests(self, tmp_path):
+        """Requests admitted before the shutdown op are all answered."""
+        store, key, graph, *_ = publish_scheme(tmp_path, seed=71)
+        gate = threading.Event()
+        started = threading.Event()
+
+        def gated_route(service, pairs, ttl):
+            started.set()
+            gate.wait(30)
+            return RouteDaemon._route_sync(service, pairs, ttl)
+
+        with running_daemon(tmp_path, default_scheme=key) as rd:
+            rd.daemon._route_sync = gated_route
+            host, port = rd.address
+            workers = [DaemonClient(host, port) for _ in range(3)]
+            try:
+                for i, c in enumerate(workers):
+                    c.send_raw(encode_frame(
+                        {"op": "route", "pairs": [[0, 1]], "id": i}
+                    ))
+                # all three admitted: one in flight, two queued
+                deadline = time.monotonic() + 20
+                while time.monotonic() < deadline and not (
+                    started.is_set() and rd.daemon._queue.qsize() == 2
+                ):
+                    time.sleep(0.01)
+                assert started.is_set() and rd.daemon._queue.qsize() == 2
+                with rd.client() as c:
+                    assert c.request({"op": "shutdown"})["ok"]
+                gate.set()
+                answered = sorted(c.read_response()["id"] for c in workers)
+                assert answered == [0, 1, 2]
+            finally:
+                gate.set()
+                for c in workers:
+                    c.close()
+        assert rd.stats["requests"] == 3
+
+    def test_draining_daemon_rejects_new_routes(self, tmp_path):
+        store, key, graph, *_ = publish_scheme(tmp_path, seed=81)
+        with running_daemon(tmp_path, default_scheme=key) as rd:
+            rd.daemon._draining = True
+            with rd.client() as c:
+                resp = c.request({"op": "route", "pairs": [[0, 1]]})
+                assert resp["error"] == "shutting-down"
+            rd.daemon._draining = False
+
+
+# ---------------------------------------------------------------------------
+# protocol fuzz against a live daemon
+# ---------------------------------------------------------------------------
+class TestProtocolFuzz:
+    @pytest.fixture()
+    def live(self, tmp_path):
+        publish_scheme(tmp_path, seed=91)
+        with running_daemon(tmp_path) as rd:
+            yield rd
+
+    def test_garbage_json_answers_and_survives(self, live):
+        with live.client() as c:
+            c.send_raw(struct.pack(">I", 9) + b"not json!")
+            resp = c.read_response()
+            assert resp["error"] == "bad-frame"
+            assert c.request({"op": "ping"})["ok"]  # stream still in sync
+
+    def test_non_object_payload_answers_and_survives(self, live):
+        with live.client() as c:
+            c.send_raw(struct.pack(">I", 7) + b"[1,2,3]")
+            assert c.read_response()["error"] == "bad-frame"
+            assert c.request({"op": "ping"})["ok"]
+
+    def test_oversized_length_answers_then_closes(self, live):
+        with live.client() as c:
+            c.send_raw(struct.pack(">I", 2**31))
+            resp = c.read_response()
+            assert resp["error"] == "bad-frame"
+            # stream is desynced: the daemon must hang up on us
+            assert c.read_response() is None
+
+    def test_truncated_frame_then_hangup_is_harmless(self, live):
+        with live.client() as c:
+            c.send_raw(struct.pack(">I", 100) + b"only a few bytes")
+        # daemon just drops the connection; it still serves others
+        with live.client() as c:
+            assert c.request({"op": "ping"})["ok"]
+
+    def test_partial_length_prefix_hangup_is_harmless(self, live):
+        with live.client() as c:
+            c.send_raw(b"\x00\x00")
+        with live.client() as c:
+            assert c.request({"op": "ping"})["ok"]
+
+    @given(data=st.binary(min_size=0, max_size=64))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_random_bytes_never_kill_the_daemon(self, live, data):
+        with live.client() as c:
+            try:
+                c.send_raw(data)
+                c.sock.settimeout(0.2)
+                try:
+                    c.read_response()
+                except (ProtocolError, socket.timeout, OSError):
+                    pass
+            except OSError:
+                pass
+        with live.client() as c:
+            assert c.request({"op": "ping"})["ok"]
+
+
+# ---------------------------------------------------------------------------
+# loadgen
+# ---------------------------------------------------------------------------
+class TestLoadgen:
+    def test_report_against_live_daemon(self, tmp_path):
+        store, key, graph, ported, arrays = publish_scheme(tmp_path, seed=101)
+        with running_daemon(tmp_path, default_scheme=key, workers=2) as rd:
+            host, port = rd.address
+            report = run_loadgen(
+                host, port, users=10, connections=2, requests=10,
+                batch=32, seed=5,
+            )
+        doc = report.to_dict()
+        assert doc["kind"] == "tz-loadgen-report"
+        assert report.errors == 0
+        assert report.total_pairs == 10 * 32
+        assert doc["versions_seen"] == [0]
+        assert report.pairs_per_second > 0
+        assert 0 <= report.p50 <= report.p99
+        assert doc["delivery_rate"] is not None
+
+    def test_loadgen_counts_errors_not_raises(self, tmp_path):
+        publish_scheme(tmp_path, seed=103)
+        with running_daemon(tmp_path) as rd:  # no default scheme
+            host, port = rd.address
+            with pytest.raises(ProtocolError):
+                run_loadgen(host, port, requests=2)  # describe fails
+
+
+# ---------------------------------------------------------------------------
+# the serving soak test: hot reload under live traffic, over the wire
+# ---------------------------------------------------------------------------
+class TestServingSoak:
+    def _publish_v1(self, store, root, graph, ported, arrays, seed):
+        """Patch several weights and publish v1 on the same lineage."""
+        updates = tuple(
+            (int(u), int(v), float(graph.edge_weights[eid] + 5.0))
+            for eid, (u, v) in enumerate(graph.edges[:8])
+        )
+        delta = GraphDelta(weight_updates=updates)
+        patched = patch_arrays(arrays, graph, delta, ported=ported)
+        store.publish_patch(
+            root, patched.graph, patched.ported, patched.arrays,
+            delta=delta, seed=seed,
+        )
+        return patched
+
+    def test_subprocess_soak_lineage_swap_mid_load(self, tmp_path):
+        """The acceptance scenario end to end: a real ``repro serve
+        --daemon`` subprocess, clients streaming batches over TCP, a
+        ``publish_patch`` repointing the lineage mid-load.  Every
+        response must be bit-identical to one single-version reference
+        (old or new), the swap must land, and SIGTERM must drain to a
+        clean exit."""
+        store, root, graph, ported, arrays = publish_scheme(
+            tmp_path, seed=4, family="gnp"
+        )
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, graph.n, size=(64, 2)).astype(np.int64)
+        ref0 = BatchRouter.from_compiled(
+            compile_from_arrays(arrays, ported)
+        ).route_pairs(pairs)
+        updates = tuple(
+            (int(u), int(v), float(graph.edge_weights[eid] + 5.0))
+            for eid, (u, v) in enumerate(graph.edges[:8])
+        )
+        delta = GraphDelta(weight_updates=updates)
+        patched = patch_arrays(arrays, graph, delta, ported=ported)
+        ref1 = BatchRouter.from_compiled(
+            compile_from_arrays(patched.arrays, patched.ported)
+        ).route_pairs(pairs)
+        assert not np.array_equal(ref0.weight, ref1.weight)
+
+        port_file = tmp_path / "port"
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--daemon",
+                "--store", str(tmp_path), "--scheme", root,
+                "--port", "0", "--port-file", str(port_file),
+            ],
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while not port_file.exists() and time.monotonic() < deadline:
+                assert proc.poll() is None, proc.stdout.read()
+                time.sleep(0.05)
+            assert port_file.exists(), "daemon never wrote its port file"
+            port = int(port_file.read_text())
+
+            batches = {"old": 0, "new": 0}
+            published = threading.Event()
+
+            def publisher():
+                # let some traffic land on v0 first
+                while batches["old"] < 3:
+                    time.sleep(0.01)
+                store.publish_patch(
+                    root, patched.graph, patched.ported, patched.arrays,
+                    delta=delta, seed=4,
+                )
+                published.set()
+
+            pub = threading.Thread(target=publisher)
+            pub.start()
+            with DaemonClient("127.0.0.1", port) as c:
+                for _ in range(400):
+                    resp = c.request(
+                        {"op": "route", "pairs": pairs.tolist()}
+                    )
+                    assert resp["ok"], resp
+                    got = result_from_wire(resp["result"])
+                    is_old = np.array_equal(got.weight, ref0.weight)
+                    is_new = np.array_equal(got.weight, ref1.weight)
+                    assert is_old != is_new, "batch mixed scheme versions"
+                    if is_old:
+                        assert resp["version"] == 0
+                        batches["old"] += 1
+                    else:
+                        assert resp["version"] == 1
+                        batches["new"] += 1
+                        if batches["new"] >= 3:
+                            break
+                pub.join(30)
+                # once published, the very next batch serves v1 exactly
+                resp = c.request({"op": "route", "pairs": pairs.tolist()})
+                assert resp["version"] == 1
+                assert_results_identical(ref1, result_from_wire(resp["result"]))
+            assert batches["old"] >= 3 and batches["new"] >= 3
+
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0, out
+            assert "daemon drained" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+
+    def test_in_process_hot_reload_over_the_wire(self, tmp_path):
+        """Same invariant without the subprocess: cheaper, runs the
+        daemon code in-thread so coverage sees it."""
+        store, root, graph, ported, arrays = publish_scheme(
+            tmp_path, seed=6, family="gnp"
+        )
+        rng = np.random.default_rng(1)
+        pairs = rng.integers(0, graph.n, size=(32, 2)).astype(np.int64)
+        ref0 = BatchRouter.from_compiled(
+            compile_from_arrays(arrays, ported)
+        ).route_pairs(pairs)
+        patched = self._publish_v1(store, root, graph, ported, arrays, 6)
+        ref1 = BatchRouter.from_compiled(
+            compile_from_arrays(patched.arrays, patched.ported)
+        ).route_pairs(pairs)
+
+        with running_daemon(tmp_path, default_scheme=root) as rd:
+            with rd.client() as c:
+                resp = c.request({"op": "route", "pairs": pairs.tolist()})
+                assert resp["version"] == 1
+                assert_results_identical(
+                    ref1, result_from_wire(resp["result"])
+                )
+        assert not np.array_equal(ref0.weight, ref1.weight)

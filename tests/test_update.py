@@ -20,7 +20,7 @@ from hypothesis import given, settings
 
 from repro import kernels
 from repro.core.build import build_arrays, patch_arrays
-from repro.errors import GraphError, PreprocessingError
+from repro.errors import GraphError, PreprocessingError, RoutingError
 from repro.graphs.delta import GraphDelta, apply_delta
 from repro.graphs.ports import assign_ports
 from repro.obs import TELEMETRY
@@ -406,6 +406,77 @@ class TestHotSwapService:
         )
         assert service.reload() is True
         assert service.version == 1
+
+    def test_gc_race_between_resolve_and_mmap_retries(self, tmp_path):
+        """Regression: a ``gc()`` racing a repoint can unlink a version
+        *between* the service's pointer resolve and its mmap.  The open
+        must retry through the lineage instead of failing the batch."""
+        store = SchemeStore(tmp_path)
+        graph = family_from_seed(7, "gnp")
+        ported = assign_ports(graph, "sorted")
+        arrays = build_arrays(graph, 2, ported=ported, rng=7)
+        root = store.publish(graph, ported, arrays, seed=7)
+
+        u, v = (int(x) for x in graph.edges[0])
+        delta = GraphDelta(weight_updates=((u, v, graph.edge_weight(u, v) + 2.0),))
+        patched = patch_arrays(arrays, graph, delta, ported=ported)
+        key1 = store.publish_patch(
+            root, patched.graph, patched.ported, patched.arrays,
+            delta=delta, seed=7,
+        )
+
+        service = RouteService(store.pointer_path(root))
+        assert service.version == 1
+
+        # Simulate the race: the next resolve observes the pointer
+        # *before* a publish+gc cycle — it names a version whose file a
+        # concurrent gc() has already unlinked.
+        stale = tmp_path / "vanished-by-gc.tzs"
+        assert not stale.exists()
+        real_resolve = service._resolve
+        raced = {"n": 0}
+
+        def racing_resolve():
+            if raced["n"] == 0:
+                raced["n"] += 1
+                return stale
+            return real_resolve()
+
+        service._resolve = racing_resolve
+        pairs = np.array([[0, 1], [2, 3]], dtype=np.int64)
+        result = service.route(pairs)  # must not raise
+        assert raced["n"] == 1  # the stale resolve was consumed...
+        assert service.version == 1  # ...and retried through the pointer
+        assert result.delivered.all()
+
+        # A pinned (non-follow) open of a missing container is genuine
+        # damage, not the race — it must fail immediately, untouched by
+        # the retry path.
+        with pytest.raises(Exception) as excinfo:
+            RouteService(tmp_path / "never-published.tzs")
+        assert not isinstance(excinfo.value, RoutingError)
+        assert key1 == store.current(root)
+
+    def test_gc_race_gives_up_after_bounded_retries(self, tmp_path):
+        """If the pointer keeps naming vanished versions, the open
+        surfaces a RoutingError instead of spinning forever."""
+        store = SchemeStore(tmp_path)
+        graph = family_from_seed(8, "grid")
+        ported = assign_ports(graph, "sorted")
+        arrays = build_arrays(graph, 2, ported=ported, rng=8)
+        root = store.publish(graph, ported, arrays, seed=8)
+        service = RouteService(store.pointer_path(root))
+
+        calls = {"n": 0}
+
+        def always_stale():
+            calls["n"] += 1
+            return tmp_path / f"gone-{calls['n']}.tzs"
+
+        service._resolve = always_stale
+        with pytest.raises(RoutingError, match="kept vanishing"):
+            service.reload()
+        assert calls["n"] == RouteService._OPEN_RETRIES
 
 
 class TestBackendKernelGate:

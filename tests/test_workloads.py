@@ -9,11 +9,14 @@ from repro.graphs.ports import assign_ports
 from repro.graphs.shortest_paths import all_pairs_shortest_paths
 from repro.oracles.distance_oracle import build_distance_oracle
 from repro.sim.workloads import (
+    WORKLOADS,
     adversarial_pairs,
     all_to_one,
     gravity_pairs,
     locality_pairs,
+    make_workload,
     uniform_pairs,
+    zipf_pairs,
 )
 
 
@@ -46,6 +49,46 @@ class TestGenerators:
         pairs = all_to_one(small_weighted_graph, target=7)
         assert np.all(pairs[:, 1] == 7)
         assert 7 not in pairs[:, 0]
+
+    def test_zipf_shape_distinct_deterministic(self, small_weighted_graph):
+        a = zipf_pairs(small_weighted_graph, 500, rng=12)
+        b = zipf_pairs(small_weighted_graph, 500, rng=12)
+        assert np.array_equal(a, b)
+        assert a.shape == (500, 2) and a.dtype == np.int64
+        assert np.all(a[:, 0] != a[:, 1])
+        assert a.min() >= 0 and a.max() < small_weighted_graph.n
+
+    def test_zipf_concentrates_on_top_ranks(self, small_weighted_graph):
+        """With s=1.2 the most popular destination should dwarf the
+        uniform rate; s=0 degenerates to (near) uniform."""
+        pairs = zipf_pairs(small_weighted_graph, 5000, rng=13, s=1.2)
+        _, counts = np.unique(pairs[:, 1], return_counts=True)
+        top_freq = counts.max() / pairs.shape[0]
+        assert top_freq > 5.0 / small_weighted_graph.n
+        flat = zipf_pairs(small_weighted_graph, 5000, rng=13, s=0.0)
+        _, fcounts = np.unique(flat[:, 1], return_counts=True)
+        assert fcounts.max() / flat.shape[0] < top_freq / 2
+
+    def test_zipf_users_confine_sources(self, small_weighted_graph):
+        pairs = zipf_pairs(small_weighted_graph, 1000, rng=14, users=7)
+        assert np.unique(pairs[:, 0]).size <= 7
+        # destinations are not confined to the user set
+        assert np.unique(pairs[:, 1]).size > 7
+
+    def test_zipf_tiny_graph_raises(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph(1, [])
+        with pytest.raises(ValueError):
+            zipf_pairs(g, 10, rng=0)
+
+    def test_make_workload_dispatches_every_name(self, small_weighted_graph):
+        assert "zipf" in WORKLOADS
+        for name in WORKLOADS:
+            pairs = make_workload(small_weighted_graph, name, 50, rng=15)
+            assert pairs.ndim == 2 and pairs.shape[1] == 2
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload(small_weighted_graph, "mystery", 50, rng=15)
 
     def test_locality_respects_radius(self, small_weighted_graph, dist_small):
         radius = float(np.percentile(dist_small[dist_small > 0], 25))
